@@ -1,0 +1,88 @@
+"""Fig. 3 — the motivating case study.
+
+(a) Accuracy of a (scaled-down) N400 network under faults in the *weight
+    registers only*, for two independent fault maps across fault rates
+    1e-4…1e-1.  The paper's observations: different fault maps at the same
+    rate give different accuracy, and the degradation grows with the rate.
+(b) Latency and energy of the re-execution baseline versus the SNN without
+    mitigation, both normalised to the unmitigated engine: ~3x each.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.mitigation import NoMitigation
+from repro.eval.reporting import format_series, format_table
+from repro.eval.sweep import FaultRateSweep
+from repro.hardware.accelerator import AcceleratorModel
+from repro.hardware.compute_engine import ComputeEngineConfig
+from repro.hardware.enhancements import MitigationKind
+
+from conftest import FAULT_RATES
+
+
+@pytest.mark.benchmark(group="fig03")
+def test_fig03a_weight_register_fault_maps(benchmark, runner, mnist_n400_config):
+    """Accuracy vs weight-register fault rate for two fault maps (Fig. 3a)."""
+    prepared = runner.prepare(mnist_n400_config)
+
+    def run_case_study():
+        series = {}
+        for fault_map_id, seed in (("fault map 1", 101), ("fault map 2", 202)):
+            sweep = FaultRateSweep(
+                prepared.model,
+                prepared.test_set,
+                [NoMitigation()],
+                inject_synapses=True,
+                inject_neurons=False,
+            )
+            result = sweep.run(fault_rates=list(FAULT_RATES), rng=seed, label=fault_map_id)
+            series[fault_map_id] = result
+        return series
+
+    series = benchmark.pedantic(run_case_study, rounds=1, iterations=1)
+
+    print()
+    for name, result in series.items():
+        accuracies = result.techniques[MitigationKind.NO_MITIGATION].accuracies
+        print(
+            format_series(
+                f"Fig3a {name} ({mnist_n400_config.label()})",
+                list(FAULT_RATES),
+                accuracies,
+                x_label="fault rate",
+            )
+        )
+        # Shape check: high fault rates should not *improve* accuracy relative
+        # to the clean network by more than noise.
+        assert accuracies[-1] <= result.clean_accuracy + 5.0
+
+    # The two fault maps at the highest rate generally differ (Fig. 3a "A").
+    values_at_max = [
+        result.techniques[MitigationKind.NO_MITIGATION].accuracies[-1]
+        for result in series.values()
+    ]
+    assert len(values_at_max) == 2
+
+
+@pytest.mark.benchmark(group="fig03")
+def test_fig03b_reexecution_overheads(benchmark):
+    """Latency and energy of re-execution vs no mitigation (Fig. 3b)."""
+
+    def compute_tables():
+        model = AcceleratorModel(ComputeEngineConfig(n_neurons=400))
+        return model.normalized_latency(), model.normalized_energy()
+
+    latency, energy = benchmark.pedantic(compute_tables, rounds=1, iterations=1)
+
+    rows = [
+        ["no mitigation", latency[MitigationKind.NO_MITIGATION], energy[MitigationKind.NO_MITIGATION]],
+        ["re-execution", latency[MitigationKind.RE_EXECUTION], energy[MitigationKind.RE_EXECUTION]],
+    ]
+    print()
+    print(format_table(["design", "latency (norm.)", "energy (norm.)"], rows,
+                       title="Fig. 3b — N400 compute engine"))
+
+    assert latency[MitigationKind.RE_EXECUTION] == pytest.approx(3.0)
+    assert energy[MitigationKind.RE_EXECUTION] == pytest.approx(3.0)

@@ -1,0 +1,70 @@
+"""Fig. 9 — clean vs faulty weight distributions.
+
+Soft errors in the weight registers can push weight values beyond the
+maximum weight of the clean (fault-free) network; the clean maximum is
+therefore usable as the Bound-and-Protect weight threshold.  The bench
+regenerates the two histograms (fault rate 0 and 0.1) and checks the key
+facts the figure conveys: (i) the clean distribution lies entirely inside
+the safe range, and (ii) the faulty distribution has a tail above the clean
+maximum that reaches roughly twice its value.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fault_analysis import FaultToleranceAnalyzer
+from repro.eval.reporting import format_table
+
+
+@pytest.mark.benchmark(group="fig09")
+def test_fig09_weight_distribution_under_bit_flips(benchmark, runner, mnist_n400_config):
+    prepared = runner.prepare(mnist_n400_config)
+    analyzer = FaultToleranceAnalyzer(prepared.model)
+
+    analysis = benchmark.pedantic(
+        lambda: analyzer.weight_distribution(fault_rate=0.1, bins=16, rng=9),
+        rounds=1,
+        iterations=1,
+    )
+
+    centers = 0.5 * (analysis.bin_edges[:-1] + analysis.bin_edges[1:])
+    rows = [
+        [f"{center:.4f}", int(clean), int(faulty)]
+        for center, clean, faulty in zip(
+            centers, analysis.clean_counts, analysis.faulty_counts
+        )
+    ]
+    print()
+    print(
+        format_table(
+            ["weight bin centre", "clean count", "faulty count (rate 0.1)"],
+            rows,
+            title=(
+                "Fig. 9 — weight distribution "
+                f"(wgh_max={analysis.clean_max_weight:.4f}, "
+                f"wgh_hp={analysis.most_probable_weight:.4f})"
+            ),
+        )
+    )
+    print(
+        f"weights above clean max: {analysis.n_weights_above_clean_max}, "
+        f"increased: {analysis.n_increased}, decreased: {analysis.n_decreased}"
+    )
+
+    # Clean weights all lie inside the safe range [0, wgh_max] (allowing the
+    # bin that contains wgh_max itself, since deployment re-quantises weights
+    # onto the 8-bit register grid).
+    clean_upper_bins = centers > analysis.clean_max_weight * 1.2
+    assert analysis.clean_counts[clean_upper_bins].sum() == 0
+    # Faulty weights spill above the safe range, up to ~2x the clean max
+    # (the register full-scale has 2x headroom).
+    assert analysis.n_weights_above_clean_max > 0
+    assert analysis.faulty_counts[clean_upper_bins].sum() > 0
+    full_scale = analysis.bin_edges[-1]
+    assert full_scale == pytest.approx(2.0 * analysis.clean_max_weight, rel=0.05)
+    # Bit flips both increase and decrease weights; increases matter most.
+    assert analysis.n_increased > 0 and analysis.n_decreased > 0
+    # Total mass is conserved between the two histograms.
+    assert int(analysis.clean_counts.sum()) == int(np.sum(analysis.faulty_counts))

@@ -1,0 +1,101 @@
+"""Fig. 10 — impact of faulty neuron operations and of the full compute engine.
+
+(a) Accuracy under each of the four faulty neuron-operation types across
+    fault rates: faulty ``Vmem increase`` / ``Vmem leak`` / ``spike
+    generation`` are tolerable, faulty ``Vmem reset`` is catastrophic.
+(b) Accuracy under combined synapse + neuron faults collapses as the fault
+    rate grows, motivating the mitigation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fault_analysis import FaultToleranceAnalyzer
+from repro.core.mitigation import NoMitigation
+from repro.eval.reporting import format_series, format_table
+from repro.eval.sweep import FaultRateSweep
+from repro.faults.models import NeuronFaultType
+from repro.hardware.enhancements import MitigationKind
+
+from conftest import FAULT_RATES
+
+#: Fault rates of the paper's Fig. 10(a) x-axis.
+NEURON_FAULT_RATES = (0.01, 0.1, 0.5, 1.0)
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10a_faulty_neuron_operation_types(benchmark, runner, mnist_n400_config):
+    prepared = runner.prepare(mnist_n400_config)
+    analyzer = FaultToleranceAnalyzer(prepared.model)
+
+    sensitivity = benchmark.pedantic(
+        lambda: analyzer.neuron_fault_sensitivity(
+            prepared.test_set, fault_rates=list(NEURON_FAULT_RATES), rng=10
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    rows = [
+        [fault_type.value] + [round(a, 1) for a in accuracies]
+        for fault_type, accuracies in sensitivity.accuracy_by_type.items()
+    ]
+    print(
+        format_table(
+            ["faulty operation"] + [str(r) for r in NEURON_FAULT_RATES],
+            rows,
+            title=(
+                "Fig. 10a — accuracy [%] vs neuron-operation fault rate "
+                f"(clean {sensitivity.baseline_accuracy:.1f}%)"
+            ),
+        )
+    )
+
+    reset = sensitivity.accuracy_by_type[NeuronFaultType.VMEM_RESET]
+    leak = sensitivity.accuracy_by_type[NeuronFaultType.VMEM_LEAK]
+    increase = sensitivity.accuracy_by_type[NeuronFaultType.VMEM_INCREASE]
+    spike_gen = sensitivity.accuracy_by_type[NeuronFaultType.SPIKE_GENERATION]
+
+    # The paper's conclusion: only the faulty Vmem reset is catastrophic.
+    assert min(reset) < sensitivity.baseline_accuracy - 30.0
+    for tolerable in (leak, increase, spike_gen):
+        # Tolerable types stay clearly above the reset curve at moderate rates.
+        assert tolerable[1] > reset[1]
+    assert NeuronFaultType.VMEM_RESET in sensitivity.critical_types()
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10b_combined_compute_engine_faults(benchmark, runner, mnist_n400_config):
+    prepared = runner.prepare(mnist_n400_config)
+
+    def run_sweep():
+        sweep = FaultRateSweep(
+            prepared.model,
+            prepared.test_set,
+            [NoMitigation()],
+            inject_synapses=True,
+            inject_neurons=True,
+        )
+        return sweep.run(fault_rates=list(FAULT_RATES), rng=20, label="fig10b")
+
+    result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    accuracies = result.techniques[MitigationKind.NO_MITIGATION].accuracies
+
+    print()
+    print(
+        format_series(
+            f"Fig10b no-mitigation ({mnist_n400_config.label()}), clean "
+            f"{result.clean_accuracy:.1f}%",
+            list(FAULT_RATES),
+            accuracies,
+            x_label="fault rate",
+        )
+    )
+
+    # Accuracy decreases due to faulty synapses and neurons (paper's callout):
+    # benign at 1e-4, collapsed at 1e-1.
+    assert accuracies[0] >= result.clean_accuracy - 10.0
+    assert accuracies[-1] < result.clean_accuracy - 25.0
+    assert accuracies[-1] < accuracies[0]

@@ -1,0 +1,72 @@
+"""Fig. 13(b) — accuracy of all mitigation techniques on Fashion-MNIST.
+
+Same sweep as the MNIST bench but on the synthetic Fashion-MNIST workload.
+As in the paper, the absolute accuracies are lower than on MNIST (the
+garment classes are harder), the unmitigated engine still collapses at high
+fault rates, and the BnP techniques recover most of the clean accuracy
+(the paper reports improvements of up to 47 % for Fashion-MNIST).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bound_and_protect import BnPVariant
+from repro.core.mitigation import BnPTechnique, NoMitigation, ReExecutionTMR
+from repro.eval.reporting import format_table
+from repro.eval.sweep import FaultRateSweep
+from repro.hardware.enhancements import MitigationKind
+
+from conftest import FAULT_RATES
+
+
+@pytest.mark.benchmark(group="fig13-fashion")
+def test_fig13_fashion_n400(benchmark, runner, fashion_n400_config, mnist_n400_config):
+    prepared = runner.prepare(fashion_n400_config)
+    techniques = [
+        NoMitigation(),
+        ReExecutionTMR(),
+        BnPTechnique(BnPVariant.BNP1),
+        BnPTechnique(BnPVariant.BNP2),
+        BnPTechnique(BnPVariant.BNP3),
+    ]
+
+    def run_sweep():
+        sweep = FaultRateSweep(prepared.model, prepared.test_set, techniques)
+        return sweep.run(
+            fault_rates=list(FAULT_RATES), rng=231, label=fashion_n400_config.label()
+        )
+
+    result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    print()
+    print(
+        format_table(
+            ["technique"] + [str(rate) for rate in FAULT_RATES],
+            result.accuracy_table(),
+            title=(
+                f"Fig. 13b ({fashion_n400_config.label()}) — accuracy [%], "
+                f"clean {result.clean_accuracy:.1f}%"
+            ),
+        )
+    )
+
+    no_mit = result.techniques[MitigationKind.NO_MITIGATION]
+    # Collapse without mitigation at the highest rate.
+    assert no_mit.accuracies[-1] < result.clean_accuracy - 20.0
+    # Every mitigation recovers a substantial share of the lost accuracy.
+    for kind in (
+        MitigationKind.RE_EXECUTION,
+        MitigationKind.BNP1,
+        MitigationKind.BNP2,
+        MitigationKind.BNP3,
+    ):
+        assert result.techniques[kind].accuracies[-1] > no_mit.accuracies[-1] + 10.0
+
+    # Fashion-MNIST is the harder workload: its clean accuracy sits below the
+    # MNIST clean accuracy measured by the companion bench configuration.
+    mnist_prepared = runner.prepare(mnist_n400_config)
+    mnist_clean = NoMitigation().evaluate(
+        mnist_prepared.model, mnist_prepared.test_set, rng=5
+    )
+    assert result.clean_accuracy <= mnist_clean.accuracy_percent + 5.0

@@ -1,0 +1,92 @@
+"""Fig. 13(a,c,d) — accuracy of all mitigation techniques on MNIST.
+
+For each (scaled-down) network size, the bench sweeps the compute-engine
+fault rate over 1e-4…1e-1 and compares No-Mitigation, Re-execution (TMR) and
+the three BnP variants on the synthetic-MNIST workload.  The expected shape,
+as in the paper:
+
+* the unmitigated network collapses at high fault rates,
+* re-execution and all three BnP variants stay close to the clean accuracy
+  (the paper reports <3 % degradation for N900 at rate 0.1),
+* BnP2 sits slightly below BnP1/BnP3 because it substitutes the
+  low-probability ``wgh_max`` value.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bound_and_protect import BnPVariant
+from repro.core.mitigation import BnPTechnique, NoMitigation, ReExecutionTMR
+from repro.eval.reporting import format_table
+from repro.eval.sweep import FaultRateSweep
+from repro.hardware.enhancements import MitigationKind
+
+from conftest import FAULT_RATES
+
+
+def _all_techniques():
+    return [
+        NoMitigation(),
+        ReExecutionTMR(),
+        BnPTechnique(BnPVariant.BNP1),
+        BnPTechnique(BnPVariant.BNP2),
+        BnPTechnique(BnPVariant.BNP3),
+    ]
+
+
+def _run_and_report(prepared, label, seed):
+    sweep = FaultRateSweep(prepared.model, prepared.test_set, _all_techniques())
+    result = sweep.run(fault_rates=list(FAULT_RATES), rng=seed, label=label)
+
+    print()
+    print(
+        format_table(
+            ["technique"] + [str(rate) for rate in FAULT_RATES],
+            result.accuracy_table(),
+            title=f"Fig. 13 ({label}) — accuracy [%], clean {result.clean_accuracy:.1f}%",
+        )
+    )
+    return result
+
+
+def _assert_paper_shape(result):
+    no_mit = result.techniques[MitigationKind.NO_MITIGATION]
+    bnp_kinds = (MitigationKind.BNP1, MitigationKind.BNP2, MitigationKind.BNP3)
+
+    # The unmitigated engine collapses at the highest fault rate.
+    assert no_mit.accuracies[-1] < result.clean_accuracy - 25.0
+    for kind in bnp_kinds + (MitigationKind.RE_EXECUTION,):
+        series = result.techniques[kind]
+        # Every mitigation clearly beats no-mitigation at the highest rate...
+        assert series.accuracies[-1] > no_mit.accuracies[-1] + 15.0
+        # ...and stays within a bounded distance of the clean accuracy.
+        assert series.accuracies[-1] >= result.clean_accuracy - 20.0
+    # BnP improves substantially over no mitigation (paper: up to 80 % on MNIST).
+    assert result.improvement_over_no_mitigation(MitigationKind.BNP3) > 25.0
+
+
+@pytest.mark.benchmark(group="fig13-mnist")
+def test_fig13_mnist_n400(benchmark, runner, mnist_n400_config):
+    prepared = runner.prepare(mnist_n400_config)
+    result = benchmark.pedantic(
+        lambda: _run_and_report(prepared, mnist_n400_config.label(), seed=131),
+        rounds=1,
+        iterations=1,
+    )
+    _assert_paper_shape(result)
+
+
+@pytest.mark.benchmark(group="fig13-mnist")
+def test_fig13_mnist_n900(benchmark, runner, mnist_n900_config):
+    prepared = runner.prepare(mnist_n900_config)
+    result = benchmark.pedantic(
+        lambda: _run_and_report(prepared, mnist_n900_config.label(), seed=132),
+        rounds=1,
+        iterations=1,
+    )
+    _assert_paper_shape(result)
+    # Paper's headline: for N900 at fault rate 0.1, BnP keeps the degradation
+    # small; allow a scaled-down margin here.
+    bnp3 = result.techniques[MitigationKind.BNP3]
+    assert bnp3.accuracies[-1] >= result.clean_accuracy - 15.0

@@ -1,0 +1,84 @@
+"""Fig. 14 — latency, energy and area across techniques and network sizes.
+
+These tables come from the analytical hardware model of the 256x256 compute
+engine.  The reproduced numbers (normalised, as in the paper) are:
+
+* latency (a): no-mitigation/BnP1 scale 1.0 / 2.0 / 3.5 / 5.0 / 7.5 across
+  N400…N3600, re-execution is 3x, BnP2/3 add at most 6 %;
+* energy (b): re-execution 3x, BnP1 about 1.3x, BnP2/3 about 1.6x — i.e. up
+  to ~2.3x energy saved versus re-execution;
+* area (c): 1.00 / 1.00 / 1.14 / 1.18 / 1.18.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.overheads import PAPER_NETWORK_SIZES, overhead_tables_for_sizes
+from repro.eval.reporting import format_table
+from repro.hardware.enhancements import MitigationKind
+
+#: The values read off the paper's Fig. 14 bar charts, used as references.
+PAPER_LATENCY_NO_MITIGATION = [1.0, 2.0, 3.5, 5.0, 7.5]
+PAPER_AREA = {
+    MitigationKind.NO_MITIGATION: 1.00,
+    MitigationKind.RE_EXECUTION: 1.00,
+    MitigationKind.BNP1: 1.14,
+    MitigationKind.BNP2: 1.18,
+    MitigationKind.BNP3: 1.18,
+}
+
+
+@pytest.mark.benchmark(group="fig14")
+def test_fig14_overhead_tables(benchmark):
+    tables = benchmark.pedantic(
+        lambda: overhead_tables_for_sizes(network_sizes=list(PAPER_NETWORK_SIZES)),
+        rounds=1,
+        iterations=1,
+    )
+
+    headers = ["technique"] + [f"N{size}" for size in PAPER_NETWORK_SIZES]
+    print()
+    for metric in ("latency", "energy", "area"):
+        table = tables[metric]
+        print(
+            format_table(
+                headers,
+                table.as_rows(),
+                title=f"Fig. 14 — normalised {metric}",
+            )
+        )
+        print()
+
+    latency = tables["latency"]
+    energy = tables["energy"]
+    area = tables["area"]
+
+    # (a) latency
+    assert latency.row(MitigationKind.NO_MITIGATION) == pytest.approx(
+        PAPER_LATENCY_NO_MITIGATION
+    )
+    assert latency.row(MitigationKind.RE_EXECUTION) == pytest.approx(
+        [3 * value for value in PAPER_LATENCY_NO_MITIGATION]
+    )
+    for index in range(len(PAPER_NETWORK_SIZES)):
+        bnp2_ratio = (
+            latency.row(MitigationKind.BNP2)[index]
+            / latency.row(MitigationKind.NO_MITIGATION)[index]
+        )
+        assert bnp2_ratio <= 1.061
+    # Up to 3x latency saved versus re-execution.
+    assert max(
+        latency.savings_versus(MitigationKind.BNP1, MitigationKind.RE_EXECUTION)
+    ) == pytest.approx(3.0)
+
+    # (b) energy
+    assert energy.row(MitigationKind.RE_EXECUTION)[0] == pytest.approx(3.0)
+    assert energy.row(MitigationKind.BNP1)[0] == pytest.approx(1.3, abs=0.02)
+    assert energy.row(MitigationKind.BNP3)[0] == pytest.approx(1.6, abs=0.02)
+    savings = energy.savings_versus(MitigationKind.BNP3, MitigationKind.RE_EXECUTION)
+    assert max(savings) >= 1.8  # paper: up to 2.3x
+
+    # (c) area
+    for kind, expected in PAPER_AREA.items():
+        assert area.row(kind)[0] == pytest.approx(expected, abs=0.01)

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Hardware overheads of the mitigation techniques (Fig. 3b and Fig. 14).
+
+Prints the normalised latency, energy and area of the five techniques across
+the paper's network sizes (N400…N3600), using the analytical model of the
+256x256 compute engine.  No SNN simulation is involved, so this runs in
+milliseconds.
+
+Run with ``python examples/hardware_overheads.py``.
+"""
+
+from __future__ import annotations
+
+from repro.eval.overheads import PAPER_NETWORK_SIZES, overhead_tables_for_sizes
+from repro.eval.reporting import format_table
+from repro.hardware.accelerator import AcceleratorModel
+from repro.hardware.compute_engine import ComputeEngineConfig
+from repro.hardware.enhancements import MitigationKind
+
+
+def main() -> None:
+    tables = overhead_tables_for_sizes(network_sizes=list(PAPER_NETWORK_SIZES))
+    headers = ["technique"] + [f"N{size}" for size in PAPER_NETWORK_SIZES]
+
+    for metric in ("latency", "energy", "area"):
+        table = tables[metric]
+        print(
+            format_table(
+                headers,
+                table.as_rows(),
+                title=f"Normalised {metric} (reference: N400, no mitigation)",
+            )
+        )
+        print()
+
+    latency = tables["latency"]
+    energy = tables["energy"]
+    print(
+        "Savings of BnP3 versus re-execution: "
+        f"latency up to x{max(latency.savings_versus(MitigationKind.BNP3, MitigationKind.RE_EXECUTION)):.1f}, "
+        f"energy up to x{max(energy.savings_versus(MitigationKind.BNP3, MitigationKind.RE_EXECUTION)):.1f}"
+    )
+
+    # Absolute per-inference numbers for one configuration, for context.
+    model = AcceleratorModel(ComputeEngineConfig(n_neurons=400))
+    report = model.report(MitigationKind.BNP3)
+    print(
+        f"\nAbsolute estimates for N400 with BnP3: "
+        f"latency {report.latency_ns / 1e6:.2f} ms per inference, "
+        f"area {report.area / 1e6:.2f} MGE (gate equivalents)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Compare all mitigation techniques across fault rates (Fig. 13 at example scale).
+
+Sweeps the compute-engine fault rate and compares:
+
+* No mitigation (the unprotected accelerator),
+* Re-execution (triple modular redundancy in time),
+* SoftSNN's BnP1, BnP2 and BnP3.
+
+Run with ``python examples/mitigation_comparison.py [mnist|fashion-mnist]``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import (
+    BnPTechnique,
+    BnPVariant,
+    NoMitigation,
+    ReExecutionTMR,
+)
+from repro.eval.experiment import ExperimentConfig, ExperimentRunner
+from repro.eval.reporting import format_table
+from repro.eval.sweep import FaultRateSweep
+from repro.hardware.enhancements import MitigationKind
+from repro.utils.logging import configure_logging
+
+FAULT_RATES = [1e-4, 1e-3, 1e-2, 1e-1]
+
+
+def main(workload: str = "mnist") -> None:
+    configure_logging()
+
+    runner = ExperimentRunner(root_seed=7)
+    config = ExperimentConfig(
+        workload=workload,
+        n_neurons=72,
+        n_train=200,
+        n_test=40,
+        timesteps=100,
+        epochs=2,
+    )
+    prepared = runner.prepare(config)
+
+    techniques = [
+        NoMitigation(),
+        ReExecutionTMR(),
+        BnPTechnique(BnPVariant.BNP1),
+        BnPTechnique(BnPVariant.BNP2),
+        BnPTechnique(BnPVariant.BNP3),
+    ]
+    sweep = FaultRateSweep(prepared.model, prepared.test_set, techniques)
+    result = sweep.run(fault_rates=FAULT_RATES, rng=8, label=config.label())
+
+    print()
+    print(
+        format_table(
+            ["technique"] + [str(rate) for rate in FAULT_RATES],
+            result.accuracy_table(),
+            title=(
+                f"Accuracy [%] on {config.label()} "
+                f"(clean accuracy {result.clean_accuracy:.1f}%)"
+            ),
+        )
+    )
+    improvement = result.improvement_over_no_mitigation(MitigationKind.BNP3)
+    print(
+        f"\nLargest accuracy improvement of BnP3 over the unmitigated engine: "
+        f"{improvement:.1f} percentage points"
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "mnist")

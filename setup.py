@@ -1,0 +1,11 @@
+"""Setup shim for environments without the `wheel` package.
+
+The project metadata lives in pyproject.toml / setup.cfg; this file exists so
+that `pip install -e .` can fall back to the legacy (setup.py develop)
+editable-install path on offline machines where PEP 517 editable builds are
+unavailable because the `wheel` package is not installed.
+"""
+
+from setuptools import setup
+
+setup()

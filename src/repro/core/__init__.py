@@ -1,0 +1,51 @@
+"""The SoftSNN methodology — the paper's primary contribution.
+
+This subpackage implements Section 3 of the paper on top of the substrates
+(:mod:`repro.snn`, :mod:`repro.faults`, :mod:`repro.hardware`):
+
+* :mod:`repro.core.bound_and_protect` — the Bound-and-Protect mechanisms:
+  weight bounding (Eq. 1) in its three variants BnP1/BnP2/BnP3, and neuron
+  protection (faulty ``Vmem reset`` detection + spike-generation gating).
+* :mod:`repro.core.mitigation` — run-time mitigation techniques sharing one
+  evaluation interface: ``NoMitigation``, the re-execution (TMR) baseline,
+  and the three BnP techniques.
+* :mod:`repro.core.fault_analysis` — the SNN fault-tolerance analysis of
+  Section 3.1 (weight-distribution analysis behind Fig. 9, fault-type
+  sensitivity behind Fig. 10, and the derivation of the safe weight range).
+* :mod:`repro.core.methodology` — the end-to-end SoftSNN pipeline of Fig. 8
+  tying analysis, technique construction and protected inference together.
+"""
+
+from repro.core.bound_and_protect import (
+    BnPVariant,
+    NeuronProtection,
+    WeightBounding,
+)
+from repro.core.fault_analysis import (
+    FaultToleranceAnalyzer,
+    NeuronFaultSensitivity,
+    WeightDistributionAnalysis,
+)
+from repro.core.methodology import SoftSNNMethodology
+from repro.core.mitigation import (
+    BnPTechnique,
+    MitigationTechnique,
+    NoMitigation,
+    ReExecutionTMR,
+    build_technique,
+)
+
+__all__ = [
+    "BnPTechnique",
+    "BnPVariant",
+    "FaultToleranceAnalyzer",
+    "MitigationTechnique",
+    "NeuronFaultSensitivity",
+    "NeuronProtection",
+    "NoMitigation",
+    "ReExecutionTMR",
+    "SoftSNNMethodology",
+    "WeightBounding",
+    "WeightDistributionAnalysis",
+    "build_technique",
+]

@@ -1,0 +1,152 @@
+"""The end-to-end SoftSNN methodology (Fig. 8 of the paper).
+
+:class:`SoftSNNMethodology` ties the three steps of the paper together for a
+single trained model:
+
+1. **Analyse** the SNN's fault tolerance (Section 3.1) — weight-distribution
+   statistics and neuron-fault criticality — via
+   :class:`~repro.core.fault_analysis.FaultToleranceAnalyzer`.
+2. **Bound and protect** (Section 3.2) — construct the chosen BnP variant's
+   weight-bounding rule and neuron protection from the analysis results.
+3. **Deploy** (Section 3.3) — report the hardware cost of the required
+   enhancements through the accelerator model, and run protected inference.
+
+The class is a convenience façade: everything it does can also be done by
+composing the underlying pieces directly, which is what the benchmark
+harness does for its parameter sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.bound_and_protect import BnPVariant, WeightBounding
+from repro.core.fault_analysis import FaultToleranceAnalyzer, SafeRange
+from repro.core.mitigation import BnPTechnique
+from repro.data.datasets import Dataset
+from repro.faults.models import ComputeEngineFaultConfig
+from repro.hardware.accelerator import AcceleratorModel
+from repro.hardware.compute_engine import ComputeEngineConfig
+from repro.hardware.enhancements import MitigationKind
+from repro.snn.inference import InferenceResult
+from repro.snn.training import TrainedModel
+from repro.utils.rng import RNGLike
+
+__all__ = ["SoftSNNMethodology", "SoftSNNDeployment"]
+
+
+@dataclass
+class SoftSNNDeployment:
+    """Everything needed to run SoftSNN-protected inference on one model.
+
+    Attributes
+    ----------
+    variant:
+        The selected BnP variant.
+    safe_range:
+        The derived safe weight range and substitute values.
+    bounding:
+        The concrete Eq. 1 bounding rule.
+    technique:
+        The ready-to-use mitigation technique.
+    hardware_overheads:
+        Normalised latency / energy / area of the enhanced engine relative
+        to the unmodified one (for the mapped network size).
+    """
+
+    variant: BnPVariant
+    safe_range: SafeRange
+    bounding: WeightBounding
+    technique: BnPTechnique
+    hardware_overheads: Dict[str, float]
+
+
+class SoftSNNMethodology:
+    """Applies the SoftSNN methodology to a trained model.
+
+    Parameters
+    ----------
+    model:
+        The trained clean model to protect.
+    variant:
+        Which BnP variant to deploy (BnP3 is the paper's most broadly
+        applicable choice; BnP1 is the cheapest in area).
+    engine_config:
+        Optional compute-engine configuration used for the hardware-cost
+        report; defaults to the paper's 256x256 engine mapped to the model's
+        network size.
+    """
+
+    def __init__(
+        self,
+        model: TrainedModel,
+        variant: BnPVariant = BnPVariant.BNP3,
+        engine_config: Optional[ComputeEngineConfig] = None,
+    ) -> None:
+        if not isinstance(variant, BnPVariant):
+            raise TypeError(
+                f"variant must be a BnPVariant, got {type(variant).__name__}"
+            )
+        self.model = model
+        self.variant = variant
+        if engine_config is None:
+            engine_config = ComputeEngineConfig(
+                n_inputs=model.network_config.n_inputs,
+                n_neurons=model.network_config.n_neurons,
+                timesteps=model.network_config.timesteps,
+            )
+        self.engine_config = engine_config
+        self.analyzer = FaultToleranceAnalyzer(model)
+
+    # ------------------------------------------------------------------ #
+    def deploy(self) -> SoftSNNDeployment:
+        """Run the analysis and construct the protected deployment."""
+        safe_range = self.analyzer.derive_safe_range()
+        bounding = WeightBounding.for_variant(
+            self.variant,
+            clean_max_weight=safe_range.weight_threshold,
+            most_probable_weight=safe_range.bnp3_substitute,
+        )
+        technique = BnPTechnique(self.variant)
+        accelerator = AcceleratorModel(self.engine_config)
+        kind = self.variant.mitigation_kind
+        overheads = {
+            "latency": accelerator.normalized_latency()[kind],
+            "energy": accelerator.normalized_energy()[kind],
+            "area": accelerator.normalized_area()[kind],
+        }
+        return SoftSNNDeployment(
+            variant=self.variant,
+            safe_range=safe_range,
+            bounding=bounding,
+            technique=technique,
+            hardware_overheads=overheads,
+        )
+
+    def protected_inference(
+        self,
+        dataset: Dataset,
+        fault_config: Optional[ComputeEngineFaultConfig] = None,
+        rng: RNGLike = None,
+    ) -> InferenceResult:
+        """Classify *dataset* with the deployed BnP technique."""
+        deployment = self.deploy()
+        return deployment.technique.evaluate(
+            self.model, dataset, fault_config=fault_config, rng=rng
+        )
+
+    def hardware_report(self) -> Dict[str, Dict[str, float]]:
+        """Normalised hardware cost of every technique for this model's size."""
+        accelerator = AcceleratorModel(self.engine_config)
+        latency = accelerator.normalized_latency()
+        energy = accelerator.normalized_energy()
+        area = accelerator.normalized_area()
+        return {
+            kind.value: {
+                "latency": latency[kind],
+                "energy": energy[kind],
+                "area": area[kind],
+            }
+            for kind in MitigationKind.all_kinds()
+        }

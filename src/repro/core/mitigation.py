@@ -1,0 +1,342 @@
+"""Run-time mitigation techniques sharing one evaluation interface.
+
+Every technique answers the same question — *given a trained model, a test
+set and a soft-error scenario, what accuracy does the system deliver?* —
+through :meth:`MitigationTechnique.evaluate`.  The available techniques are
+the paper's comparison partners:
+
+* :class:`NoMitigation` — the unprotected baseline: the faulty compute
+  engine is used as-is.
+* :class:`ReExecutionTMR` — the conventional fault-tolerance baseline:
+  every inference is executed three times (reloading the parameters each
+  time, so each execution sees an independently drawn soft-error pattern)
+  and the predictions are combined by majority vote.
+* :class:`BnPTechnique` — SoftSNN's Bound-and-Protect in its three variants
+  (BnP1 / BnP2 / BnP3): weight bounding on the values read from the
+  (possibly corrupted) registers plus neuron protection against faulty
+  ``Vmem reset`` operations.
+
+The fault map can be drawn inside ``evaluate`` or passed in explicitly; the
+experiment harness passes the same map to every technique so comparisons at
+a given fault rate are paired.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.core.bound_and_protect import BnPVariant, NeuronProtection, WeightBounding
+from repro.data.datasets import Dataset
+from repro.faults.fault_map import FaultMap
+from repro.faults.injector import FaultInjector
+from repro.faults.models import ComputeEngineFaultConfig
+from repro.hardware.enhancements import MitigationKind
+from repro.snn.inference import InferenceEngine, InferenceResult
+from repro.snn.training import TrainedModel
+from repro.utils.rng import RNGLike, resolve_rng
+
+__all__ = [
+    "MitigationTechnique",
+    "NoMitigation",
+    "ReExecutionTMR",
+    "BnPTechnique",
+    "build_technique",
+]
+
+
+class MitigationTechnique(abc.ABC):
+    """Common interface of all mitigation techniques."""
+
+    #: Hardware-model identity of the technique (drives cost estimation).
+    kind: MitigationKind = MitigationKind.NO_MITIGATION
+
+    @property
+    def name(self) -> str:
+        """Human-readable technique name used in reports and benches."""
+        return self.kind.value
+
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def evaluate(
+        self,
+        model: TrainedModel,
+        dataset: Dataset,
+        fault_config: Optional[ComputeEngineFaultConfig] = None,
+        rng: RNGLike = None,
+        fault_map: Optional[FaultMap] = None,
+    ) -> InferenceResult:
+        """Classify *dataset* under the given soft-error scenario.
+
+        Parameters
+        ----------
+        model:
+            The trained clean model; techniques never mutate it.
+        dataset:
+            Test samples to classify.
+        fault_config:
+            Soft-error injection configuration; ``None`` (or a zero fault
+            rate) evaluates the clean network.
+        rng:
+            Seed or generator for fault drawing and Poisson encoding.
+        fault_map:
+            Optional pre-drawn fault map, replayed instead of drawing a new
+            one — used by the harness for paired comparisons.
+        """
+
+    # ------------------------------------------------------------------ #
+    # shared helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _build_faulty_network(
+        model: TrainedModel,
+        fault_config: Optional[ComputeEngineFaultConfig],
+        generator: np.random.Generator,
+        fault_map: Optional[FaultMap],
+    ):
+        """Build a fresh network from *model* and corrupt it per the scenario."""
+        network = model.build_network(rng=generator)
+        if fault_map is None and (fault_config is None or fault_config.fault_rate == 0):
+            return network, None
+        injector = FaultInjector(network)
+        if fault_map is not None:
+            report = injector.apply_fault_map(fault_map)
+        else:
+            report = injector.inject(fault_config, rng=generator)
+        return network, report
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(kind={self.kind.value})"
+
+
+class NoMitigation(MitigationTechnique):
+    """Unprotected baseline: the faulty compute engine is used unchanged."""
+
+    kind = MitigationKind.NO_MITIGATION
+
+    def evaluate(
+        self,
+        model: TrainedModel,
+        dataset: Dataset,
+        fault_config: Optional[ComputeEngineFaultConfig] = None,
+        rng: RNGLike = None,
+        fault_map: Optional[FaultMap] = None,
+    ) -> InferenceResult:
+        generator = resolve_rng(rng)
+        network, _ = self._build_faulty_network(
+            model, fault_config, generator, fault_map
+        )
+        engine = InferenceEngine(network, model.neuron_labels)
+        return engine.evaluate(dataset, rng=generator)
+
+
+class ReExecutionTMR(MitigationTechnique):
+    """Re-execution baseline: triple modular redundancy in time.
+
+    Every input is classified ``n_executions`` times and the predictions are
+    combined by majority vote (ties resolve to the first execution's
+    prediction).
+
+    The fault model follows the paper's Section 2.2 persistence rules: bit
+    flips persist *until the register is overwritten* and faulty neuron
+    operations persist *until the parameters are replaced*.  Each
+    re-execution reloads the network parameters onto the compute engine,
+    which clears the soft errors accumulated up to that point; because a
+    single execution lasts microseconds while soft errors accumulate over
+    much longer mission times, the probability that a fresh particle strike
+    lands during a re-execution is negligible.  The first execution
+    therefore carries the accumulated fault map and the re-executions run
+    (essentially) clean — which is exactly why the paper observes that
+    re-execution restores near-clean accuracy at three times the latency and
+    energy.  The optional ``reexposure_fraction`` re-injects a scaled-down
+    fault rate into the re-executions for users who want to model longer
+    exposure windows.
+
+    Parameters
+    ----------
+    n_executions:
+        Number of redundant executions (3 in the paper's TMR mode).
+    reexposure_fraction:
+        Fraction of the original fault rate that each re-execution is
+        exposed to after its parameter reload (0 by default).
+    """
+
+    kind = MitigationKind.RE_EXECUTION
+
+    def __init__(
+        self, n_executions: int = 3, reexposure_fraction: float = 0.0
+    ) -> None:
+        if n_executions < 1 or n_executions % 2 == 0:
+            raise ValueError(
+                f"n_executions must be a positive odd number, got {n_executions}"
+            )
+        if not 0.0 <= reexposure_fraction <= 1.0:
+            raise ValueError(
+                f"reexposure_fraction must lie in [0, 1], got {reexposure_fraction}"
+            )
+        self.n_executions = int(n_executions)
+        self.reexposure_fraction = float(reexposure_fraction)
+
+    def evaluate(
+        self,
+        model: TrainedModel,
+        dataset: Dataset,
+        fault_config: Optional[ComputeEngineFaultConfig] = None,
+        rng: RNGLike = None,
+        fault_map: Optional[FaultMap] = None,
+    ) -> InferenceResult:
+        generator = resolve_rng(rng)
+        runs = []
+        for execution in range(self.n_executions):
+            if execution == 0:
+                # First execution: the accumulated soft errors are present.
+                execution_config = fault_config
+                execution_map = fault_map
+            else:
+                # Re-executions reload the parameters, clearing accumulated
+                # errors; optionally expose them to a scaled-down fault rate.
+                execution_map = None
+                if (
+                    fault_config is not None
+                    and self.reexposure_fraction > 0.0
+                    and fault_config.fault_rate > 0.0
+                ):
+                    execution_config = ComputeEngineFaultConfig(
+                        fault_rate=fault_config.fault_rate * self.reexposure_fraction,
+                        inject_synapses=fault_config.inject_synapses,
+                        inject_neurons=fault_config.inject_neurons,
+                        restrict_neuron_fault_type=(
+                            fault_config.restrict_neuron_fault_type
+                        ),
+                    )
+                else:
+                    execution_config = None
+            network, _ = self._build_faulty_network(
+                model, execution_config, generator, execution_map
+            )
+            engine = InferenceEngine(network, model.neuron_labels)
+            runs.append(engine.evaluate(dataset, rng=generator))
+
+        predictions = self._majority_vote([run.predictions for run in runs])
+        # Spike counts and activity of the report come from the first run;
+        # energy/latency accounting multiplies by the execution count in the
+        # hardware model, not here.
+        first = runs[0]
+        return InferenceResult(
+            predictions=predictions,
+            labels=first.labels.copy(),
+            spike_counts=first.spike_counts.copy(),
+            total_input_spikes=sum(run.total_input_spikes for run in runs),
+            per_sample_output_spikes=list(first.per_sample_output_spikes),
+        )
+
+    @staticmethod
+    def _majority_vote(prediction_sets) -> np.ndarray:
+        """Per-sample majority vote across executions (ties -> first run)."""
+        stacked = np.stack(prediction_sets, axis=0)
+        n_runs, n_samples = stacked.shape
+        voted = np.empty(n_samples, dtype=np.int64)
+        for index in range(n_samples):
+            values, counts = np.unique(stacked[:, index], return_counts=True)
+            best = counts.max()
+            winners = values[counts == best]
+            if winners.size == 1:
+                voted[index] = winners[0]
+            else:
+                voted[index] = stacked[0, index]
+        return voted
+
+
+class BnPTechnique(MitigationTechnique):
+    """SoftSNN's Bound-and-Protect mitigation (BnP1 / BnP2 / BnP3).
+
+    The technique derives its weight threshold and substitute value from the
+    clean model's weight statistics (Section 3.1), bounds the weights read
+    out of the possibly corrupted registers (Eq. 1), and monitors every
+    neuron's comparator to gate off spike generation when a faulty
+    ``Vmem reset`` is detected.
+
+    Parameters
+    ----------
+    variant:
+        Which BnP variant to apply.
+    protection_trigger_cycles:
+        Consecutive above-threshold cycles that flag a faulty reset (2 in
+        the paper).
+    """
+
+    def __init__(
+        self,
+        variant: BnPVariant,
+        protection_trigger_cycles: int = 2,
+    ) -> None:
+        if not isinstance(variant, BnPVariant):
+            raise TypeError(
+                f"variant must be a BnPVariant, got {type(variant).__name__}"
+            )
+        self.variant = variant
+        self.kind = variant.mitigation_kind
+        self.protection_trigger_cycles = int(protection_trigger_cycles)
+        if self.protection_trigger_cycles < 1:
+            raise ValueError("protection_trigger_cycles must be at least 1")
+        self.last_protection: Optional[NeuronProtection] = None
+        self.last_bounded_count: int = 0
+
+    # ------------------------------------------------------------------ #
+    def bounding_for(self, model: TrainedModel) -> WeightBounding:
+        """Derive the Eq. 1 bounding rule from the clean model's statistics."""
+        return WeightBounding.for_variant(
+            self.variant,
+            clean_max_weight=model.clean_max_weight,
+            most_probable_weight=model.clean_most_probable_weight,
+        )
+
+    def evaluate(
+        self,
+        model: TrainedModel,
+        dataset: Dataset,
+        fault_config: Optional[ComputeEngineFaultConfig] = None,
+        rng: RNGLike = None,
+        fault_map: Optional[FaultMap] = None,
+    ) -> InferenceResult:
+        generator = resolve_rng(rng)
+        network, _ = self._build_faulty_network(
+            model, fault_config, generator, fault_map
+        )
+        bounding = self.bounding_for(model)
+        faulty_weights = network.synapses.weights
+        self.last_bounded_count = bounding.count_bounded(faulty_weights)
+        effective_weights = bounding.apply(faulty_weights)
+
+        protection = NeuronProtection(trigger_cycles=self.protection_trigger_cycles)
+        self.last_protection = protection
+
+        engine = InferenceEngine(network, model.neuron_labels)
+        return engine.evaluate(
+            dataset,
+            rng=generator,
+            effective_weights=effective_weights,
+            step_monitor=protection,
+        )
+
+
+def build_technique(kind: MitigationKind, **kwargs) -> MitigationTechnique:
+    """Factory mapping a :class:`MitigationKind` onto its technique object.
+
+    Keyword arguments are forwarded to the technique constructor (e.g.
+    ``n_executions`` for re-execution, ``protection_trigger_cycles`` for the
+    BnP variants).
+    """
+    if kind == MitigationKind.NO_MITIGATION:
+        return NoMitigation(**kwargs)
+    if kind == MitigationKind.RE_EXECUTION:
+        return ReExecutionTMR(**kwargs)
+    if kind == MitigationKind.BNP1:
+        return BnPTechnique(BnPVariant.BNP1, **kwargs)
+    if kind == MitigationKind.BNP2:
+        return BnPTechnique(BnPVariant.BNP2, **kwargs)
+    if kind == MitigationKind.BNP3:
+        return BnPTechnique(BnPVariant.BNP3, **kwargs)
+    raise ValueError(f"unknown mitigation kind: {kind!r}")

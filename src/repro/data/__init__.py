@@ -1,0 +1,56 @@
+"""Synthetic workload generators for the SoftSNN evaluation.
+
+The paper evaluates on MNIST and Fashion-MNIST.  Those datasets cannot be
+downloaded in this offline environment, so this subpackage provides
+procedurally generated substitutes with the same interface characteristics
+that matter to the fault-tolerance study:
+
+* 28x28 grayscale images in ``[0, 1]``,
+* ten visually distinct classes,
+* class-consistent structure plus per-sample jitter/noise so the STDP
+  network must genuinely generalise,
+* deterministic generation from a seed so every experiment is reproducible.
+
+The substitution rationale is recorded in ``DESIGN.md``: the paper itself
+notes (Section 3.1, footnote 3) that any workload with the same spike-train
+time range and coding is representative for the fault-tolerance analysis,
+because STDP confines the weights to a known positive range regardless of
+the image content.
+
+Public API
+----------
+:class:`~repro.data.datasets.Dataset`
+    Immutable container bundling images, labels and metadata.
+:class:`~repro.data.synthetic_mnist.SyntheticMNIST`
+    Digit-like ten-class generator (stroke-drawn digits 0-9).
+:class:`~repro.data.synthetic_fashion.SyntheticFashionMNIST`
+    Garment-like ten-class generator (silhouette shapes).
+:func:`~repro.data.datasets.train_test_split`
+    Deterministic stratified split helper.
+"""
+
+from repro.data.datasets import Dataset, load_workload, train_test_split
+from repro.data.images import (
+    IMAGE_SIDE,
+    draw_ellipse,
+    draw_line,
+    draw_rectangle,
+    gaussian_blur,
+    normalize_image,
+)
+from repro.data.synthetic_fashion import SyntheticFashionMNIST
+from repro.data.synthetic_mnist import SyntheticMNIST
+
+__all__ = [
+    "Dataset",
+    "IMAGE_SIDE",
+    "SyntheticFashionMNIST",
+    "SyntheticMNIST",
+    "draw_ellipse",
+    "draw_line",
+    "draw_rectangle",
+    "gaussian_blur",
+    "load_workload",
+    "normalize_image",
+    "train_test_split",
+]

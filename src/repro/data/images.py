@@ -1,0 +1,165 @@
+"""Rasterisation primitives for the synthetic datasets.
+
+All synthetic classes are drawn from a handful of simple primitives —
+anti-aliased line segments, ellipse outlines and filled rectangles — on a
+28x28 canvas, followed by a separable Gaussian blur that gives the images the
+soft pen-stroke appearance of MNIST digits.  Keeping the primitives in one
+module means both dataset generators share identical rendering behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "IMAGE_SIDE",
+    "blank_canvas",
+    "draw_ellipse",
+    "draw_line",
+    "draw_rectangle",
+    "gaussian_blur",
+    "normalize_image",
+]
+
+#: Canvas side length used throughout the library (matches MNIST).
+IMAGE_SIDE = 28
+
+
+def blank_canvas(side: int = IMAGE_SIDE) -> np.ndarray:
+    """Return an all-zero float canvas of shape ``(side, side)``."""
+    if side <= 0:
+        raise ValueError(f"side must be positive, got {side}")
+    return np.zeros((side, side), dtype=np.float64)
+
+
+def _check_canvas(canvas: np.ndarray) -> np.ndarray:
+    canvas = np.asarray(canvas, dtype=np.float64)
+    if canvas.ndim != 2 or canvas.shape[0] != canvas.shape[1]:
+        raise ValueError(f"canvas must be a square 2-D array, got {canvas.shape}")
+    return canvas
+
+
+def draw_line(
+    canvas: np.ndarray,
+    start: Tuple[float, float],
+    end: Tuple[float, float],
+    thickness: float = 1.6,
+    intensity: float = 1.0,
+) -> np.ndarray:
+    """Draw an anti-aliased line segment onto a copy of *canvas*.
+
+    Coordinates are ``(row, col)`` in pixel units and may be fractional.
+    The stroke falls off smoothly over *thickness* pixels, which is what
+    gives the synthetic digits their MNIST-like soft edges.
+    """
+    canvas = _check_canvas(canvas).copy()
+    side = canvas.shape[0]
+    r0, c0 = float(start[0]), float(start[1])
+    r1, c1 = float(end[0]), float(end[1])
+    rows, cols = np.mgrid[0:side, 0:side].astype(np.float64)
+
+    d_r, d_c = r1 - r0, c1 - c0
+    length_sq = d_r * d_r + d_c * d_c
+    if length_sq < 1e-12:
+        distance = np.hypot(rows - r0, cols - c0)
+    else:
+        # Project every pixel onto the segment and clamp to its extent.
+        t = ((rows - r0) * d_r + (cols - c0) * d_c) / length_sq
+        t = np.clip(t, 0.0, 1.0)
+        nearest_r = r0 + t * d_r
+        nearest_c = c0 + t * d_c
+        distance = np.hypot(rows - nearest_r, cols - nearest_c)
+
+    stroke = np.clip(1.0 - distance / max(thickness, 1e-6), 0.0, 1.0) * intensity
+    return np.maximum(canvas, stroke)
+
+
+def draw_ellipse(
+    canvas: np.ndarray,
+    center: Tuple[float, float],
+    radii: Tuple[float, float],
+    thickness: float = 1.6,
+    intensity: float = 1.0,
+    filled: bool = False,
+) -> np.ndarray:
+    """Draw an ellipse outline (or filled ellipse) onto a copy of *canvas*."""
+    canvas = _check_canvas(canvas).copy()
+    side = canvas.shape[0]
+    cr, cc = float(center[0]), float(center[1])
+    rr, rc = max(float(radii[0]), 1e-6), max(float(radii[1]), 1e-6)
+    rows, cols = np.mgrid[0:side, 0:side].astype(np.float64)
+
+    # Normalised radial coordinate: 1.0 exactly on the ellipse boundary.
+    radial = np.sqrt(((rows - cr) / rr) ** 2 + ((cols - cc) / rc) ** 2)
+    if filled:
+        stroke = np.clip(1.0 - np.maximum(radial - 1.0, 0.0) / 0.15, 0.0, 1.0)
+    else:
+        mean_radius = 0.5 * (rr + rc)
+        boundary_distance = np.abs(radial - 1.0) * mean_radius
+        stroke = np.clip(1.0 - boundary_distance / max(thickness, 1e-6), 0.0, 1.0)
+    return np.maximum(canvas, stroke * intensity)
+
+
+def draw_rectangle(
+    canvas: np.ndarray,
+    top_left: Tuple[float, float],
+    bottom_right: Tuple[float, float],
+    intensity: float = 1.0,
+    filled: bool = True,
+) -> np.ndarray:
+    """Draw an axis-aligned rectangle onto a copy of *canvas*."""
+    canvas = _check_canvas(canvas).copy()
+    side = canvas.shape[0]
+    r0, c0 = float(top_left[0]), float(top_left[1])
+    r1, c1 = float(bottom_right[0]), float(bottom_right[1])
+    if r1 < r0 or c1 < c0:
+        raise ValueError("bottom_right must be below/right of top_left")
+    rows, cols = np.mgrid[0:side, 0:side].astype(np.float64)
+    inside = (rows >= r0) & (rows <= r1) & (cols >= c0) & (cols <= c1)
+    if filled:
+        stroke = inside.astype(np.float64)
+    else:
+        border = inside & (
+            (rows <= r0 + 1.0)
+            | (rows >= r1 - 1.0)
+            | (cols <= c0 + 1.0)
+            | (cols >= c1 - 1.0)
+        )
+        stroke = border.astype(np.float64)
+    return np.maximum(canvas, stroke * intensity)
+
+
+def gaussian_blur(canvas: np.ndarray, sigma: float = 0.7) -> np.ndarray:
+    """Separable Gaussian blur used to soften stroke edges.
+
+    Implemented directly with 1-D convolutions so the library needs nothing
+    beyond NumPy.
+    """
+    canvas = _check_canvas(canvas)
+    if sigma <= 0:
+        return canvas.copy()
+    radius = max(1, int(np.ceil(3.0 * sigma)))
+    offsets = np.arange(-radius, radius + 1, dtype=np.float64)
+    kernel = np.exp(-0.5 * (offsets / sigma) ** 2)
+    kernel /= kernel.sum()
+
+    padded = np.pad(canvas, radius, mode="constant")
+    blurred_rows = np.apply_along_axis(
+        lambda row: np.convolve(row, kernel, mode="same"), 1, padded
+    )
+    blurred = np.apply_along_axis(
+        lambda col: np.convolve(col, kernel, mode="same"), 0, blurred_rows
+    )
+    return blurred[radius:-radius, radius:-radius]
+
+
+def normalize_image(canvas: np.ndarray) -> np.ndarray:
+    """Clip to ``[0, 1]`` and rescale so the brightest pixel is 1.0."""
+    canvas = _check_canvas(canvas)
+    clipped = np.clip(canvas, 0.0, None)
+    peak = clipped.max()
+    if peak <= 0:
+        return np.zeros_like(clipped)
+    return np.clip(clipped / peak, 0.0, 1.0)

@@ -1,0 +1,31 @@
+"""Evaluation harness: experiments, sweeps and reporting.
+
+This subpackage contains the machinery the examples and the benchmark
+harness share to regenerate the paper's figures:
+
+* :mod:`repro.eval.experiment` — experiment configuration and a runner that
+  trains (and caches) the clean models the sweeps need.
+* :mod:`repro.eval.sweep` — fault-rate sweeps across mitigation techniques
+  (the accuracy figures: Fig. 3a, 10, 13).
+* :mod:`repro.eval.overheads` — latency / energy / area tables from the
+  hardware model (the cost figures: Fig. 3b, 14).
+* :mod:`repro.eval.reporting` — plain-text table rendering used by the
+  benches to print the same rows/series the paper reports.
+"""
+
+from repro.eval.experiment import ExperimentConfig, ExperimentRunner
+from repro.eval.overheads import OverheadTable, overhead_tables_for_sizes
+from repro.eval.reporting import format_series, format_table
+from repro.eval.sweep import FaultRateSweep, SweepResult, TechniqueAccuracy
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentRunner",
+    "FaultRateSweep",
+    "OverheadTable",
+    "SweepResult",
+    "TechniqueAccuracy",
+    "format_series",
+    "format_table",
+    "overhead_tables_for_sizes",
+]

@@ -1,0 +1,114 @@
+"""Latency / energy / area overhead tables (Fig. 3b and Fig. 14).
+
+These tables come entirely from the analytical hardware model; they do not
+require any SNN simulation.  The paper normalises Fig. 14(a) and (b) to the
+N400 / no-mitigation case and Fig. 14(c) to the unmodified engine, and the
+helpers here produce exactly those normalisations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.hardware.accelerator import AcceleratorModel
+from repro.hardware.compute_engine import ComputeEngineConfig
+from repro.hardware.enhancements import HardwareCostParameters, MitigationKind
+
+__all__ = ["OverheadTable", "overhead_tables_for_sizes"]
+
+#: Network sizes swept by the paper's overhead figures.
+PAPER_NETWORK_SIZES = (400, 900, 1600, 2500, 3600)
+
+
+@dataclass
+class OverheadTable:
+    """One normalised overhead table (latency, energy or area).
+
+    Attributes
+    ----------
+    metric:
+        ``"latency"``, ``"energy"`` or ``"area"``.
+    network_sizes:
+        Network sizes covered (columns of the paper's bar groups).
+    values:
+        ``values[kind][i]`` is the normalised value of technique *kind* at
+        ``network_sizes[i]``.
+    """
+
+    metric: str
+    network_sizes: List[int]
+    values: Dict[MitigationKind, List[float]] = field(default_factory=dict)
+
+    def row(self, kind: MitigationKind) -> List[float]:
+        """Normalised series of one technique across the network sizes."""
+        return list(self.values[kind])
+
+    def savings_versus(
+        self, kind: MitigationKind, reference: MitigationKind
+    ) -> List[float]:
+        """Ratio ``reference / kind`` per network size (e.g. 3x latency saved)."""
+        return [
+            ref / val if val > 0 else float("inf")
+            for ref, val in zip(self.values[reference], self.values[kind])
+        ]
+
+    def as_rows(self) -> List[List[object]]:
+        """Rows of ``[technique, v@N1, v@N2, ...]`` for text reporting."""
+        return [
+            [kind.value] + [round(v, 2) for v in series]
+            for kind, series in self.values.items()
+        ]
+
+
+def overhead_tables_for_sizes(
+    network_sizes: Optional[Sequence[int]] = None,
+    n_inputs: int = 784,
+    timesteps: int = 150,
+    params: Optional[HardwareCostParameters] = None,
+) -> Dict[str, OverheadTable]:
+    """Build the three Fig. 14 tables for the given network sizes.
+
+    Latency and energy are normalised to the smallest network size with no
+    mitigation (the paper normalises to N400); area is normalised to the
+    unmodified engine and does not depend on the network size.
+    """
+    sizes = list(network_sizes) if network_sizes is not None else list(
+        PAPER_NETWORK_SIZES
+    )
+    if not sizes:
+        raise ValueError("network_sizes must not be empty")
+    if any(size <= 0 for size in sizes):
+        raise ValueError("network sizes must be positive")
+
+    reference = AcceleratorModel(
+        ComputeEngineConfig(
+            n_inputs=n_inputs, n_neurons=sizes[0], timesteps=timesteps
+        ),
+        params=params,
+    )
+
+    latency = OverheadTable(metric="latency", network_sizes=sizes)
+    energy = OverheadTable(metric="energy", network_sizes=sizes)
+    area = OverheadTable(metric="area", network_sizes=sizes)
+    for kind in MitigationKind.all_kinds():
+        latency.values[kind] = []
+        energy.values[kind] = []
+        area.values[kind] = []
+
+    for size in sizes:
+        model = AcceleratorModel(
+            ComputeEngineConfig(
+                n_inputs=n_inputs, n_neurons=size, timesteps=timesteps
+            ),
+            params=params,
+        )
+        latency_table = model.normalized_latency(reference=reference)
+        energy_table = model.normalized_energy(reference=reference)
+        area_table = model.normalized_area()
+        for kind in MitigationKind.all_kinds():
+            latency.values[kind].append(latency_table[kind])
+            energy.values[kind].append(energy_table[kind])
+            area.values[kind].append(area_table[kind])
+
+    return {"latency": latency, "energy": energy, "area": area}

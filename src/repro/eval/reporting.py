@@ -1,0 +1,73 @@
+"""Plain-text rendering of result tables and series.
+
+The benchmark harness prints the regenerated figure data as text tables so
+the "same rows/series the paper reports" are visible in the pytest output
+and in the committed bench logs, without requiring any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def format_table(
+    headers: Sequence[object],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render a simple aligned text table.
+
+    Parameters
+    ----------
+    headers:
+        Column headers.
+    rows:
+        Row values; each row must have the same length as *headers*.
+    title:
+        Optional title printed above the table.
+    """
+    headers = [str(h) for h in headers]
+    text_rows: List[List[str]] = []
+    for row in rows:
+        row = [_format_cell(cell) for cell in row]
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells but there are {len(headers)} headers"
+            )
+        text_rows.append(row)
+
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(headers))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in text_rows)
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, xs: Sequence[object], ys: Sequence[object], x_label: str = "x"
+) -> str:
+    """Render one named series as ``name: x=y`` pairs on a single line."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have the same length")
+    pairs = ", ".join(
+        f"{_format_cell(x)}={_format_cell(y)}" for x, y in zip(xs, ys)
+    )
+    return f"{name} [{x_label}]: {pairs}"
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,231 @@
+"""Fault-rate sweeps across mitigation techniques.
+
+The accuracy figures of the paper (Fig. 3a, Fig. 10, Fig. 13) are all
+sweeps of the same form: fix a trained model and a test set, vary the fault
+rate, and measure the accuracy of one or more mitigation techniques, with
+every technique seeing the *same* fault map at each rate so the comparison
+is paired.  :class:`FaultRateSweep` implements that loop once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.mitigation import MitigationTechnique
+from repro.data.datasets import Dataset
+from repro.faults.fault_map import FaultMapGenerator
+from repro.faults.models import ComputeEngineFaultConfig
+from repro.hardware.enhancements import MitigationKind
+from repro.snn.training import TrainedModel
+from repro.utils.logging import get_logger
+from repro.utils.rng import RNGLike, resolve_rng, spawn_rngs
+
+__all__ = ["TechniqueAccuracy", "SweepResult", "FaultRateSweep"]
+
+_LOGGER = get_logger("eval.sweep")
+
+#: Fault rates swept by the paper's compute-engine experiments (Fig. 13).
+PAPER_FAULT_RATES = (1e-4, 1e-3, 1e-2, 1e-1)
+
+
+@dataclass
+class TechniqueAccuracy:
+    """Accuracy series of one technique across the swept fault rates.
+
+    Attributes
+    ----------
+    kind:
+        The technique's hardware-model identity.
+    fault_rates:
+        Swept fault rates, in sweep order.
+    accuracies:
+        Mean accuracy (percent) at each fault rate, averaged over trials.
+    per_trial:
+        Raw per-trial accuracies at each fault rate.
+    """
+
+    kind: MitigationKind
+    fault_rates: List[float] = field(default_factory=list)
+    accuracies: List[float] = field(default_factory=list)
+    per_trial: List[List[float]] = field(default_factory=list)
+
+    def accuracy_at(self, fault_rate: float) -> float:
+        """Mean accuracy at the given fault rate (must have been swept)."""
+        for rate, accuracy in zip(self.fault_rates, self.accuracies):
+            if rate == fault_rate:
+                return accuracy
+        raise KeyError(f"fault rate {fault_rate} was not part of this sweep")
+
+    @property
+    def worst_accuracy(self) -> float:
+        """Lowest mean accuracy across the swept rates."""
+        return min(self.accuracies) if self.accuracies else 0.0
+
+
+@dataclass
+class SweepResult:
+    """Complete result of one fault-rate sweep.
+
+    Attributes
+    ----------
+    label:
+        Human-readable description (workload / network size).
+    clean_accuracy:
+        Accuracy of the unmitigated, fault-free network (percent).
+    fault_rates:
+        The swept fault rates.
+    techniques:
+        Per-technique accuracy series, keyed by technique kind.
+    """
+
+    label: str
+    clean_accuracy: float
+    fault_rates: List[float]
+    techniques: Dict[MitigationKind, TechniqueAccuracy] = field(default_factory=dict)
+
+    def accuracy_table(self) -> List[List[object]]:
+        """Rows of ``[technique, acc@rate1, acc@rate2, ...]`` for reporting."""
+        rows = []
+        for kind, series in self.techniques.items():
+            rows.append([kind.value] + [round(a, 2) for a in series.accuracies])
+        return rows
+
+    def improvement_over_no_mitigation(self, kind: MitigationKind) -> float:
+        """Largest accuracy gain of *kind* over the unmitigated baseline."""
+        if MitigationKind.NO_MITIGATION not in self.techniques:
+            raise KeyError("sweep did not include the no-mitigation baseline")
+        baseline = self.techniques[MitigationKind.NO_MITIGATION]
+        target = self.techniques[kind]
+        gains = [
+            target_acc - base_acc
+            for target_acc, base_acc in zip(target.accuracies, baseline.accuracies)
+        ]
+        return max(gains) if gains else 0.0
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-friendly summary of the sweep."""
+        return {
+            "label": self.label,
+            "clean_accuracy": self.clean_accuracy,
+            "fault_rates": list(self.fault_rates),
+            "techniques": {
+                kind.value: list(series.accuracies)
+                for kind, series in self.techniques.items()
+            },
+        }
+
+
+class FaultRateSweep:
+    """Runs paired fault-rate sweeps over a set of mitigation techniques.
+
+    Parameters
+    ----------
+    model:
+        Trained clean model under test.
+    dataset:
+        Test set used for every accuracy measurement.
+    techniques:
+        The mitigation techniques to compare.
+    inject_synapses / inject_neurons:
+        Which parts of the compute engine receive faults (Fig. 3a uses
+        synapses only, Fig. 10a neurons only, Fig. 13 both).
+    n_trials:
+        Number of independent fault maps per fault rate; accuracies are
+        averaged across trials.
+    """
+
+    def __init__(
+        self,
+        model: TrainedModel,
+        dataset: Dataset,
+        techniques: Sequence[MitigationTechnique],
+        inject_synapses: bool = True,
+        inject_neurons: bool = True,
+        n_trials: int = 1,
+    ) -> None:
+        if not techniques:
+            raise ValueError("at least one technique is required")
+        if n_trials <= 0:
+            raise ValueError(f"n_trials must be positive, got {n_trials}")
+        self.model = model
+        self.dataset = dataset
+        self.techniques = list(techniques)
+        self.inject_synapses = bool(inject_synapses)
+        self.inject_neurons = bool(inject_neurons)
+        self.n_trials = int(n_trials)
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        fault_rates: Optional[Sequence[float]] = None,
+        rng: RNGLike = None,
+        label: str = "sweep",
+    ) -> SweepResult:
+        """Run the sweep and return the per-technique accuracy series."""
+        if fault_rates is None:
+            fault_rates = PAPER_FAULT_RATES
+        generator = resolve_rng(rng)
+
+        # Clean reference accuracy (no faults, no mitigation).
+        clean_accuracy = (
+            self.techniques[0]
+            .evaluate(self.model, self.dataset, fault_config=None, rng=generator)
+            .accuracy_percent
+        )
+
+        network = self.model.build_network(rng=generator)
+        map_generator = FaultMapGenerator(
+            crossbar_shape=network.synapses.shape,
+            quantizer=network.synapses.quantizer,
+        )
+
+        result = SweepResult(
+            label=label,
+            clean_accuracy=clean_accuracy,
+            fault_rates=list(fault_rates),
+            techniques={
+                technique.kind: TechniqueAccuracy(kind=technique.kind)
+                for technique in self.techniques
+            },
+        )
+
+        for fault_rate in fault_rates:
+            config = ComputeEngineFaultConfig(
+                fault_rate=fault_rate,
+                inject_synapses=self.inject_synapses,
+                inject_neurons=self.inject_neurons,
+            )
+            trial_rngs = spawn_rngs(generator, self.n_trials)
+            per_technique_trials: Dict[MitigationKind, List[float]] = {
+                technique.kind: [] for technique in self.techniques
+            }
+            for trial_rng in trial_rngs:
+                fault_map = map_generator.generate(config, rng=trial_rng)
+                for technique in self.techniques:
+                    outcome = technique.evaluate(
+                        self.model,
+                        self.dataset,
+                        fault_config=config,
+                        rng=trial_rng,
+                        fault_map=fault_map,
+                    )
+                    per_technique_trials[technique.kind].append(
+                        outcome.accuracy_percent
+                    )
+            for technique in self.techniques:
+                trials = per_technique_trials[technique.kind]
+                series = result.techniques[technique.kind]
+                series.fault_rates.append(fault_rate)
+                series.per_trial.append(trials)
+                series.accuracies.append(sum(trials) / len(trials))
+            _LOGGER.info(
+                "%s: fault rate %.0e done (%s)",
+                label,
+                fault_rate,
+                ", ".join(
+                    f"{kind.value}={series.accuracies[-1]:.1f}%"
+                    for kind, series in result.techniques.items()
+                ),
+            )
+        return result

@@ -1,0 +1,185 @@
+"""Bit-flip fault model for the weight registers of the synapse crossbar.
+
+Section 2.2 (synapse part): "A fault in a synapse hardware only affects a
+single weight bit in form of a bit flip.  This faulty bit persists until it
+is overwritten with a new bit value."
+
+The model treats every *bit* of every weight register as a potential fault
+location.  Given a fault rate it draws the set of struck bits and produces
+the flipped register contents; it can also report summary statistics
+(how many weights increased / decreased, by how much) which the fault
+tolerance analysis of Section 3.1 uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.snn.quantization import WeightQuantizer
+from repro.utils.bits import flip_bits_in_array
+from repro.utils.rng import RNGLike, resolve_rng
+from repro.utils.validation import check_probability
+
+__all__ = ["WeightBitFlipModel", "BitFlipOutcome"]
+
+
+@dataclass(frozen=True)
+class BitFlipOutcome:
+    """Result of one bit-flip injection pass over a register array.
+
+    Attributes
+    ----------
+    faulty_registers:
+        Register array after the bit flips, same shape as the input.
+    flat_indices:
+        Flat index of the register struck by each fault.
+    bit_positions:
+        Bit position struck by each fault (0 = least-significant bit).
+    n_faults:
+        Number of injected bit flips.
+    """
+
+    faulty_registers: np.ndarray
+    flat_indices: np.ndarray
+    bit_positions: np.ndarray
+
+    @property
+    def n_faults(self) -> int:
+        """Number of injected bit flips."""
+        return int(self.flat_indices.size)
+
+
+class WeightBitFlipModel:
+    """Random single-bit-flip injector for weight registers.
+
+    Parameters
+    ----------
+    quantizer:
+        Register format of the target crossbar (defines the bit width and
+        the weight value of every bit position).
+    per_bit:
+        If True (default), the fault rate is interpreted per *bit* — every
+        bit of every register is an independent potential fault location,
+        matching "each weight memory cell" in Fig. 7 (a memory cell stores
+        one bit).  If False, the rate is interpreted per *register* and a
+        struck register gets exactly one uniformly chosen flipped bit.
+    """
+
+    def __init__(self, quantizer: WeightQuantizer, per_bit: bool = True) -> None:
+        if not isinstance(quantizer, WeightQuantizer):
+            raise TypeError(
+                f"quantizer must be a WeightQuantizer, got {type(quantizer).__name__}"
+            )
+        self.quantizer = quantizer
+        self.per_bit = bool(per_bit)
+
+    # ------------------------------------------------------------------ #
+    def draw_fault_locations(
+        self,
+        n_registers: int,
+        fault_rate: float,
+        rng: RNGLike = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Draw struck (register, bit) pairs for the given fault rate.
+
+        Returns
+        -------
+        tuple
+            ``(flat_indices, bit_positions)`` arrays of equal length.
+        """
+        check_probability(fault_rate, "fault_rate")
+        if n_registers <= 0:
+            raise ValueError(f"n_registers must be positive, got {n_registers}")
+        generator = resolve_rng(rng)
+        bits = self.quantizer.bits
+
+        if fault_rate == 0.0:
+            empty = np.array([], dtype=np.int64)
+            return empty, empty.copy()
+
+        if self.per_bit:
+            n_locations = n_registers * bits
+            struck = np.flatnonzero(generator.random(n_locations) < fault_rate)
+            flat_indices = struck // bits
+            bit_positions = struck % bits
+        else:
+            struck = np.flatnonzero(generator.random(n_registers) < fault_rate)
+            flat_indices = struck
+            bit_positions = generator.integers(0, bits, size=struck.size)
+        return flat_indices.astype(np.int64), bit_positions.astype(np.int64)
+
+    def inject(
+        self,
+        registers: np.ndarray,
+        fault_rate: float,
+        rng: RNGLike = None,
+        flat_indices: Optional[np.ndarray] = None,
+        bit_positions: Optional[np.ndarray] = None,
+    ) -> BitFlipOutcome:
+        """Flip bits of a copy of *registers* according to the fault rate.
+
+        Either draw fresh fault locations (default) or replay a previously
+        drawn fault map by passing *flat_indices* / *bit_positions*
+        explicitly — that is how the experiment harness keeps the same fault
+        map across mitigation techniques so comparisons are paired.
+        """
+        registers = np.asarray(registers)
+        if not np.issubdtype(registers.dtype, np.integer):
+            raise TypeError("registers must be an integer array")
+        if (flat_indices is None) != (bit_positions is None):
+            raise ValueError(
+                "flat_indices and bit_positions must be provided together"
+            )
+        if flat_indices is None:
+            flat_indices, bit_positions = self.draw_fault_locations(
+                registers.size, fault_rate, rng=rng
+            )
+        flat_indices = np.asarray(flat_indices, dtype=np.int64)
+        bit_positions = np.asarray(bit_positions, dtype=np.int64)
+
+        faulty = flip_bits_in_array(
+            registers.astype(np.int64),
+            flat_indices,
+            bit_positions,
+            bit_width=self.quantizer.bits,
+        ).astype(registers.dtype)
+        return BitFlipOutcome(
+            faulty_registers=faulty,
+            flat_indices=flat_indices,
+            bit_positions=bit_positions,
+        )
+
+    # ------------------------------------------------------------------ #
+    # analysis helpers (Section 3.1, Fig. 9)
+    # ------------------------------------------------------------------ #
+    def weight_change_summary(
+        self, clean_registers: np.ndarray, faulty_registers: np.ndarray
+    ) -> dict:
+        """Summarise how the bit flips changed the weight values.
+
+        Returns a dictionary with the number of increased / decreased /
+        unchanged weights, the number of faulty weights exceeding the clean
+        maximum, and the new maximum weight — the quantities behind the
+        observations of Fig. 9.
+        """
+        clean_registers = np.asarray(clean_registers)
+        faulty_registers = np.asarray(faulty_registers)
+        if clean_registers.shape != faulty_registers.shape:
+            raise ValueError("register arrays must have the same shape")
+        clean = self.quantizer.dequantize(clean_registers)
+        faulty = self.quantizer.dequantize(faulty_registers)
+        clean_max = float(clean.max()) if clean.size else 0.0
+        return {
+            "n_increased": int((faulty > clean).sum()),
+            "n_decreased": int((faulty < clean).sum()),
+            "n_unchanged": int((faulty == clean).sum()),
+            "n_above_clean_max": int((faulty > clean_max).sum()),
+            "clean_max_weight": clean_max,
+            "faulty_max_weight": float(faulty.max()) if faulty.size else 0.0,
+            "mean_absolute_change": float(np.abs(faulty - clean).mean())
+            if clean.size
+            else 0.0,
+        }

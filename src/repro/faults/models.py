@@ -1,0 +1,122 @@
+"""Shared fault-model vocabulary: fault kinds, neuron fault types, configuration.
+
+The paper's compute engine has two kinds of potential fault locations
+(Fig. 7): the weight-register cells of the synapse crossbar and the
+operations of the neuron hardware.  This module defines the enumerations
+and the configuration object every other fault module shares.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.utils.validation import check_probability
+
+__all__ = ["FaultLocationKind", "NeuronFaultType", "ComputeEngineFaultConfig"]
+
+
+class FaultLocationKind(enum.Enum):
+    """Kind of hardware location a soft error can strike."""
+
+    #: A single bit of one weight register in the synapse crossbar.
+    WEIGHT_REGISTER_BIT = "weight_register_bit"
+    #: One of the four operations of one neuron's hardware.
+    NEURON_OPERATION = "neuron_operation"
+
+
+class NeuronFaultType(enum.Enum):
+    """The four faulty neuron behaviours of Section 2.2 / Fig. 6.
+
+    Each value names the operation whose hardware the soft error corrupted;
+    the resulting behaviour is documented per member.
+    """
+
+    #: The neuron can no longer increase its membrane potential, so it never
+    #: reaches the threshold and produces no spikes.
+    VMEM_INCREASE = "vmem_increase"
+    #: The neuron can no longer leak (decrease) its membrane potential.
+    VMEM_LEAK = "vmem_leak"
+    #: The neuron can no longer reset its membrane potential after a spike,
+    #: so it stays above threshold and produces bursts of spikes.  The
+    #: paper's analysis identifies this as the catastrophic fault type.
+    VMEM_RESET = "vmem_reset"
+    #: The spike-generation logic is stuck, so the neuron emits no spikes
+    #: even when its membrane potential crosses the threshold.
+    SPIKE_GENERATION = "spike_generation"
+
+    @classmethod
+    def all_types(cls) -> Tuple["NeuronFaultType", ...]:
+        """All four fault types, in the order the paper lists them."""
+        return (cls.VMEM_INCREASE, cls.VMEM_LEAK, cls.VMEM_RESET, cls.SPIKE_GENERATION)
+
+
+@dataclass(frozen=True)
+class ComputeEngineFaultConfig:
+    """What gets injected, and at which rate, for one experiment.
+
+    The paper sweeps a single *fault rate* applied to all potential fault
+    locations of the compute engine; individual experiments restrict the
+    injection to only the synapse part (Fig. 3a, Fig. 9), only the neuron
+    part (Fig. 10a) or both (Fig. 10b, Fig. 13).
+
+    Attributes
+    ----------
+    fault_rate:
+        Probability that any given potential fault location is struck.
+    inject_synapses:
+        Whether weight-register bits are potential fault locations.
+    inject_neurons:
+        Whether neuron operations are potential fault locations.
+    restrict_neuron_fault_type:
+        When set, every struck neuron receives this specific faulty
+        operation instead of a uniformly random one — used for the
+        per-fault-type sensitivity study of Fig. 10a.
+    """
+
+    fault_rate: float
+    inject_synapses: bool = True
+    inject_neurons: bool = True
+    restrict_neuron_fault_type: NeuronFaultType = None
+
+    def __post_init__(self) -> None:
+        check_probability(self.fault_rate, "fault_rate")
+        if not self.inject_synapses and not self.inject_neurons:
+            raise ValueError(
+                "at least one of inject_synapses / inject_neurons must be True"
+            )
+        if self.restrict_neuron_fault_type is not None and not isinstance(
+            self.restrict_neuron_fault_type, NeuronFaultType
+        ):
+            raise TypeError(
+                "restrict_neuron_fault_type must be a NeuronFaultType or None, got "
+                f"{type(self.restrict_neuron_fault_type).__name__}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # convenience constructors matching the paper's experiments
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def synapses_only(cls, fault_rate: float) -> "ComputeEngineFaultConfig":
+        """Faults only in the weight registers (Fig. 3a / Fig. 9 setting)."""
+        return cls(fault_rate=fault_rate, inject_synapses=True, inject_neurons=False)
+
+    @classmethod
+    def neurons_only(
+        cls,
+        fault_rate: float,
+        fault_type: NeuronFaultType = None,
+    ) -> "ComputeEngineFaultConfig":
+        """Faults only in the neuron operations (Fig. 10a setting)."""
+        return cls(
+            fault_rate=fault_rate,
+            inject_synapses=False,
+            inject_neurons=True,
+            restrict_neuron_fault_type=fault_type,
+        )
+
+    @classmethod
+    def full_compute_engine(cls, fault_rate: float) -> "ComputeEngineFaultConfig":
+        """Faults in both synapses and neurons (Fig. 10b / Fig. 13 setting)."""
+        return cls(fault_rate=fault_rate, inject_synapses=True, inject_neurons=True)

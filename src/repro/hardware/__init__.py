@@ -1,0 +1,46 @@
+"""Analytical hardware model of the SNN accelerator compute engine.
+
+The paper evaluates its hardware overheads (latency, energy, area — Fig. 14)
+by synthesising the compute engine of Fig. 5 with Cadence Genus on a 65 nm
+library.  Synthesis tooling is not available in this environment, so this
+subpackage provides a component-level analytical model instead:
+
+* every synapse is an 8-bit weight register plus an 8-bit adder,
+* every neuron is the small set of adders/comparators/multiplexers of the
+  LIF datapath,
+* the Bound-and-Protect enhancements add the comparator/multiplexer per
+  synapse, the AND+mux per neuron and a few radiation-hardened global
+  registers exactly as described in Section 3.3 / Fig. 11,
+* large networks are executed by time-multiplexing the physical 256x256
+  crossbar, which is what makes latency grow with ``ceil(n_neurons / 256)``
+  across the paper's N400…N3600 sweep.
+
+The per-component gate-equivalent and energy constants are calibrated so the
+*normalised* results match the paper's reported ratios (re-execution ≈3x
+latency and energy; BnP ≤1.06x latency and ≤1.6x energy; 14 % / 18 % area
+overhead); the DESIGN.md substitution table records this calibration.
+"""
+
+from repro.hardware.accelerator import AcceleratorCostReport, AcceleratorModel
+from repro.hardware.area import AreaModel
+from repro.hardware.compute_engine import ComputeEngineConfig
+from repro.hardware.energy import ActivityProfile, EnergyModel
+from repro.hardware.enhancements import (
+    BnPHardwareEnhancement,
+    HardwareCostParameters,
+    MitigationKind,
+)
+from repro.hardware.latency import LatencyModel
+
+__all__ = [
+    "AcceleratorCostReport",
+    "AcceleratorModel",
+    "ActivityProfile",
+    "AreaModel",
+    "BnPHardwareEnhancement",
+    "ComputeEngineConfig",
+    "EnergyModel",
+    "HardwareCostParameters",
+    "LatencyModel",
+    "MitigationKind",
+]

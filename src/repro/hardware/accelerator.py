@@ -1,0 +1,131 @@
+"""Accelerator-level roll-up of the area / latency / energy models.
+
+:class:`AcceleratorModel` bundles the three cost models behind one façade so
+the evaluation harness and the benches can ask a single object for "the
+latency, energy and area of technique X on network size N" — the exact
+queries behind Fig. 3(b) and Fig. 14.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.hardware.area import AreaModel
+from repro.hardware.compute_engine import ComputeEngineConfig
+from repro.hardware.energy import ActivityProfile, EnergyModel
+from repro.hardware.enhancements import HardwareCostParameters, MitigationKind
+from repro.hardware.latency import LatencyModel
+
+__all__ = ["AcceleratorCostReport", "AcceleratorModel"]
+
+
+@dataclass(frozen=True)
+class AcceleratorCostReport:
+    """Latency, energy and area of one technique on one engine configuration.
+
+    Attributes
+    ----------
+    kind:
+        Mitigation technique the report describes.
+    latency_ns:
+        End-to-end latency of one inference in nanoseconds.
+    energy:
+        Energy of one inference, in the model's switching-energy units.
+    area:
+        Compute-engine area in gate equivalents.
+    """
+
+    kind: MitigationKind
+    latency_ns: float
+    energy: float
+    area: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-friendly representation."""
+        return {
+            "technique": self.kind.value,
+            "latency_ns": self.latency_ns,
+            "energy": self.energy,
+            "area": self.area,
+        }
+
+
+class AcceleratorModel:
+    """Unified cost model of the SNN accelerator compute engine.
+
+    Parameters
+    ----------
+    config:
+        Compute-engine configuration (physical crossbar plus mapped network).
+    params:
+        Shared per-component cost constants.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ComputeEngineConfig] = None,
+        params: Optional[HardwareCostParameters] = None,
+    ) -> None:
+        self.config = config if config is not None else ComputeEngineConfig()
+        self.params = params if params is not None else HardwareCostParameters()
+        self.area_model = AreaModel(self.config, self.params)
+        self.latency_model = LatencyModel(self.config, self.params)
+        self.energy_model = EnergyModel(self.config, self.params)
+
+    # ------------------------------------------------------------------ #
+    def report(
+        self,
+        kind: MitigationKind,
+        activity: Optional[ActivityProfile] = None,
+    ) -> AcceleratorCostReport:
+        """Cost report for one technique on this engine configuration."""
+        return AcceleratorCostReport(
+            kind=kind,
+            latency_ns=self.latency_model.latency_ns(kind),
+            energy=self.energy_model.energy(kind, activity=activity),
+            area=self.area_model.total_area(kind),
+        )
+
+    def report_all(
+        self, activity: Optional[ActivityProfile] = None
+    ) -> Dict[MitigationKind, AcceleratorCostReport]:
+        """Cost reports for every technique, keyed by kind."""
+        return {
+            kind: self.report(kind, activity=activity)
+            for kind in MitigationKind.all_kinds()
+        }
+
+    def for_network_size(self, n_neurons: int) -> "AcceleratorModel":
+        """Return a model of the same engine mapped to a different network size."""
+        return AcceleratorModel(
+            config=self.config.with_network_size(n_neurons), params=self.params
+        )
+
+    # ------------------------------------------------------------------ #
+    # normalised tables (paper-style figures)
+    # ------------------------------------------------------------------ #
+    def normalized_latency(
+        self, reference: Optional["AcceleratorModel"] = None
+    ) -> Dict[MitigationKind, float]:
+        """Per-technique latency normalised to a reference engine (Fig. 14a)."""
+        reference_model = reference.latency_model if reference is not None else None
+        return self.latency_model.normalized_table(reference=reference_model)
+
+    def normalized_energy(
+        self,
+        activity: Optional[ActivityProfile] = None,
+        reference: Optional["AcceleratorModel"] = None,
+        reference_activity: Optional[ActivityProfile] = None,
+    ) -> Dict[MitigationKind, float]:
+        """Per-technique energy normalised to a reference engine (Fig. 14b)."""
+        reference_model = reference.energy_model if reference is not None else None
+        return self.energy_model.normalized_table(
+            activity=activity,
+            reference=reference_model,
+            reference_activity=reference_activity,
+        )
+
+    def normalized_area(self) -> Dict[MitigationKind, float]:
+        """Per-technique area normalised to the unmodified engine (Fig. 14c)."""
+        return self.area_model.overhead_table()

@@ -1,0 +1,172 @@
+"""Area model of the compute engine, with and without BnP enhancements.
+
+Reproduces Fig. 14(c): the area of the BnP-enhanced compute engine relative
+to the unmodified engine.  The crossbar dominates the total area, so the
+per-synapse additions (comparator + mask/mux) set the overhead, while the
+global hardened registers and the per-neuron protection logic are almost
+free — exactly the argument the paper makes for why the technique is
+"lightweight".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.hardware.compute_engine import ComputeEngineConfig
+from repro.hardware.enhancements import (
+    BnPHardwareEnhancement,
+    HardwareCostParameters,
+    MitigationKind,
+)
+
+__all__ = ["AreaBreakdown", "AreaModel"]
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Per-component area of one compute-engine configuration (gate equivalents).
+
+    Attributes
+    ----------
+    synapse_array:
+        Total area of the baseline synapse circuits (registers + adders).
+    neuron_array:
+        Total area of the baseline neuron datapaths.
+    synapse_enhancements:
+        Area of the per-synapse BnP additions (after radiation hardening).
+    neuron_enhancements:
+        Area of the per-neuron protection logic (after hardening).
+    global_registers:
+        Area of the radiation-hardened global threshold/substitute registers.
+    """
+
+    synapse_array: float
+    neuron_array: float
+    synapse_enhancements: float = 0.0
+    neuron_enhancements: float = 0.0
+    global_registers: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Total compute-engine area in gate equivalents."""
+        return (
+            self.synapse_array
+            + self.neuron_array
+            + self.synapse_enhancements
+            + self.neuron_enhancements
+            + self.global_registers
+        )
+
+    @property
+    def enhancement_total(self) -> float:
+        """Area added by the mitigation hardware alone."""
+        return (
+            self.synapse_enhancements
+            + self.neuron_enhancements
+            + self.global_registers
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-friendly representation of the breakdown."""
+        return {
+            "synapse_array": self.synapse_array,
+            "neuron_array": self.neuron_array,
+            "synapse_enhancements": self.synapse_enhancements,
+            "neuron_enhancements": self.neuron_enhancements,
+            "global_registers": self.global_registers,
+            "total": self.total,
+        }
+
+
+class AreaModel:
+    """Component-level area estimator for the compute engine.
+
+    Parameters
+    ----------
+    config:
+        Physical compute-engine configuration (the area depends only on the
+        physical crossbar, not on the logical network mapped onto it).
+    params:
+        Per-component cost constants.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ComputeEngineConfig] = None,
+        params: Optional[HardwareCostParameters] = None,
+    ) -> None:
+        self.config = config if config is not None else ComputeEngineConfig()
+        self.params = params if params is not None else HardwareCostParameters()
+
+    # ------------------------------------------------------------------ #
+    # component areas
+    # ------------------------------------------------------------------ #
+    def baseline_synapse_area(self) -> float:
+        """Area of one unmodified synapse (weight register + adder)."""
+        bits = self.config.weight_bits
+        return bits * (
+            self.params.register_area_per_bit + self.params.adder_area_per_bit
+        )
+
+    def synapse_enhancement_area(self, kind: MitigationKind) -> float:
+        """Hardened area added inside one synapse by technique *kind*."""
+        enhancement = BnPHardwareEnhancement.for_kind(kind)
+        if not enhancement.adds_synapse_logic:
+            return 0.0
+        bits = self.config.weight_bits
+        raw = 0.0
+        if enhancement.comparator_per_synapse:
+            raw += bits * self.params.comparator_area_per_bit
+        if enhancement.zero_mask_per_synapse:
+            raw += bits * self.params.zero_mask_area_per_bit
+        if enhancement.mux_per_synapse:
+            raw += bits * self.params.mux_area_per_bit
+        return raw * self.params.hardening_area_factor
+
+    def neuron_enhancement_area(self, kind: MitigationKind) -> float:
+        """Hardened area added inside one neuron by technique *kind*."""
+        enhancement = BnPHardwareEnhancement.for_kind(kind)
+        if not enhancement.neuron_protection:
+            return 0.0
+        return self.params.neuron_protection_area * self.params.hardening_area_factor
+
+    def global_register_area(self, kind: MitigationKind) -> float:
+        """Area of the hardened global registers added by technique *kind*."""
+        enhancement = BnPHardwareEnhancement.for_kind(kind)
+        per_register = (
+            self.config.weight_bits
+            * self.params.register_area_per_bit
+            * self.params.hardening_area_factor
+        )
+        return enhancement.global_hardened_registers * per_register
+
+    # ------------------------------------------------------------------ #
+    # engine-level roll-up
+    # ------------------------------------------------------------------ #
+    def breakdown(
+        self, kind: MitigationKind = MitigationKind.NO_MITIGATION
+    ) -> AreaBreakdown:
+        """Full area breakdown of the engine with technique *kind* deployed."""
+        n_synapses = self.config.physical_synapses
+        n_neurons = self.config.physical_neurons
+        return AreaBreakdown(
+            synapse_array=n_synapses * self.baseline_synapse_area(),
+            neuron_array=n_neurons * self.params.neuron_logic_area,
+            synapse_enhancements=n_synapses * self.synapse_enhancement_area(kind),
+            neuron_enhancements=n_neurons * self.neuron_enhancement_area(kind),
+            global_registers=self.global_register_area(kind),
+        )
+
+    def total_area(self, kind: MitigationKind = MitigationKind.NO_MITIGATION) -> float:
+        """Total engine area in gate equivalents for technique *kind*."""
+        return self.breakdown(kind).total
+
+    def area_overhead(self, kind: MitigationKind) -> float:
+        """Area of *kind* normalised to the unmodified engine (Fig. 14c)."""
+        baseline = self.total_area(MitigationKind.NO_MITIGATION)
+        return self.total_area(kind) / baseline
+
+    def overhead_table(self) -> Dict[MitigationKind, float]:
+        """Normalised area of every technique, as plotted in Fig. 14(c)."""
+        return {kind: self.area_overhead(kind) for kind in MitigationKind.all_kinds()}

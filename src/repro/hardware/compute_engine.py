@@ -1,0 +1,117 @@
+"""Static description of the modelled SNN accelerator compute engine.
+
+The paper's compute engine (Fig. 2 and Fig. 5) is a 256x256 synapse crossbar
+feeding 256 LIF neurons, with 8-bit weight registers inside every synapse.
+Networks larger than the physical crossbar are executed by time-multiplexing
+(tiling): the weight buffer streams one 256x256 tile of the logical weight
+matrix at a time into the register array.  The tiling is what produces the
+latency scaling across the N400…N3600 sweep of Fig. 14.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["ComputeEngineConfig"]
+
+
+@dataclass(frozen=True)
+class ComputeEngineConfig:
+    """Physical configuration of the compute engine and the mapped network.
+
+    Attributes
+    ----------
+    n_inputs:
+        Logical number of input (pre-synaptic) channels of the mapped
+        network; 784 for the 28x28 workloads.
+    n_neurons:
+        Logical number of excitatory neurons of the mapped network
+        (400…3600 in the paper's sweep).
+    crossbar_rows:
+        Physical synapse-crossbar rows (input channels per tile); 256 in the
+        paper's design (based on [Frenkel et al. 2019]).
+    crossbar_cols:
+        Physical synapse-crossbar columns (neurons per tile); 256.
+    weight_bits:
+        Weight-register precision in bits.
+    timesteps:
+        Number of simulation timesteps per inference (one input sample).
+    clock_frequency_mhz:
+        Nominal clock of the synthesised engine; only affects absolute
+        (not normalised) latency numbers.
+    """
+
+    n_inputs: int = 784
+    n_neurons: int = 400
+    crossbar_rows: int = 256
+    crossbar_cols: int = 256
+    weight_bits: int = 8
+    timesteps: int = 150
+    clock_frequency_mhz: float = 500.0
+
+    def __post_init__(self) -> None:
+        for name in ("n_inputs", "n_neurons", "crossbar_rows", "crossbar_cols",
+                     "weight_bits", "timesteps"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value <= 0:
+                raise ValueError(f"{name} must be a positive integer, got {value!r}")
+        if self.clock_frequency_mhz <= 0:
+            raise ValueError(
+                f"clock_frequency_mhz must be positive, got {self.clock_frequency_mhz}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # physical inventory
+    # ------------------------------------------------------------------ #
+    @property
+    def physical_synapses(self) -> int:
+        """Number of synapse circuits physically present in the crossbar."""
+        return self.crossbar_rows * self.crossbar_cols
+
+    @property
+    def physical_neurons(self) -> int:
+        """Number of neuron circuits physically present."""
+        return self.crossbar_cols
+
+    # ------------------------------------------------------------------ #
+    # mapping of the logical network onto the physical engine
+    # ------------------------------------------------------------------ #
+    @property
+    def input_tiles(self) -> int:
+        """Number of row tiles needed to cover the logical inputs."""
+        return math.ceil(self.n_inputs / self.crossbar_rows)
+
+    @property
+    def neuron_tiles(self) -> int:
+        """Number of column tiles needed to cover the logical neurons."""
+        return math.ceil(self.n_neurons / self.crossbar_cols)
+
+    @property
+    def total_tiles(self) -> int:
+        """Number of 256x256 tiles processed per timestep."""
+        return self.input_tiles * self.neuron_tiles
+
+    @property
+    def logical_synapses(self) -> int:
+        """Number of logical synapses (weight registers) of the mapped network."""
+        return self.n_inputs * self.n_neurons
+
+    @property
+    def clock_period_ns(self) -> float:
+        """Clock period in nanoseconds."""
+        return 1e3 / self.clock_frequency_mhz
+
+    def with_network_size(self, n_neurons: int) -> "ComputeEngineConfig":
+        """Return a copy of this configuration mapped to a different network size."""
+        if n_neurons <= 0:
+            raise ValueError(f"n_neurons must be positive, got {n_neurons}")
+        return ComputeEngineConfig(
+            n_inputs=self.n_inputs,
+            n_neurons=int(n_neurons),
+            crossbar_rows=self.crossbar_rows,
+            crossbar_cols=self.crossbar_cols,
+            weight_bits=self.weight_bits,
+            timesteps=self.timesteps,
+            clock_frequency_mhz=self.clock_frequency_mhz,
+        )

@@ -1,0 +1,247 @@
+"""Energy model of SNN inference on the (possibly enhanced) compute engine.
+
+Reproduces Fig. 3(b) and Fig. 14(b).  Energy is accumulated per hardware
+activation:
+
+* every synapse touched in a timestep costs a register read plus an adder
+  operation, and — when a BnP technique is deployed — the added comparator
+  and mask/mux switching;
+* every neuron costs a membrane update per timestep, plus the protection
+  logic when deployed;
+* the re-execution baseline repeats the whole inference three times, so its
+  energy is three times the baseline, matching the paper.
+
+Activity (how many synapse accesses and neuron updates happen) can either be
+derived analytically from the engine configuration, or taken from an actual
+simulation run so that spike sparsity is reflected; the two paths share the
+same per-activation energy constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.hardware.compute_engine import ComputeEngineConfig
+from repro.hardware.enhancements import (
+    BnPHardwareEnhancement,
+    HardwareCostParameters,
+    MitigationKind,
+)
+from repro.hardware.latency import RE_EXECUTION_RUNS
+
+__all__ = ["ActivityProfile", "EnergyEstimate", "EnergyModel"]
+
+
+@dataclass(frozen=True)
+class ActivityProfile:
+    """How much work one inference performs on the compute engine.
+
+    Attributes
+    ----------
+    synapse_accesses:
+        Number of (synapse, timestep) activations — weight-register reads
+        feeding the adder chain.
+    neuron_updates:
+        Number of (neuron, timestep) membrane updates.
+    """
+
+    synapse_accesses: float
+    neuron_updates: float
+
+    def __post_init__(self) -> None:
+        if self.synapse_accesses < 0 or self.neuron_updates < 0:
+            raise ValueError("activity counts must be non-negative")
+
+    @classmethod
+    def from_config(cls, config: ComputeEngineConfig) -> "ActivityProfile":
+        """Dense activity of the physically exercised hardware.
+
+        Every timestep streams all tiles of the logical weight matrix through
+        the physical 256x256 crossbar; the whole physical array switches for
+        each tile even when the tile is only partially occupied (which is why
+        the paper's energy tracks its latency across network sizes).
+        """
+        return cls(
+            synapse_accesses=float(
+                config.total_tiles * config.physical_synapses * config.timesteps
+            ),
+            neuron_updates=float(
+                config.neuron_tiles * config.physical_neurons * config.timesteps
+            ),
+        )
+
+    @classmethod
+    def from_spike_counts(
+        cls,
+        config: ComputeEngineConfig,
+        total_input_spikes: float,
+        n_samples: int = 1,
+    ) -> "ActivityProfile":
+        """Event-driven activity derived from a simulation run.
+
+        Each input spike activates one physical crossbar row in every neuron
+        tile (``crossbar_cols x neuron_tiles`` synapses); neuron updates
+        still happen every timestep.
+
+        Parameters
+        ----------
+        config:
+            Engine configuration (provides the tiling and timesteps).
+        total_input_spikes:
+            Total number of input spikes observed over *n_samples* inferences.
+        n_samples:
+            Number of inferences the spike total was accumulated over; the
+            returned profile is per single inference.
+        """
+        if n_samples <= 0:
+            raise ValueError(f"n_samples must be positive, got {n_samples}")
+        if total_input_spikes < 0:
+            raise ValueError("total_input_spikes must be non-negative")
+        per_sample_spikes = float(total_input_spikes) / n_samples
+        return cls(
+            synapse_accesses=per_sample_spikes
+            * config.crossbar_cols
+            * config.neuron_tiles,
+            neuron_updates=float(
+                config.neuron_tiles * config.physical_neurons * config.timesteps
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class EnergyEstimate:
+    """Energy of one inference with a given technique.
+
+    Attributes
+    ----------
+    kind:
+        Mitigation technique the estimate is for.
+    executions:
+        Number of full executions (3 for re-execution).
+    synapse_energy:
+        Energy spent in the synapse array (per full inference, all
+        executions included).
+    neuron_energy:
+        Energy spent in the neuron datapaths.
+    total:
+        Total energy in the model's arbitrary switching-energy units.
+    """
+
+    kind: MitigationKind
+    executions: int
+    synapse_energy: float
+    neuron_energy: float
+
+    @property
+    def total(self) -> float:
+        """Total energy of the inference."""
+        return self.synapse_energy + self.neuron_energy
+
+    def normalized_to(self, reference: "EnergyEstimate") -> float:
+        """This energy expressed relative to *reference* (paper-style)."""
+        if reference.total <= 0:
+            raise ValueError("reference energy must be positive")
+        return self.total / reference.total
+
+
+class EnergyModel:
+    """Inference-energy estimator for the compute engine.
+
+    Parameters
+    ----------
+    config:
+        Compute-engine configuration.
+    params:
+        Per-activation energy constants.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ComputeEngineConfig] = None,
+        params: Optional[HardwareCostParameters] = None,
+    ) -> None:
+        self.config = config if config is not None else ComputeEngineConfig()
+        self.params = params if params is not None else HardwareCostParameters()
+
+    # ------------------------------------------------------------------ #
+    def synapse_energy_per_access(self, kind: MitigationKind) -> float:
+        """Energy of one synapse activation under technique *kind*."""
+        enhancement = BnPHardwareEnhancement.for_kind(kind)
+        energy = (
+            self.params.register_energy_per_access
+            + self.params.adder_energy_per_access
+        )
+        if enhancement.comparator_per_synapse:
+            energy += self.params.comparator_energy_per_access
+        if enhancement.zero_mask_per_synapse:
+            energy += self.params.zero_mask_energy_per_access
+        if enhancement.mux_per_synapse:
+            energy += self.params.mux_energy_per_access
+        return energy
+
+    def neuron_energy_per_update(self, kind: MitigationKind) -> float:
+        """Energy of one neuron membrane update under technique *kind*."""
+        enhancement = BnPHardwareEnhancement.for_kind(kind)
+        energy = self.params.neuron_energy_per_update
+        if enhancement.neuron_protection:
+            energy += self.params.neuron_protection_energy
+        return energy
+
+    def executions(self, kind: MitigationKind) -> int:
+        """Number of full executions required by technique *kind*."""
+        return RE_EXECUTION_RUNS if kind == MitigationKind.RE_EXECUTION else 1
+
+    def estimate(
+        self,
+        kind: MitigationKind,
+        activity: Optional[ActivityProfile] = None,
+    ) -> EnergyEstimate:
+        """Energy estimate for one inference with technique *kind*."""
+        if not isinstance(kind, MitigationKind):
+            raise TypeError(f"kind must be a MitigationKind, got {type(kind).__name__}")
+        if activity is None:
+            activity = ActivityProfile.from_config(self.config)
+        executions = self.executions(kind)
+        synapse_energy = (
+            executions
+            * activity.synapse_accesses
+            * self.synapse_energy_per_access(kind)
+        )
+        neuron_energy = (
+            executions * activity.neuron_updates * self.neuron_energy_per_update(kind)
+        )
+        return EnergyEstimate(
+            kind=kind,
+            executions=executions,
+            synapse_energy=synapse_energy,
+            neuron_energy=neuron_energy,
+        )
+
+    def energy(
+        self, kind: MitigationKind, activity: Optional[ActivityProfile] = None
+    ) -> float:
+        """Shortcut returning only the total energy."""
+        return self.estimate(kind, activity=activity).total
+
+    def normalized_table(
+        self,
+        activity: Optional[ActivityProfile] = None,
+        reference: Optional["EnergyModel"] = None,
+        reference_activity: Optional[ActivityProfile] = None,
+    ) -> Dict[MitigationKind, float]:
+        """Energy of every technique normalised to a reference baseline.
+
+        Fig. 14(b) normalises to the N400 / no-mitigation case; the benchmark
+        harness passes the N400 model (and its activity) as the reference.
+        """
+        reference_model = reference if reference is not None else self
+        if reference_activity is None:
+            reference_activity = activity
+        baseline = reference_model.estimate(
+            MitigationKind.NO_MITIGATION, activity=reference_activity
+        )
+        return {
+            kind: self.estimate(kind, activity=activity).normalized_to(baseline)
+            for kind in MitigationKind.all_kinds()
+        }

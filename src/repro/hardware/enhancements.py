@@ -1,0 +1,215 @@
+"""The Bound-and-Protect hardware enhancements and their cost parameters.
+
+Section 3.3 / Fig. 11 of the paper describes the self-healing hardware added
+to the baseline compute engine:
+
+* **BnP1 synapse** — one radiation-hardened global register holding the
+  weight threshold ``wgh_th``, plus a hardened comparator and a zero-masking
+  multiplexer inside every synapse.
+* **BnP2/BnP3 synapse** — two hardened global registers (``wgh_th`` and the
+  substitute value ``wgh_def``), plus a hardened comparator and a full 2:1
+  multiplexer inside every synapse.
+* **Enhanced neuron** — an AND gate and a multiplexer that gate spike
+  generation off when the ``Vmem >= Vth`` comparator stays asserted for two
+  or more cycles (faulty reset detection).
+
+This module captures those additions as explicit component inventories, and
+defines the per-component cost constants (gate equivalents, switching
+energy, delay) shared by the area / latency / energy models.  The constants
+are calibrated so the normalised overheads land on the paper's reported
+figures: +14 % area for BnP1, +18 % for BnP2/3, ≤1.06x latency and ≤1.6x
+energy for the BnP techniques.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["MitigationKind", "HardwareCostParameters", "BnPHardwareEnhancement"]
+
+
+class MitigationKind(enum.Enum):
+    """Identity of a mitigation technique, as used by the hardware models."""
+
+    NO_MITIGATION = "no_mitigation"
+    RE_EXECUTION = "re_execution"
+    BNP1 = "bnp1"
+    BNP2 = "bnp2"
+    BNP3 = "bnp3"
+
+    @property
+    def is_bnp(self) -> bool:
+        """True for the three Bound-and-Protect variants."""
+        return self in (MitigationKind.BNP1, MitigationKind.BNP2, MitigationKind.BNP3)
+
+    @classmethod
+    def all_kinds(cls) -> tuple:
+        """All techniques in the order the paper's figures list them."""
+        return (
+            cls.NO_MITIGATION,
+            cls.RE_EXECUTION,
+            cls.BNP1,
+            cls.BNP2,
+            cls.BNP3,
+        )
+
+
+@dataclass(frozen=True)
+class HardwareCostParameters:
+    """Per-component cost constants of the analytical hardware model.
+
+    Areas are expressed in gate equivalents (GE), energies in arbitrary
+    switching-energy units per activation, and delays in nanoseconds.  Only
+    *ratios* of these constants are meaningful for the reproduced figures;
+    the calibration targets are recorded in the class docstring of
+    :mod:`repro.hardware`.
+
+    Attributes
+    ----------
+    register_area_per_bit:
+        Area of one register bit (flip-flop).
+    adder_area_per_bit:
+        Area of one ripple-carry adder bit.
+    comparator_area_per_bit:
+        Area of one magnitude-comparator bit (BnP synapse addition).
+    zero_mask_area_per_bit:
+        Area of the AND-based zero-masking "mux" used by BnP1.
+    mux_area_per_bit:
+        Area of a full 2:1 multiplexer bit used by BnP2/BnP3.
+    neuron_logic_area:
+        Area of one baseline LIF neuron datapath (adders, comparator,
+        reset/leak muxes, spike logic).
+    neuron_protection_area:
+        Area of the enhanced neuron's AND gate + output mux + monitor
+        flip-flop.
+    hardening_area_factor:
+        Multiplicative area penalty of radiation hardening applied to the
+        *added* components (the paper hardens only the new logic).
+    register_energy_per_access:
+        Switching energy of reading one weight register.
+    adder_energy_per_access:
+        Switching energy of one synapse adder operation.
+    comparator_energy_per_access:
+        Switching energy of the added threshold comparison.
+    zero_mask_energy_per_access:
+        Switching energy of the BnP1 zero mask.
+    mux_energy_per_access:
+        Switching energy of the BnP2/3 substitute mux (including the
+        broadcast of the hardened ``wgh_def`` value).
+    neuron_energy_per_update:
+        Energy of one baseline neuron membrane update.
+    neuron_protection_energy:
+        Energy of the protection logic per neuron update.
+    synapse_delay_ns / comparator_delay_ns / mux_delay_ns:
+        Combinational delays used by the latency model's critical-path
+        estimate.
+    """
+
+    register_area_per_bit: float = 6.0
+    adder_area_per_bit: float = 6.0
+    comparator_area_per_bit: float = 0.75
+    zero_mask_area_per_bit: float = 0.375
+    mux_area_per_bit: float = 0.70
+    neuron_logic_area: float = 260.0
+    neuron_protection_area: float = 14.0
+    hardening_area_factor: float = 1.5
+    register_energy_per_access: float = 1.0
+    adder_energy_per_access: float = 1.0
+    comparator_energy_per_access: float = 0.35
+    zero_mask_energy_per_access: float = 0.25
+    mux_energy_per_access: float = 0.85
+    neuron_energy_per_update: float = 4.0
+    neuron_protection_energy: float = 0.4
+    synapse_delay_ns: float = 2.0
+    comparator_delay_ns: float = 0.0
+    mux_delay_ns: float = 0.12
+
+    def __post_init__(self) -> None:
+        for name, value in self.__dict__.items():
+            if not isinstance(value, (int, float)) or value < 0:
+                raise ValueError(f"{name} must be a non-negative number, got {value!r}")
+        if self.hardening_area_factor < 1.0:
+            raise ValueError(
+                "hardening_area_factor must be >= 1.0, got "
+                f"{self.hardening_area_factor}"
+            )
+
+
+@dataclass(frozen=True)
+class BnPHardwareEnhancement:
+    """Component inventory added to the compute engine by one BnP variant.
+
+    Produced by :meth:`for_kind`; consumed by the area / energy / latency
+    models.  All counts are per single instance (per synapse, per neuron, or
+    per compute engine for the global registers).
+
+    Attributes
+    ----------
+    kind:
+        Which mitigation technique this inventory belongs to.
+    comparator_per_synapse:
+        Whether a threshold comparator is added inside every synapse.
+    zero_mask_per_synapse:
+        Whether the BnP1-style zero mask is added inside every synapse.
+    mux_per_synapse:
+        Whether the BnP2/3-style substitute mux is added inside every synapse.
+    global_hardened_registers:
+        Number of radiation-hardened global registers added to the engine
+        (one for ``wgh_th``; BnP2/3 add a second one for ``wgh_def``).
+    neuron_protection:
+        Whether the enhanced-neuron AND+mux protection logic is added.
+    """
+
+    kind: MitigationKind
+    comparator_per_synapse: bool = False
+    zero_mask_per_synapse: bool = False
+    mux_per_synapse: bool = False
+    global_hardened_registers: int = 0
+    neuron_protection: bool = False
+
+    @classmethod
+    def for_kind(cls, kind: MitigationKind) -> "BnPHardwareEnhancement":
+        """Return the hardware additions required by *kind*.
+
+        ``NO_MITIGATION`` and ``RE_EXECUTION`` add no hardware at all — the
+        re-execution baseline repeats executions on the unmodified engine.
+        """
+        if not isinstance(kind, MitigationKind):
+            raise TypeError(
+                f"kind must be a MitigationKind, got {type(kind).__name__}"
+            )
+        if kind == MitigationKind.BNP1:
+            return cls(
+                kind=kind,
+                comparator_per_synapse=True,
+                zero_mask_per_synapse=True,
+                mux_per_synapse=False,
+                global_hardened_registers=1,
+                neuron_protection=True,
+            )
+        if kind in (MitigationKind.BNP2, MitigationKind.BNP3):
+            return cls(
+                kind=kind,
+                comparator_per_synapse=True,
+                zero_mask_per_synapse=False,
+                mux_per_synapse=True,
+                global_hardened_registers=2,
+                neuron_protection=True,
+            )
+        return cls(kind=kind)
+
+    @classmethod
+    def inventory_table(cls) -> Dict[MitigationKind, "BnPHardwareEnhancement"]:
+        """Inventory of every technique, keyed by kind."""
+        return {kind: cls.for_kind(kind) for kind in MitigationKind.all_kinds()}
+
+    @property
+    def adds_synapse_logic(self) -> bool:
+        """True when the technique modifies the synapse datapath at all."""
+        return (
+            self.comparator_per_synapse
+            or self.zero_mask_per_synapse
+            or self.mux_per_synapse
+        )

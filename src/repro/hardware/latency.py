@@ -1,0 +1,153 @@
+"""Latency model of SNN inference on the (possibly enhanced) compute engine.
+
+Reproduces Fig. 3(b) and Fig. 14(a).  The latency of one inference is
+modelled as::
+
+    latency = executions x timesteps x tiles x cycles_per_tile x clock_period
+
+where
+
+* ``executions`` is 1 for every technique except the re-execution (TMR)
+  baseline, which runs the whole inference three times;
+* ``tiles`` is the number of 256x256 crossbar tiles the logical weight
+  matrix is folded into (this is what produces the 1.0 / 2.0 / 3.5 / 5.0 /
+  7.5 scaling across N400…N3600 — the input dimension contributes a constant
+  factor because both workloads are 28x28);
+* ``cycles_per_tile`` covers streaming the tile's rows through the adder
+  chains;
+* the clock period is stretched when a technique lengthens the synapse
+  critical path (the BnP2/3 substitute mux adds a mux delay; the BnP1 mask
+  and the comparator sit off the critical path, as argued in Section 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.hardware.compute_engine import ComputeEngineConfig
+from repro.hardware.enhancements import (
+    BnPHardwareEnhancement,
+    HardwareCostParameters,
+    MitigationKind,
+)
+
+__all__ = ["LatencyEstimate", "LatencyModel"]
+
+#: Number of redundant executions used by the re-execution (TMR) baseline.
+RE_EXECUTION_RUNS = 3
+
+
+@dataclass(frozen=True)
+class LatencyEstimate:
+    """Latency of one inference with a given technique.
+
+    Attributes
+    ----------
+    kind:
+        Mitigation technique the estimate is for.
+    executions:
+        Number of full inference executions (3 for re-execution).
+    tiles:
+        Crossbar tiles processed per timestep.
+    cycle_time_ns:
+        Effective clock period including any critical-path stretch.
+    total_ns:
+        End-to-end latency of one classified input, in nanoseconds.
+    """
+
+    kind: MitigationKind
+    executions: int
+    tiles: int
+    cycle_time_ns: float
+    total_ns: float
+
+    def normalized_to(self, reference: "LatencyEstimate") -> float:
+        """This latency expressed relative to *reference* (paper-style)."""
+        if reference.total_ns <= 0:
+            raise ValueError("reference latency must be positive")
+        return self.total_ns / reference.total_ns
+
+
+class LatencyModel:
+    """Inference-latency estimator for the compute engine.
+
+    Parameters
+    ----------
+    config:
+        Compute-engine configuration (defines tiling and timesteps).
+    params:
+        Per-component delay constants.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ComputeEngineConfig] = None,
+        params: Optional[HardwareCostParameters] = None,
+    ) -> None:
+        self.config = config if config is not None else ComputeEngineConfig()
+        self.params = params if params is not None else HardwareCostParameters()
+
+    # ------------------------------------------------------------------ #
+    def executions(self, kind: MitigationKind) -> int:
+        """Number of full executions required by technique *kind*."""
+        return RE_EXECUTION_RUNS if kind == MitigationKind.RE_EXECUTION else 1
+
+    def cycle_time_ns(self, kind: MitigationKind) -> float:
+        """Effective cycle time including any added critical-path delay."""
+        baseline = max(self.params.synapse_delay_ns, self.config.clock_period_ns)
+        enhancement = BnPHardwareEnhancement.for_kind(kind)
+        extra = 0.0
+        if enhancement.comparator_per_synapse:
+            # The comparator evaluates in parallel with the register read and
+            # therefore does not stretch the accumulate path.
+            extra += self.params.comparator_delay_ns
+        if enhancement.mux_per_synapse:
+            extra += self.params.mux_delay_ns
+        return baseline + extra
+
+    def cycles_per_tile(self) -> int:
+        """Cycles needed to stream one crossbar tile through the adder chains."""
+        return self.config.crossbar_rows
+
+    def estimate(self, kind: MitigationKind) -> LatencyEstimate:
+        """Latency estimate for one inference with technique *kind*."""
+        if not isinstance(kind, MitigationKind):
+            raise TypeError(f"kind must be a MitigationKind, got {type(kind).__name__}")
+        executions = self.executions(kind)
+        tiles = self.config.total_tiles
+        cycle_time = self.cycle_time_ns(kind)
+        total = (
+            executions
+            * self.config.timesteps
+            * tiles
+            * self.cycles_per_tile()
+            * cycle_time
+        )
+        return LatencyEstimate(
+            kind=kind,
+            executions=executions,
+            tiles=tiles,
+            cycle_time_ns=cycle_time,
+            total_ns=total,
+        )
+
+    def latency_ns(self, kind: MitigationKind) -> float:
+        """Shortcut returning only the total latency in nanoseconds."""
+        return self.estimate(kind).total_ns
+
+    def normalized_table(
+        self, reference: Optional["LatencyModel"] = None
+    ) -> Dict[MitigationKind, float]:
+        """Latency of every technique normalised to a reference baseline.
+
+        The reference defaults to this model's own no-mitigation latency;
+        Fig. 14(a) normalises every bar to the N400 / no-mitigation case, so
+        the benchmark harness passes the N400 model as *reference*.
+        """
+        reference_model = reference if reference is not None else self
+        baseline = reference_model.estimate(MitigationKind.NO_MITIGATION)
+        return {
+            kind: self.estimate(kind).normalized_to(baseline)
+            for kind in MitigationKind.all_kinds()
+        }

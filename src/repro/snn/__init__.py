@@ -1,0 +1,50 @@
+"""Spiking-neural-network simulation substrate.
+
+This subpackage implements, from scratch and in pure NumPy, the SNN that the
+paper evaluates: a fully-connected, single-excitatory-layer network with
+direct lateral inhibition, leaky integrate-and-fire (LIF) neurons, adaptive
+firing thresholds and pair-based spike-timing-dependent plasticity (STDP) —
+the Diehl & Cook style architecture shown in Fig. 1(a) of the paper and
+simulated by the authors with BindsNET.
+
+Design notes
+------------
+* The four LIF hardware operations the paper's fault model targets —
+  membrane-potential *increase*, *leak*, *reset* and *spike generation* —
+  are modelled explicitly and can each be disabled per neuron via
+  :class:`~repro.snn.neuron.NeuronOperationStatus`.  That is the hook used by
+  the fault-injection subpackage (:mod:`repro.faults`).
+* Weights live in :class:`~repro.snn.synapse.SynapseMatrix`, which pairs the
+  float view used by the simulator with the 8-bit register view used by the
+  accelerator hardware model; bit flips are injected into the register view.
+* Training (STDP + label assignment) and inference are deliberately separate
+  (:mod:`repro.snn.training`, :mod:`repro.snn.inference`): all experiments in
+  the paper inject faults only during inference on a pre-trained network.
+"""
+
+from repro.snn.encoding import PoissonEncoder
+from repro.snn.inference import InferenceEngine, InferenceResult
+from repro.snn.network import DiehlCookNetwork, NetworkConfig
+from repro.snn.neuron import LIFNeuronGroup, LIFParameters, NeuronOperationStatus
+from repro.snn.quantization import WeightQuantizer
+from repro.snn.stdp import STDPConfig, STDPRule
+from repro.snn.synapse import SynapseMatrix
+from repro.snn.training import STDPTrainer, TrainedModel, TrainingConfig
+
+__all__ = [
+    "DiehlCookNetwork",
+    "InferenceEngine",
+    "InferenceResult",
+    "LIFNeuronGroup",
+    "LIFParameters",
+    "NetworkConfig",
+    "NeuronOperationStatus",
+    "PoissonEncoder",
+    "STDPConfig",
+    "STDPRule",
+    "STDPTrainer",
+    "SynapseMatrix",
+    "TrainedModel",
+    "TrainingConfig",
+    "WeightQuantizer",
+]

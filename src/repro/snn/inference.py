@@ -1,0 +1,194 @@
+"""Inference (classification) with a trained, possibly faulty, network.
+
+The inference engine presents test images to a network built from a
+:class:`~repro.snn.training.TrainedModel`, converts per-neuron spike counts
+into class votes through the neuron labels, and reports accuracy.  All
+SoftSNN experiments run through this engine: fault injection only changes
+the network the engine is given (corrupted registers and/or neuron operation
+status), and mitigation only changes the two hooks the engine forwards to
+:meth:`repro.snn.network.DiehlCookNetwork.present`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.data.datasets import Dataset
+from repro.snn.network import DiehlCookNetwork
+from repro.snn.neuron import LIFNeuronGroup
+from repro.utils.rng import RNGLike, resolve_rng
+
+__all__ = ["InferenceResult", "InferenceEngine"]
+
+StepMonitor = Callable[[LIFNeuronGroup], None]
+
+
+@dataclass
+class InferenceResult:
+    """Aggregate outcome of classifying a dataset.
+
+    Attributes
+    ----------
+    predictions:
+        Predicted class id per sample.
+    labels:
+        Ground-truth class id per sample.
+    spike_counts:
+        Per-sample, per-neuron output spike counts, shape
+        ``(n_samples, n_neurons)``.
+    total_input_spikes:
+        Total number of input spikes delivered across the whole dataset
+        (activity statistic consumed by the energy model).
+    """
+
+    predictions: np.ndarray
+    labels: np.ndarray
+    spike_counts: np.ndarray
+    total_input_spikes: int = 0
+    per_sample_output_spikes: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.predictions = np.asarray(self.predictions, dtype=np.int64)
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        self.spike_counts = np.asarray(self.spike_counts, dtype=np.int64)
+        if self.predictions.shape != self.labels.shape:
+            raise ValueError("predictions and labels must have the same shape")
+
+    @property
+    def n_samples(self) -> int:
+        """Number of classified samples."""
+        return int(self.predictions.size)
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of correctly classified samples, in ``[0, 1]``."""
+        if self.n_samples == 0:
+            return 0.0
+        return float(np.mean(self.predictions == self.labels))
+
+    @property
+    def accuracy_percent(self) -> float:
+        """Accuracy expressed in percent, as reported in the paper's figures."""
+        return 100.0 * self.accuracy
+
+    def confusion_matrix(self, n_classes: Optional[int] = None) -> np.ndarray:
+        """Return the ``(n_classes, n_classes)`` confusion matrix."""
+        if n_classes is None:
+            upper = 0
+            if self.labels.size:
+                upper = int(max(self.labels.max(), self.predictions.max()))
+            n_classes = upper + 1
+        matrix = np.zeros((n_classes, n_classes), dtype=np.int64)
+        for truth, predicted in zip(self.labels, self.predictions):
+            matrix[truth, predicted] += 1
+        return matrix
+
+    @property
+    def mean_output_spikes_per_sample(self) -> float:
+        """Average number of excitatory output spikes per classified sample."""
+        if self.spike_counts.size == 0:
+            return 0.0
+        return float(self.spike_counts.sum(axis=1).mean())
+
+
+class InferenceEngine:
+    """Classify datasets with a (possibly fault-injected) network.
+
+    Parameters
+    ----------
+    network:
+        The network to run; typically built via
+        :meth:`repro.snn.training.TrainedModel.build_network` and then
+        corrupted by a fault injector.
+    neuron_labels:
+        Class label assigned to each excitatory neuron during training.
+    """
+
+    def __init__(self, network: DiehlCookNetwork, neuron_labels: np.ndarray) -> None:
+        neuron_labels = np.asarray(neuron_labels, dtype=np.int64)
+        if neuron_labels.shape != (network.n_neurons,):
+            raise ValueError(
+                f"neuron_labels must have shape ({network.n_neurons},), "
+                f"got {neuron_labels.shape}"
+            )
+        self.network = network
+        self.neuron_labels = neuron_labels
+        self._n_classes = int(neuron_labels.max()) + 1 if neuron_labels.size else 0
+
+    # ------------------------------------------------------------------ #
+    def classify_counts(self, spike_counts: np.ndarray) -> int:
+        """Convert one sample's per-neuron spike counts into a class vote.
+
+        The predicted class is the one whose assigned neurons produced the
+        most spikes in total; ties resolve to the lowest class id, and a
+        completely silent network predicts class 0 (an arbitrary but
+        deterministic fallback, counted as an error unless the truth is 0).
+        """
+        spike_counts = np.asarray(spike_counts, dtype=np.float64)
+        if spike_counts.shape != (self.network.n_neurons,):
+            raise ValueError(
+                f"spike_counts must have shape ({self.network.n_neurons},), "
+                f"got {spike_counts.shape}"
+            )
+        votes = np.zeros(self._n_classes, dtype=np.float64)
+        for cls in range(self._n_classes):
+            mask = self.neuron_labels == cls
+            if mask.any():
+                votes[cls] = spike_counts[mask].sum()
+        return int(np.argmax(votes))
+
+    def classify_sample(
+        self,
+        image: np.ndarray,
+        rng: RNGLike = None,
+        effective_weights: Optional[np.ndarray] = None,
+        step_monitor: Optional[StepMonitor] = None,
+    ) -> tuple:
+        """Classify a single image; returns ``(prediction, SampleResult)``."""
+        result = self.network.present(
+            image,
+            learning=False,
+            rng=rng,
+            effective_weights=effective_weights,
+            step_monitor=step_monitor,
+        )
+        return self.classify_counts(result.spike_counts), result
+
+    def evaluate(
+        self,
+        dataset: Dataset,
+        rng: RNGLike = None,
+        effective_weights: Optional[np.ndarray] = None,
+        step_monitor: Optional[StepMonitor] = None,
+    ) -> InferenceResult:
+        """Classify every sample of *dataset* and aggregate the results."""
+        if len(dataset) == 0:
+            raise ValueError("evaluation dataset must not be empty")
+        generator = resolve_rng(rng)
+        predictions = np.zeros(len(dataset), dtype=np.int64)
+        spike_counts = np.zeros((len(dataset), self.network.n_neurons), dtype=np.int64)
+        per_sample_output = []
+        total_input_spikes = 0
+
+        for index, (image, _) in enumerate(dataset):
+            prediction, sample = self.classify_sample(
+                image,
+                rng=generator,
+                effective_weights=effective_weights,
+                step_monitor=step_monitor,
+            )
+            predictions[index] = prediction
+            spike_counts[index] = sample.spike_counts
+            per_sample_output.append(sample.total_output_spikes)
+            total_input_spikes += sample.input_spike_count
+
+        return InferenceResult(
+            predictions=predictions,
+            labels=dataset.labels.copy(),
+            spike_counts=spike_counts,
+            total_input_spikes=total_input_spikes,
+            per_sample_output_spikes=per_sample_output,
+        )

@@ -1,0 +1,329 @@
+"""The fully-connected SNN architecture evaluated in the paper.
+
+:class:`DiehlCookNetwork` wires together the pieces of the substrate —
+Poisson input encoding, the synapse crossbar, and the LIF excitatory layer
+with direct lateral inhibition — into the network of Fig. 1(a).  The network
+exposes two run-time hooks that the SoftSNN methodology plugs into without
+the network knowing anything about mitigation:
+
+* ``effective_weights`` — an alternative weight matrix used for current
+  accumulation (this is where Bound-and-Protect weight bounding acts: the
+  bounding logic sits between the weight register and the adder, so the
+  stored/faulty registers are untouched but the value entering the adder is
+  bounded);
+* ``step_monitor`` — a callable invoked after every timestep with the neuron
+  group, used by the neuron-protection logic to watch the ``Vmem >= Vth``
+  comparator and latch off spike generation for neurons with a faulty reset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.snn.encoding import PoissonEncoder
+from repro.snn.neuron import LIFNeuronGroup, LIFParameters, NeuronOperationStatus
+from repro.snn.quantization import WeightQuantizer
+from repro.snn.stdp import STDPConfig, STDPRule
+from repro.snn.synapse import SynapseMatrix
+from repro.utils.rng import RNGLike, resolve_rng
+
+__all__ = ["NetworkConfig", "DiehlCookNetwork", "SampleResult"]
+
+StepMonitor = Callable[[LIFNeuronGroup], None]
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Static configuration of a :class:`DiehlCookNetwork`.
+
+    Attributes
+    ----------
+    n_inputs:
+        Number of input channels (pixels); 784 for 28x28 images.
+    n_neurons:
+        Number of excitatory neurons (the paper sweeps 400…3600; tests use
+        much smaller populations).
+    timesteps:
+        Presentation duration of each sample, in timesteps.
+    max_rate:
+        Peak per-step input spike probability (see
+        :class:`~repro.snn.encoding.PoissonEncoder`).
+    target_total_intensity:
+        Per-sample input-rate normalisation target forwarded to the encoder
+        (``None`` disables it); keeps digit-like and garment-like workloads
+        in the same activity regime.
+    neuron_params:
+        LIF parameters shared by all excitatory neurons.
+    stdp:
+        STDP hyper-parameters used during training.
+    weight_bits:
+        Weight-register precision of the deployed compute engine (8 in the
+        paper).
+    weight_full_scale:
+        Full-scale value of the deployed register format.  ``None`` (the
+        default) means "choose at deployment time": the trained model picks a
+        full scale of twice its maximum clean weight, which gives the
+        register format realistic headroom and reproduces Fig. 9, where bit
+        flips push weights to roughly twice the clean maximum.
+    """
+
+    n_inputs: int = 784
+    n_neurons: int = 100
+    timesteps: int = 150
+    max_rate: float = 0.25
+    target_total_intensity: Optional[float] = 50.0
+    neuron_params: LIFParameters = field(default_factory=LIFParameters)
+    stdp: STDPConfig = field(default_factory=STDPConfig)
+    weight_bits: int = 8
+    weight_full_scale: Optional[float] = None
+
+    #: Full-scale-to-clean-maximum ratio used when ``weight_full_scale`` is
+    #: left on automatic.  A factor of two reproduces the weight range shown
+    #: in Fig. 9 of the paper (clean weights up to ``wgh_max``; faulty
+    #: weights up to roughly ``2 * wgh_max``).
+    AUTO_FULL_SCALE_HEADROOM = 2.0
+
+    def __post_init__(self) -> None:
+        if self.n_inputs <= 0:
+            raise ValueError(f"n_inputs must be positive, got {self.n_inputs}")
+        if self.n_neurons <= 0:
+            raise ValueError(f"n_neurons must be positive, got {self.n_neurons}")
+        if self.timesteps <= 0:
+            raise ValueError(f"timesteps must be positive, got {self.timesteps}")
+        if self.target_total_intensity is not None and self.target_total_intensity <= 0:
+            raise ValueError(
+                "target_total_intensity must be positive or None, got "
+                f"{self.target_total_intensity}"
+            )
+        if self.weight_full_scale is not None and self.weight_full_scale <= 0:
+            raise ValueError(
+                f"weight_full_scale must be positive or None, got {self.weight_full_scale}"
+            )
+
+    def make_quantizer(self, clean_max_weight: Optional[float] = None) -> WeightQuantizer:
+        """Construct the deployed (8-bit) register quantiser.
+
+        Parameters
+        ----------
+        clean_max_weight:
+            Maximum weight of the trained clean network.  Required when
+            ``weight_full_scale`` is automatic (``None``); ignored otherwise.
+        """
+        if self.weight_full_scale is not None:
+            full_scale = self.weight_full_scale
+        else:
+            if clean_max_weight is None or clean_max_weight <= 0:
+                # Fall back to the STDP clip range with headroom so a network
+                # can be built before training (e.g. for training itself).
+                full_scale = self.AUTO_FULL_SCALE_HEADROOM * self.stdp.w_max
+            else:
+                full_scale = self.AUTO_FULL_SCALE_HEADROOM * float(clean_max_weight)
+        return WeightQuantizer(bits=self.weight_bits, full_scale=full_scale)
+
+    def make_training_quantizer(self) -> WeightQuantizer:
+        """Construct the high-precision format used by the learning unit.
+
+        The paper's fault model targets the inference-time weight registers
+        of the compute engine; the STDP learning unit (Fig. 2) keeps its own
+        higher-precision copy of the weights.  Training therefore runs with a
+        16-bit format so quantisation does not interfere with learning, and
+        the trained weights are mapped onto the 8-bit registers at
+        deployment time.
+        """
+        return WeightQuantizer(bits=16, full_scale=self.stdp.w_max)
+
+    def make_encoder(self) -> PoissonEncoder:
+        """Construct the Poisson encoder described by this configuration."""
+        return PoissonEncoder(
+            timesteps=self.timesteps,
+            max_rate=self.max_rate,
+            target_total_intensity=self.target_total_intensity,
+        )
+
+
+@dataclass
+class SampleResult:
+    """Outcome of presenting one sample to the network.
+
+    Attributes
+    ----------
+    spike_counts:
+        Per-neuron count of output spikes over the presentation.
+    output_spikes:
+        Full boolean raster of output spikes, shape ``(timesteps, n_neurons)``.
+    input_spike_count:
+        Total number of input spikes delivered (useful for activity/energy
+        accounting in the hardware model).
+    """
+
+    spike_counts: np.ndarray
+    output_spikes: np.ndarray
+    input_spike_count: int
+
+    @property
+    def total_output_spikes(self) -> int:
+        """Total number of output spikes across all neurons."""
+        return int(self.spike_counts.sum())
+
+
+class DiehlCookNetwork:
+    """Fully-connected SNN with direct lateral inhibition and STDP learning.
+
+    Parameters
+    ----------
+    config:
+        Static network configuration.
+    rng:
+        Seed or generator used for weight initialisation.
+    quantizer:
+        Optional explicit weight-register quantiser.  When omitted the
+        config's deployed-register format is used; the trainer passes its
+        high-precision training format instead.
+    """
+
+    def __init__(
+        self,
+        config: Optional[NetworkConfig] = None,
+        rng: RNGLike = None,
+        quantizer: Optional[WeightQuantizer] = None,
+    ) -> None:
+        self.config = config if config is not None else NetworkConfig()
+        generator = resolve_rng(rng)
+        if quantizer is None:
+            quantizer = self.config.make_quantizer()
+        self.synapses = SynapseMatrix.random(
+            n_inputs=self.config.n_inputs,
+            n_neurons=self.config.n_neurons,
+            rng=generator,
+            low=0.0,
+            high=min(0.3 * self.config.stdp.w_max, quantizer.full_scale),
+            quantizer=quantizer,
+        )
+        self.neurons = LIFNeuronGroup(
+            n_neurons=self.config.n_neurons, params=self.config.neuron_params
+        )
+        self.encoder = self.config.make_encoder()
+        self.stdp = STDPRule(
+            n_inputs=self.config.n_inputs,
+            n_neurons=self.config.n_neurons,
+            config=self.config.stdp,
+        )
+
+    # ------------------------------------------------------------------ #
+    # convenience accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def n_inputs(self) -> int:
+        """Number of input channels."""
+        return self.config.n_inputs
+
+    @property
+    def n_neurons(self) -> int:
+        """Number of excitatory neurons."""
+        return self.config.n_neurons
+
+    def set_neuron_fault_status(self, status: NeuronOperationStatus) -> None:
+        """Install per-neuron operation faults (used by the fault injector)."""
+        self.neurons.set_operation_status(status)
+
+    def clear_neuron_faults(self) -> None:
+        """Restore all neuron operations to their healthy state."""
+        self.neurons.set_operation_status(
+            NeuronOperationStatus.healthy(self.n_neurons)
+        )
+
+    # ------------------------------------------------------------------ #
+    # simulation
+    # ------------------------------------------------------------------ #
+    def present(
+        self,
+        image: np.ndarray,
+        learning: bool = False,
+        rng: RNGLike = None,
+        effective_weights: Optional[np.ndarray] = None,
+        step_monitor: Optional[StepMonitor] = None,
+    ) -> SampleResult:
+        """Present one image to the network for ``config.timesteps`` steps.
+
+        Parameters
+        ----------
+        image:
+            Grayscale image whose flattened size equals ``n_inputs``.
+        learning:
+            When True, STDP updates and threshold adaptation are applied;
+            inference runs must pass False.
+        rng:
+            Seed or generator for the Poisson input encoding.
+        effective_weights:
+            Optional substitute weight matrix used for current accumulation
+            (hook used by Bound-and-Protect weight bounding).  Ignored while
+            learning.
+        step_monitor:
+            Optional callable invoked with the neuron group after each
+            timestep (hook used by neuron protection).
+        """
+        image = np.asarray(image, dtype=np.float64)
+        if image.size != self.n_inputs:
+            raise ValueError(
+                f"image has {image.size} pixels but the network expects {self.n_inputs}"
+            )
+        generator = resolve_rng(rng)
+        raster = self.encoder.encode(image.reshape(-1), rng=generator)
+
+        self.neurons.reset_state()
+        self.stdp.reset_traces()
+
+        weights = self.synapses.weights if learning else None
+        timesteps, n_neurons = raster.shape[0], self.n_neurons
+        output_spikes = np.zeros((timesteps, n_neurons), dtype=bool)
+
+        for t in range(timesteps):
+            pre_spikes = raster[t]
+            if learning:
+                current = pre_spikes.astype(np.float64) @ weights
+            else:
+                current = self.synapses.input_current(
+                    pre_spikes, effective_weights=effective_weights
+                )
+            post_spikes = self.neurons.step(current, learning=learning)
+            output_spikes[t] = post_spikes
+
+            if learning:
+                weights = self.stdp.step(weights, pre_spikes, post_spikes)
+            if step_monitor is not None:
+                step_monitor(self.neurons)
+
+        if learning:
+            self.synapses.set_weights(weights)
+
+        return SampleResult(
+            spike_counts=output_spikes.sum(axis=0).astype(np.int64),
+            output_spikes=output_spikes,
+            input_spike_count=int(raster.sum()),
+        )
+
+    def normalize_weights(self, target_sum: float) -> None:
+        """Scale each neuron's incoming weights to a fixed total.
+
+        Diehl & Cook style weight normalisation: after each training sample,
+        every excitatory neuron's column of weights is rescaled so its sum
+        equals *target_sum*, preventing any single neuron from monopolising
+        the input.
+        """
+        if target_sum <= 0:
+            raise ValueError(f"target_sum must be positive, got {target_sum}")
+        weights = self.synapses.weights
+        column_sums = weights.sum(axis=0)
+        column_sums[column_sums == 0] = 1.0
+        normalized = weights * (target_sum / column_sums)
+        normalized = np.clip(normalized, 0.0, self.synapses.quantizer.full_scale)
+        self.synapses.set_weights(normalized)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DiehlCookNetwork(n_inputs={self.n_inputs}, n_neurons={self.n_neurons}, "
+            f"timesteps={self.config.timesteps})"
+        )

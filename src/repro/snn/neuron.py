@@ -1,0 +1,409 @@
+"""Leaky integrate-and-fire (LIF) neuron group with explicit hardware operations.
+
+The paper's fault model (Section 2.2) distinguishes four operations inside
+each neuron's hardware: the membrane-potential *increase*, the *leak*, the
+*reset*, and *spike generation*.  A soft error can knock out any one of them
+for a given neuron until its parameters are reloaded.  To support that fault
+model the simulator does not fold the LIF update into a single opaque
+expression — each of the four operations is an identifiable stage that can
+be disabled per neuron through :class:`NeuronOperationStatus`.
+
+The neuron group also exposes the ``Vmem >= Vth`` comparator output after
+every step.  That signal is what the paper's neuron-protection hardware
+monitors: if it stays asserted for two or more consecutive cycles the reset
+logic is deemed faulty and spike generation is gated off
+(:class:`repro.core.bound_and_protect.NeuronProtection`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.validation import check_non_negative, check_positive
+
+__all__ = ["LIFParameters", "NeuronOperationStatus", "LIFNeuronGroup"]
+
+
+@dataclass(frozen=True)
+class LIFParameters:
+    """Parameters of the LIF neuron model used throughout the library.
+
+    The defaults are calibrated for 28x28 inputs encoded with
+    :class:`repro.snn.encoding.PoissonEncoder` defaults and per-neuron input
+    weight sums normalised to ``~2.0`` (see
+    :class:`repro.snn.training.TrainingConfig`).
+
+    Attributes
+    ----------
+    v_rest:
+        Resting membrane potential; the leak pulls the potential toward it.
+    v_reset:
+        Potential the membrane is set to right after a spike.
+    v_threshold:
+        Base firing threshold (the adaptive component ``theta`` is added on
+        top of it).
+    tau_membrane:
+        Membrane leak time constant in timesteps; per-step decay factor is
+        ``exp(-1 / tau_membrane)``.
+    refractory_period:
+        Number of timesteps a neuron ignores input after spiking.
+    theta_plus:
+        Adaptive-threshold increment added each time the neuron spikes
+        (homeostasis, as in Diehl & Cook).
+    tau_theta:
+        Decay time constant of the adaptive threshold, in timesteps.
+    v_min:
+        Lower clamp for the membrane potential (lateral inhibition cannot
+        drive the potential arbitrarily negative).
+    inhibition_strength:
+        Amount subtracted from all *other* neurons' membrane potentials when
+        a neuron spikes (direct lateral inhibition, Fig. 1a of the paper).
+    """
+
+    v_rest: float = 0.0
+    v_reset: float = 0.0
+    v_threshold: float = 1.2
+    tau_membrane: float = 20.0
+    refractory_period: int = 3
+    theta_plus: float = 0.1
+    tau_theta: float = 2000.0
+    v_min: float = -2.0
+    inhibition_strength: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.v_threshold - self.v_reset, "v_threshold - v_reset")
+        check_positive(self.tau_membrane, "tau_membrane")
+        check_positive(self.tau_theta, "tau_theta")
+        check_non_negative(self.theta_plus, "theta_plus")
+        check_non_negative(self.inhibition_strength, "inhibition_strength")
+        if self.refractory_period < 0:
+            raise ValueError(
+                f"refractory_period must be non-negative, got {self.refractory_period}"
+            )
+        if self.v_min > self.v_reset:
+            raise ValueError("v_min must not exceed v_reset")
+
+    @property
+    def membrane_decay(self) -> float:
+        """Per-timestep multiplicative decay factor of the membrane potential."""
+        return float(np.exp(-1.0 / self.tau_membrane))
+
+    @property
+    def theta_decay(self) -> float:
+        """Per-timestep multiplicative decay factor of the adaptive threshold."""
+        return float(np.exp(-1.0 / self.tau_theta))
+
+
+@dataclass
+class NeuronOperationStatus:
+    """Per-neuron health of the four LIF hardware operations.
+
+    ``True`` means the operation works; ``False`` means a soft error has
+    corrupted it (Section 2.2 of the paper).  The default state is fully
+    healthy.  Instances are produced by
+    :class:`repro.faults.neuron_faults.NeuronFaultInjector` and consumed by
+    :class:`LIFNeuronGroup`.
+    """
+
+    n_neurons: int
+    vmem_increase_ok: np.ndarray = field(default=None)
+    vmem_leak_ok: np.ndarray = field(default=None)
+    vmem_reset_ok: np.ndarray = field(default=None)
+    spike_generation_ok: np.ndarray = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.n_neurons <= 0:
+            raise ValueError(f"n_neurons must be positive, got {self.n_neurons}")
+        for name in (
+            "vmem_increase_ok",
+            "vmem_leak_ok",
+            "vmem_reset_ok",
+            "spike_generation_ok",
+        ):
+            value = getattr(self, name)
+            if value is None:
+                value = np.ones(self.n_neurons, dtype=bool)
+            else:
+                value = np.asarray(value, dtype=bool)
+                if value.shape != (self.n_neurons,):
+                    raise ValueError(
+                        f"{name} must have shape ({self.n_neurons},), got {value.shape}"
+                    )
+                value = value.copy()
+            setattr(self, name, value)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def healthy(cls, n_neurons: int) -> "NeuronOperationStatus":
+        """Return a fully healthy status for *n_neurons* neurons."""
+        return cls(n_neurons=n_neurons)
+
+    def copy(self) -> "NeuronOperationStatus":
+        """Return an independent copy of this status."""
+        return NeuronOperationStatus(
+            n_neurons=self.n_neurons,
+            vmem_increase_ok=self.vmem_increase_ok.copy(),
+            vmem_leak_ok=self.vmem_leak_ok.copy(),
+            vmem_reset_ok=self.vmem_reset_ok.copy(),
+            spike_generation_ok=self.spike_generation_ok.copy(),
+        )
+
+    @property
+    def any_faulty(self) -> bool:
+        """True when at least one operation of one neuron is faulty."""
+        return bool(
+            (~self.vmem_increase_ok).any()
+            or (~self.vmem_leak_ok).any()
+            or (~self.vmem_reset_ok).any()
+            or (~self.spike_generation_ok).any()
+        )
+
+    def faulty_neuron_count(self) -> int:
+        """Number of neurons with at least one faulty operation."""
+        faulty = (
+            ~self.vmem_increase_ok
+            | ~self.vmem_leak_ok
+            | ~self.vmem_reset_ok
+            | ~self.spike_generation_ok
+        )
+        return int(faulty.sum())
+
+
+class LIFNeuronGroup:
+    """A population of LIF neurons sharing parameters.
+
+    The group holds the mutable simulation state (membrane potentials,
+    refractory counters, adaptive thresholds, the consecutive
+    above-threshold counter used by neuron protection) and advances it one
+    timestep at a time with :meth:`step`.
+
+    Parameters
+    ----------
+    n_neurons:
+        Population size.
+    params:
+        Shared :class:`LIFParameters`.
+    operation_status:
+        Optional per-neuron fault status; healthy by default.
+    """
+
+    def __init__(
+        self,
+        n_neurons: int,
+        params: Optional[LIFParameters] = None,
+        operation_status: Optional[NeuronOperationStatus] = None,
+    ) -> None:
+        if n_neurons <= 0:
+            raise ValueError(f"n_neurons must be positive, got {n_neurons}")
+        self.n_neurons = int(n_neurons)
+        self.params = params if params is not None else LIFParameters()
+        if operation_status is None:
+            operation_status = NeuronOperationStatus.healthy(self.n_neurons)
+        if operation_status.n_neurons != self.n_neurons:
+            raise ValueError(
+                "operation_status sized for "
+                f"{operation_status.n_neurons} neurons, expected {self.n_neurons}"
+            )
+        self.operation_status = operation_status
+
+        # Mutable state, initialised by reset_state().
+        self.v = np.full(self.n_neurons, self.params.v_rest, dtype=np.float64)
+        self.theta = np.zeros(self.n_neurons, dtype=np.float64)
+        self.refractory_remaining = np.zeros(self.n_neurons, dtype=np.int64)
+        self.comparator_output = np.zeros(self.n_neurons, dtype=bool)
+        self.consecutive_above_threshold = np.zeros(self.n_neurons, dtype=np.int64)
+        self.spike_disabled = np.zeros(self.n_neurons, dtype=bool)
+        self.reset_fault_latched = np.zeros(self.n_neurons, dtype=bool)
+        self.last_spikes = np.zeros(self.n_neurons, dtype=bool)
+
+    # ------------------------------------------------------------------ #
+    # state management
+    # ------------------------------------------------------------------ #
+    def reset_state(self, reset_theta: bool = False) -> None:
+        """Reset per-sample dynamic state (between input presentations).
+
+        The adaptive threshold ``theta`` persists across samples by default
+        because it implements slow homeostasis; pass ``reset_theta=True`` to
+        clear it as well (e.g. when reusing a group for a fresh network).
+        The spike-protection latch (``spike_disabled``) is cleared — the
+        protection hardware re-detects the fault within two cycles of the
+        next presentation — but the *faulty-reset* latch is not: a stuck
+        ``Vmem reset`` cannot clear the membrane between samples either, so
+        the burst persists until the neuron's parameters are replaced
+        (i.e. until a new operation status is installed).
+        """
+        self.v.fill(self.params.v_rest)
+        self.refractory_remaining.fill(0)
+        self.comparator_output.fill(False)
+        self.consecutive_above_threshold.fill(0)
+        self.spike_disabled.fill(False)
+        self.last_spikes.fill(False)
+        if self.reset_fault_latched.any():
+            # The stuck membrane stays at (or above) the firing threshold.
+            self.v = np.where(
+                self.reset_fault_latched,
+                np.maximum(self.v, self.effective_threshold),
+                self.v,
+            )
+        if reset_theta:
+            self.theta.fill(0.0)
+
+    def set_operation_status(self, status: NeuronOperationStatus) -> None:
+        """Install a new per-neuron fault status (e.g. from the fault injector).
+
+        Installing a status models reloading the neuron parameters, which is
+        what clears a latched faulty-reset burst in the paper's fault model.
+        """
+        if status.n_neurons != self.n_neurons:
+            raise ValueError(
+                f"status sized for {status.n_neurons} neurons, expected {self.n_neurons}"
+            )
+        self.operation_status = status
+        self.reset_fault_latched.fill(False)
+
+    def disable_spiking(self, neuron_mask: np.ndarray) -> None:
+        """Latch off spike generation for the masked neurons (neuron protection)."""
+        neuron_mask = np.asarray(neuron_mask, dtype=bool)
+        if neuron_mask.shape != (self.n_neurons,):
+            raise ValueError(
+                f"neuron_mask must have shape ({self.n_neurons},), got {neuron_mask.shape}"
+            )
+        self.spike_disabled |= neuron_mask
+
+    @property
+    def effective_threshold(self) -> np.ndarray:
+        """Current firing threshold including the adaptive component."""
+        return self.params.v_threshold + self.theta
+
+    # ------------------------------------------------------------------ #
+    # simulation
+    # ------------------------------------------------------------------ #
+    def step(
+        self,
+        input_current: np.ndarray,
+        learning: bool = False,
+    ) -> np.ndarray:
+        """Advance the population by one timestep.
+
+        Parameters
+        ----------
+        input_current:
+            Per-neuron input current accumulated by the synapse crossbar for
+            this timestep (shape ``(n_neurons,)``).
+        learning:
+            When True the adaptive threshold is updated on spikes; inference
+            runs keep ``theta`` frozen, matching the accelerator whose
+            learning unit is idle during inference.
+
+        Returns
+        -------
+        numpy.ndarray
+            Boolean array of the spikes *emitted on the output wire* this
+            timestep (after any spike-generation faults or protection gating).
+        """
+        input_current = np.asarray(input_current, dtype=np.float64)
+        if input_current.shape != (self.n_neurons,):
+            raise ValueError(
+                f"input_current must have shape ({self.n_neurons},), "
+                f"got {input_current.shape}"
+            )
+        params = self.params
+        status = self.operation_status
+
+        # (2) Vmem leak: decay toward the resting potential.  A faulty leak
+        # operation leaves the membrane potential undamped.
+        decayed = params.v_rest + (self.v - params.v_rest) * params.membrane_decay
+        self.v = np.where(status.vmem_leak_ok, decayed, self.v)
+
+        # (1) Vmem increase: integrate the input current, except for neurons
+        # in their refractory period or with a faulty increase operation.
+        active = self.refractory_remaining <= 0
+        integrate = active & status.vmem_increase_ok
+        self.v = self.v + np.where(integrate, input_current, 0.0)
+        self.v = np.maximum(self.v, params.v_min)
+
+        # (4) Spike generation: the comparator asserts when Vmem >= Vth.
+        threshold = self.effective_threshold
+        self.comparator_output = active & (self.v >= threshold)
+
+        # Track how long the comparator has stayed asserted; this is the
+        # signal the paper's neuron-protection hardware monitors.
+        self.consecutive_above_threshold = np.where(
+            self.comparator_output, self.consecutive_above_threshold + 1, 0
+        )
+
+        internal_spikes = self.comparator_output.copy()
+        output_spikes = (
+            internal_spikes & status.spike_generation_ok & ~self.spike_disabled
+        )
+
+        # (3) Vmem reset: neurons whose reset logic works return to v_reset
+        # and enter their refractory period.  A faulty-reset neuron keeps its
+        # supra-threshold membrane potential: per the paper's fault model its
+        # Vmem "stays greater or equal to the threshold potential", so once it
+        # has crossed the threshold it bursts continuously until its
+        # parameters are reloaded (neither leak nor lateral inhibition can
+        # bring the stuck comparator input back down).
+        reset_now = internal_spikes & status.vmem_reset_ok
+        self.v = np.where(reset_now, params.v_reset, self.v)
+        self.refractory_remaining = np.where(
+            reset_now,
+            params.refractory_period,
+            np.maximum(self.refractory_remaining - 1, 0),
+        )
+        self.reset_fault_latched |= internal_spikes & ~status.vmem_reset_ok
+
+        # Homeostatic threshold adaptation (training only).
+        if learning:
+            self.theta *= params.theta_decay
+            self.theta += params.theta_plus * internal_spikes.astype(np.float64)
+
+        # Direct lateral inhibition: every *output* spike inhibits all other
+        # neurons.  Using output spikes matches the hardware, where the
+        # inhibition is driven by the spike wire.
+        if params.inhibition_strength > 0 and output_spikes.any():
+            n_spiking = int(output_spikes.sum())
+            inhibition = params.inhibition_strength * (
+                n_spiking - output_spikes.astype(np.float64)
+            )
+            self.v = np.maximum(self.v - inhibition, params.v_min)
+
+        # Keep the membrane of latched faulty-reset neurons pinned at (or
+        # above) the threshold so the burst persists, as in the paper's model.
+        if self.reset_fault_latched.any():
+            self.v = np.where(
+                self.reset_fault_latched, np.maximum(self.v, threshold), self.v
+            )
+
+        self.last_spikes = output_spikes
+        return output_spikes
+
+    def run(
+        self,
+        input_currents: np.ndarray,
+        learning: bool = False,
+    ) -> np.ndarray:
+        """Run :meth:`step` for every row of ``input_currents``.
+
+        Returns the full boolean spike raster of shape
+        ``(timesteps, n_neurons)``.
+        """
+        input_currents = np.asarray(input_currents, dtype=np.float64)
+        if input_currents.ndim != 2 or input_currents.shape[1] != self.n_neurons:
+            raise ValueError(
+                "input_currents must have shape (timesteps, n_neurons), got "
+                f"{input_currents.shape}"
+            )
+        spikes = np.zeros(input_currents.shape, dtype=bool)
+        for t in range(input_currents.shape[0]):
+            spikes[t] = self.step(input_currents[t], learning=learning)
+        return spikes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LIFNeuronGroup(n_neurons={self.n_neurons}, "
+            f"faulty={self.operation_status.faulty_neuron_count()})"
+        )

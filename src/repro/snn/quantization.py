@@ -1,0 +1,112 @@
+"""8-bit weight quantisation for the accelerator's weight registers.
+
+The compute engine of the modelled SNN accelerator stores each synaptic
+weight in an 8-bit register (Section 2.1 of the paper: "We consider 8-bit
+precision for each weight as it has a good accuracy-memory trade-off").  The
+quantiser maps the simulator's floating-point weights onto unsigned register
+codes and back:
+
+``code = round(weight / scale)``, ``weight = code * scale``, with
+``scale = full_scale / (2**bits - 1)``.
+
+The *full-scale* range is deliberately larger than the maximum weight the
+clean (fault-free) STDP training produces.  This reflects a fixed-point
+hardware format whose representable range must accommodate intermediate
+values, and it is what makes soft errors dangerous: a bit flip in a
+high-order register bit can push a weight far beyond the clean network's
+maximum — exactly the effect shown in Fig. 9 of the paper, where faulty
+weights reach roughly twice the clean maximum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+__all__ = ["WeightQuantizer"]
+
+
+class WeightQuantizer:
+    """Uniform unsigned quantiser between float weights and register codes.
+
+    Parameters
+    ----------
+    bits:
+        Register width in bits (the paper uses 8).
+    full_scale:
+        Largest representable weight value; code ``2**bits - 1`` maps to this
+        value.  Choose it comfortably above the clean network's maximum
+        weight so bit flips can create out-of-range weights, as in Fig. 9.
+    """
+
+    def __init__(self, bits: int = 8, full_scale: float = 2.0) -> None:
+        if not isinstance(bits, (int, np.integer)) or not 1 <= bits <= 16:
+            raise ValueError(f"bits must be an integer in [1, 16], got {bits}")
+        self.bits = int(bits)
+        self.full_scale = check_positive(full_scale, "full_scale")
+
+    # ------------------------------------------------------------------ #
+    # derived constants
+    # ------------------------------------------------------------------ #
+    @property
+    def max_code(self) -> int:
+        """Largest register code (all bits set)."""
+        return (1 << self.bits) - 1
+
+    @property
+    def scale(self) -> float:
+        """Weight value represented by one least-significant-bit step."""
+        return self.full_scale / self.max_code
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Smallest unsigned integer dtype that holds a register code."""
+        if self.bits <= 8:
+            return np.dtype(np.uint8)
+        return np.dtype(np.uint16)
+
+    # ------------------------------------------------------------------ #
+    # conversions
+    # ------------------------------------------------------------------ #
+    def quantize(self, weights: np.ndarray) -> np.ndarray:
+        """Convert float weights to register codes (with saturation).
+
+        Values below zero clamp to code 0 and values above *full_scale*
+        clamp to the maximum code, mirroring saturating hardware writes.
+        """
+        weights = np.asarray(weights, dtype=np.float64)
+        codes = np.rint(weights / self.scale)
+        codes = np.clip(codes, 0, self.max_code)
+        return codes.astype(self.dtype)
+
+    def dequantize(self, codes: np.ndarray) -> np.ndarray:
+        """Convert register codes back to float weights."""
+        codes = np.asarray(codes)
+        if not np.issubdtype(codes.dtype, np.integer):
+            raise TypeError(f"codes must be integers, got dtype {codes.dtype}")
+        if codes.size and (codes.min() < 0 or codes.max() > self.max_code):
+            raise ValueError(
+                f"codes must lie in [0, {self.max_code}] for a {self.bits}-bit register"
+            )
+        return codes.astype(np.float64) * self.scale
+
+    def roundtrip(self, weights: np.ndarray) -> np.ndarray:
+        """Quantise then dequantise — the weights the hardware actually uses."""
+        return self.dequantize(self.quantize(weights))
+
+    def quantization_error(self, weights: np.ndarray) -> np.ndarray:
+        """Absolute error introduced by a quantise/dequantise round trip."""
+        weights = np.asarray(weights, dtype=np.float64)
+        return np.abs(self.roundtrip(weights) - np.clip(weights, 0.0, self.full_scale))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WeightQuantizer(bits={self.bits}, full_scale={self.full_scale})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WeightQuantizer):
+            return NotImplemented
+        return self.bits == other.bits and self.full_scale == other.full_scale
+
+    def __hash__(self) -> int:
+        return hash((self.bits, self.full_scale))

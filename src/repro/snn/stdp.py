@@ -1,0 +1,172 @@
+"""Pair-based spike-timing-dependent plasticity (STDP).
+
+The paper's SNN learns without labels through STDP (Fig. 1a).  This module
+implements the standard trace-based pair rule used by the Diehl & Cook
+network the paper builds on:
+
+* every input (pre-synaptic) channel keeps a *pre trace* that jumps to 1 on
+  a spike and decays exponentially,
+* every excitatory (post-synaptic) neuron keeps a *post trace* with the same
+  behaviour,
+* when a post-synaptic neuron spikes, its incoming weights are potentiated
+  proportionally to the pre traces (``learning_rate_post``),
+* when a pre-synaptic input spikes, the weights out of it are depressed
+  proportionally to the post traces (``learning_rate_pre``),
+* weights are clipped to ``[w_min, w_max]`` — which is what creates the
+  bounded "safe range" of clean weights that SoftSNN's weight bounding
+  relies on (Fig. 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_non_negative, check_positive
+
+__all__ = ["STDPConfig", "STDPRule"]
+
+
+@dataclass(frozen=True)
+class STDPConfig:
+    """Hyper-parameters of the pair-based STDP rule.
+
+    Attributes
+    ----------
+    learning_rate_pre:
+        Depression magnitude applied on pre-synaptic spikes.
+    learning_rate_post:
+        Potentiation magnitude applied on post-synaptic spikes.
+    tau_pre, tau_post:
+        Decay time constants (timesteps) of the pre/post traces.
+    w_min, w_max:
+        Hard weight bounds enforced after every update.  ``w_max`` is the
+        upper end of the clean network's safe weight range.
+    """
+
+    learning_rate_pre: float = 0.0015
+    learning_rate_post: float = 0.01
+    tau_pre: float = 20.0
+    tau_post: float = 20.0
+    w_min: float = 0.0
+    w_max: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.learning_rate_pre, "learning_rate_pre")
+        check_non_negative(self.learning_rate_post, "learning_rate_post")
+        check_positive(self.tau_pre, "tau_pre")
+        check_positive(self.tau_post, "tau_post")
+        if self.w_min < 0:
+            raise ValueError(f"w_min must be non-negative, got {self.w_min}")
+        if self.w_max <= self.w_min:
+            raise ValueError(
+                f"w_max ({self.w_max}) must be greater than w_min ({self.w_min})"
+            )
+
+    @property
+    def pre_decay(self) -> float:
+        """Per-timestep decay factor of the pre-synaptic traces."""
+        return float(np.exp(-1.0 / self.tau_pre))
+
+    @property
+    def post_decay(self) -> float:
+        """Per-timestep decay factor of the post-synaptic traces."""
+        return float(np.exp(-1.0 / self.tau_post))
+
+
+class STDPRule:
+    """Stateful pair-based STDP updater for one input→excitatory projection.
+
+    Parameters
+    ----------
+    n_inputs:
+        Number of pre-synaptic channels.
+    n_neurons:
+        Number of post-synaptic (excitatory) neurons.
+    config:
+        Rule hyper-parameters.
+    """
+
+    def __init__(
+        self, n_inputs: int, n_neurons: int, config: STDPConfig = None
+    ) -> None:
+        if n_inputs <= 0 or n_neurons <= 0:
+            raise ValueError("n_inputs and n_neurons must be positive")
+        self.n_inputs = int(n_inputs)
+        self.n_neurons = int(n_neurons)
+        self.config = config if config is not None else STDPConfig()
+        self.pre_trace = np.zeros(self.n_inputs, dtype=np.float64)
+        self.post_trace = np.zeros(self.n_neurons, dtype=np.float64)
+
+    # ------------------------------------------------------------------ #
+    def reset_traces(self) -> None:
+        """Clear the synaptic traces (between input presentations)."""
+        self.pre_trace.fill(0.0)
+        self.post_trace.fill(0.0)
+
+    def step(
+        self,
+        weights: np.ndarray,
+        pre_spikes: np.ndarray,
+        post_spikes: np.ndarray,
+    ) -> np.ndarray:
+        """Apply one timestep of STDP and return the updated weight matrix.
+
+        Parameters
+        ----------
+        weights:
+            Current weight matrix of shape ``(n_inputs, n_neurons)``.
+        pre_spikes:
+            Boolean input-spike vector of length ``n_inputs`` for this step.
+        post_spikes:
+            Boolean excitatory-spike vector of length ``n_neurons``.
+        """
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (self.n_inputs, self.n_neurons):
+            raise ValueError(
+                f"weights must have shape ({self.n_inputs}, {self.n_neurons}), "
+                f"got {weights.shape}"
+            )
+        pre_spikes = np.asarray(pre_spikes, dtype=bool)
+        post_spikes = np.asarray(post_spikes, dtype=bool)
+        if pre_spikes.shape != (self.n_inputs,):
+            raise ValueError(
+                f"pre_spikes must have shape ({self.n_inputs},), got {pre_spikes.shape}"
+            )
+        if post_spikes.shape != (self.n_neurons,):
+            raise ValueError(
+                f"post_spikes must have shape ({self.n_neurons},), "
+                f"got {post_spikes.shape}"
+            )
+        config = self.config
+
+        # Decay the traces, then register this step's spikes.
+        self.pre_trace *= config.pre_decay
+        self.post_trace *= config.post_decay
+        self.pre_trace[pre_spikes] = 1.0
+        self.post_trace[post_spikes] = 1.0
+
+        updated = weights
+        # Potentiation: on each post spike, strengthen synapses from recently
+        # active inputs (outer product restricted to spiking columns).
+        if post_spikes.any():
+            potentiation = config.learning_rate_post * np.outer(
+                self.pre_trace, post_spikes.astype(np.float64)
+            )
+            updated = updated + potentiation
+        # Depression: on each pre spike, weaken synapses toward recently
+        # active neurons.
+        if pre_spikes.any():
+            depression = config.learning_rate_pre * np.outer(
+                pre_spikes.astype(np.float64), self.post_trace
+            )
+            updated = updated - depression
+
+        return np.clip(updated, config.w_min, config.w_max)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"STDPRule(n_inputs={self.n_inputs}, n_neurons={self.n_neurons}, "
+            f"w_max={self.config.w_max})"
+        )

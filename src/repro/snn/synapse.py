@@ -1,0 +1,276 @@
+"""Synapse crossbar: float weights paired with their 8-bit register view.
+
+In the modelled accelerator every synapse stores its weight in a local
+register inside the compute engine (Fig. 5 of the paper).  The simulator
+works with floating-point weights for speed, but all fault injection and all
+Bound-and-Protect weight bounding happen on (or relative to) the register
+representation.  :class:`SynapseMatrix` keeps the two views consistent:
+
+* ``weights`` — the float matrix the simulator multiplies spikes with,
+* ``registers`` — the unsigned integer codes the accelerator would hold,
+  obtained through a :class:`~repro.snn.quantization.WeightQuantizer`.
+
+Loading the matrix into registers is a lossy (quantising) operation; reading
+back the registers is exact.  Bit-flip faults are applied to the register
+view and then propagated back to the float view, exactly as a particle
+strike on the physical register would be observed by the adder tree.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.snn.quantization import WeightQuantizer
+from repro.utils.bits import flip_bits_in_array
+
+__all__ = ["SynapseMatrix"]
+
+
+class SynapseMatrix:
+    """Weight matrix of a fully-connected input-to-excitatory projection.
+
+    Parameters
+    ----------
+    weights:
+        Float weight matrix of shape ``(n_inputs, n_neurons)``; values must
+        be non-negative (STDP in this architecture produces excitatory,
+        positive weights).
+    quantizer:
+        Register quantiser; defaults to the paper's 8-bit format.
+
+    Notes
+    -----
+    The float view always mirrors the register view after construction:
+    the constructor performs one quantise/dequantise round trip, so the
+    simulation uses exactly the weights the hardware registers can encode.
+    """
+
+    def __init__(
+        self,
+        weights: np.ndarray,
+        quantizer: Optional[WeightQuantizer] = None,
+    ) -> None:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 2:
+            raise ValueError(
+                f"weights must be 2-D (n_inputs, n_neurons), got shape {weights.shape}"
+            )
+        if weights.size == 0:
+            raise ValueError("weights must not be empty")
+        if weights.min() < 0:
+            raise ValueError("weights must be non-negative")
+        self.quantizer = quantizer if quantizer is not None else WeightQuantizer()
+        if weights.max() > self.quantizer.full_scale:
+            raise ValueError(
+                "weights exceed the quantizer full-scale range "
+                f"({weights.max():.4f} > {self.quantizer.full_scale:.4f})"
+            )
+        self._registers = self.quantizer.quantize(weights)
+        self._weights = self.quantizer.dequantize(self._registers)
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def random(
+        cls,
+        n_inputs: int,
+        n_neurons: int,
+        rng: np.random.Generator,
+        low: float = 0.0,
+        high: float = 0.3,
+        quantizer: Optional[WeightQuantizer] = None,
+    ) -> "SynapseMatrix":
+        """Create a matrix with uniformly random initial weights."""
+        if n_inputs <= 0 or n_neurons <= 0:
+            raise ValueError("n_inputs and n_neurons must be positive")
+        if not 0 <= low <= high:
+            raise ValueError(f"need 0 <= low <= high, got low={low}, high={high}")
+        weights = rng.uniform(low, high, size=(n_inputs, n_neurons))
+        return cls(weights, quantizer=quantizer)
+
+    # ------------------------------------------------------------------ #
+    # views
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """``(n_inputs, n_neurons)``."""
+        return self._weights.shape
+
+    @property
+    def n_inputs(self) -> int:
+        """Number of input (pre-synaptic) channels."""
+        return int(self._weights.shape[0])
+
+    @property
+    def n_neurons(self) -> int:
+        """Number of excitatory (post-synaptic) neurons."""
+        return int(self._weights.shape[1])
+
+    @property
+    def n_synapses(self) -> int:
+        """Total number of synapses (weight registers) in the crossbar."""
+        return int(self._weights.size)
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Float view of the weights (copy; mutate via the provided methods)."""
+        return self._weights.copy()
+
+    @property
+    def registers(self) -> np.ndarray:
+        """Register-code view of the weights (copy)."""
+        return self._registers.copy()
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+    def set_weights(self, weights: np.ndarray) -> None:
+        """Load new float weights (quantised on the way into the registers)."""
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != self.shape:
+            raise ValueError(
+                f"weights must have shape {self.shape}, got {weights.shape}"
+            )
+        if weights.min() < 0:
+            raise ValueError("weights must be non-negative")
+        if weights.max() > self.quantizer.full_scale:
+            raise ValueError(
+                "weights exceed the quantizer full-scale range "
+                f"({weights.max():.4f} > {self.quantizer.full_scale:.4f})"
+            )
+        self._registers = self.quantizer.quantize(weights)
+        self._weights = self.quantizer.dequantize(self._registers)
+
+    def set_registers(self, registers: np.ndarray) -> None:
+        """Overwrite the register codes directly (e.g. after fault injection)."""
+        registers = np.asarray(registers)
+        if registers.shape != self.shape:
+            raise ValueError(
+                f"registers must have shape {self.shape}, got {registers.shape}"
+            )
+        if not np.issubdtype(registers.dtype, np.integer):
+            raise TypeError("registers must be an integer array")
+        if registers.min() < 0 or registers.max() > self.quantizer.max_code:
+            raise ValueError(
+                f"register codes must lie in [0, {self.quantizer.max_code}]"
+            )
+        self._registers = registers.astype(self.quantizer.dtype).copy()
+        self._weights = self.quantizer.dequantize(self._registers)
+
+    def apply_bit_flips(
+        self, flat_indices: np.ndarray, bit_positions: np.ndarray
+    ) -> None:
+        """Flip the given register bits in place (soft-error injection).
+
+        Parameters
+        ----------
+        flat_indices:
+            Flat indices into the ``(n_inputs, n_neurons)`` register array.
+        bit_positions:
+            Struck bit position for each index (0 = least-significant bit).
+        """
+        flipped = flip_bits_in_array(
+            self._registers.astype(np.int64),
+            np.asarray(flat_indices, dtype=np.int64),
+            np.asarray(bit_positions, dtype=np.int64),
+            bit_width=self.quantizer.bits,
+        )
+        self.set_registers(flipped)
+
+    def copy(self) -> "SynapseMatrix":
+        """Return an independent copy of this synapse matrix."""
+        clone = SynapseMatrix.__new__(SynapseMatrix)
+        clone.quantizer = self.quantizer
+        clone._registers = self._registers.copy()
+        clone._weights = self._weights.copy()
+        return clone
+
+    # ------------------------------------------------------------------ #
+    # computation
+    # ------------------------------------------------------------------ #
+    def input_current(
+        self, input_spikes: np.ndarray, effective_weights: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Accumulate the per-neuron current for one timestep of input spikes.
+
+        This models the per-column adder chain of the crossbar: each neuron
+        receives the sum of the weights of its synapses whose input spiked.
+
+        Parameters
+        ----------
+        input_spikes:
+            Boolean (or 0/1) vector of length ``n_inputs``.
+        effective_weights:
+            Optional substitute weight matrix (e.g. after Bound-and-Protect
+            weight bounding); defaults to the stored weights.
+        """
+        input_spikes = np.asarray(input_spikes)
+        if input_spikes.shape != (self.n_inputs,):
+            raise ValueError(
+                f"input_spikes must have shape ({self.n_inputs},), "
+                f"got {input_spikes.shape}"
+            )
+        weights = self._weights if effective_weights is None else effective_weights
+        if weights.shape != self.shape:
+            raise ValueError(
+                f"effective_weights must have shape {self.shape}, got {weights.shape}"
+            )
+        return input_spikes.astype(np.float64) @ weights
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+    def max_weight(self) -> float:
+        """Maximum weight currently stored (the clean network's ``wgh_max``)."""
+        return float(self._weights.max())
+
+    def weight_histogram(
+        self, bins: int = 50, value_range: Optional[Tuple[float, float]] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Histogram of the stored weights (used to reproduce Fig. 9)."""
+        if bins <= 0:
+            raise ValueError(f"bins must be positive, got {bins}")
+        if value_range is None:
+            value_range = (0.0, self.quantizer.full_scale)
+        counts, edges = np.histogram(self._weights, bins=bins, range=value_range)
+        return counts, edges
+
+    def most_probable_weight(self, bins: int = 64, exclude_zero: bool = True) -> float:
+        """Mode of the weight distribution (the paper's ``wgh_hp`` for BnP3).
+
+        The histogram is computed over the occupied weight range
+        ``[0, max_weight]`` rather than the full register range, so the mode
+        is resolved at the granularity of the weights that actually exist.
+        The returned value never exceeds the current maximum weight.
+
+        Parameters
+        ----------
+        bins:
+            Histogram resolution used to locate the mode.
+        exclude_zero:
+            STDP drives many weights to (near) zero; excluding the first bin
+            returns the most probable *informative* weight, which is what
+            BnP3 substitutes for out-of-range values.
+        """
+        max_weight = self.max_weight()
+        if max_weight <= 0:
+            return 0.0
+        counts, edges = self.weight_histogram(
+            bins=bins, value_range=(0.0, max_weight)
+        )
+        if exclude_zero and counts.size > 1:
+            counts = counts[1:]
+            edges = edges[1:]
+        if counts.sum() == 0:
+            return 0.0
+        index = int(np.argmax(counts))
+        return float(min(0.5 * (edges[index] + edges[index + 1]), max_weight))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SynapseMatrix(shape={self.shape}, bits={self.quantizer.bits}, "
+            f"max_weight={self.max_weight():.4f})"
+        )

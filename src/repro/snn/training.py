@@ -1,0 +1,478 @@
+"""Unsupervised training and neuron label assignment.
+
+The paper trains its network with unsupervised STDP (Fig. 1a) and then
+assigns a class label to every excitatory neuron from its responses to the
+labelled training data; at inference time the predicted class is the label
+group with the highest spike count.  :class:`STDPTrainer` implements that
+pipeline and produces a :class:`TrainedModel` — the "clean SNN" whose weight
+statistics (``wgh_max``, ``wgh_hp``) the Bound-and-Protect techniques use as
+their safe range.
+
+Three learning modes are provided (``TrainingConfig.learning_mode``):
+
+``"pairwise_stdp"``
+    The classical trace-based pair STDP rule applied at every timestep
+    (see :mod:`repro.snn.stdp`).  Most faithful to the biological rule, but
+    on the small synthetic workloads used here it needs long training to
+    develop class-selective receptive fields.
+``"spiking_wta"``
+    Sample-level winner-take-all Hebbian learning: each training image is
+    presented to the spiking network (with homeostatic thresholds acting as
+    a conscience), the neuron with the most output spikes is declared the
+    winner, and its receptive field is moved toward the observed input
+    pattern.  This is the rate-level fixed point that lateral inhibition
+    plus STDP converges to, reached in far fewer presentations — the right
+    trade-off for the scaled-down experiments in this reproduction.
+``"fast_wta"``
+    Identical update rule, but the winner is selected from the linear
+    (expected-rate) response instead of a full spiking simulation.  Orders
+    of magnitude faster; used by the benchmark harness where dozens of
+    models must be trained.
+
+All fault-injection experiments in the paper happen at *inference* time on a
+pre-trained network, so the choice of training mode does not interact with
+the fault models — it only determines the quality of the clean weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.data.datasets import Dataset
+from repro.snn.network import DiehlCookNetwork, NetworkConfig
+from repro.utils.logging import get_logger
+from repro.utils.rng import RNGLike, resolve_rng
+from repro.utils.validation import check_in_choices
+
+__all__ = ["TrainingConfig", "TrainedModel", "STDPTrainer"]
+
+_LOGGER = get_logger("snn.training")
+
+LEARNING_MODES = ("pairwise_stdp", "spiking_wta", "fast_wta")
+LABEL_ASSIGNMENT_MODES = ("spiking", "fast")
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Hyper-parameters of the unsupervised training loop.
+
+    Attributes
+    ----------
+    epochs:
+        Number of passes over the training set (the paper uses 3).
+    weight_norm_total:
+        Target per-neuron incoming-weight sum applied after every update
+        (Diehl & Cook style weight normalisation).
+    learning_mode:
+        One of ``"pairwise_stdp"``, ``"spiking_wta"``, ``"fast_wta"``
+        (see the module docstring).
+    label_assignment_mode:
+        ``"spiking"`` assigns neuron labels from spiking responses (as the
+        paper's framework does); ``"fast"`` uses the linear expected-rate
+        response, which is much faster and produces near-identical labels.
+    wta_learning_rate:
+        Blend factor of the winner-take-all update (how far the winner's
+        receptive field moves toward the presented pattern).
+    conscience_increment:
+        Homeostatic penalty added to a neuron's selection bias each time it
+        wins, spreading wins across the population.
+    conscience_decay:
+        Multiplicative decay of the conscience bias applied once per sample.
+    shuffle:
+        Whether to reshuffle the training set every epoch.
+    label_smoothing:
+        Small constant added to per-class response averages before the
+        argmax that assigns neuron labels, avoiding ties on silent neurons.
+    """
+
+    epochs: int = 2
+    weight_norm_total: float = 3.0
+    learning_mode: str = "spiking_wta"
+    label_assignment_mode: str = "spiking"
+    wta_learning_rate: float = 0.6
+    conscience_increment: float = 0.3
+    conscience_decay: float = 0.999
+    shuffle: bool = True
+    label_smoothing: float = 1e-9
+
+    def __post_init__(self) -> None:
+        if self.epochs <= 0:
+            raise ValueError(f"epochs must be positive, got {self.epochs}")
+        if self.weight_norm_total <= 0:
+            raise ValueError(
+                f"weight_norm_total must be positive, got {self.weight_norm_total}"
+            )
+        check_in_choices(self.learning_mode, "learning_mode", LEARNING_MODES)
+        check_in_choices(
+            self.label_assignment_mode,
+            "label_assignment_mode",
+            LABEL_ASSIGNMENT_MODES,
+        )
+        if not 0.0 < self.wta_learning_rate <= 1.0:
+            raise ValueError(
+                f"wta_learning_rate must lie in (0, 1], got {self.wta_learning_rate}"
+            )
+        if self.conscience_increment < 0:
+            raise ValueError(
+                f"conscience_increment must be non-negative, got {self.conscience_increment}"
+            )
+        if not 0.0 < self.conscience_decay <= 1.0:
+            raise ValueError(
+                f"conscience_decay must lie in (0, 1], got {self.conscience_decay}"
+            )
+        if self.label_smoothing < 0:
+            raise ValueError(
+                f"label_smoothing must be non-negative, got {self.label_smoothing}"
+            )
+
+
+@dataclass
+class TrainedModel:
+    """A trained "clean SNN": weights, homeostasis state and neuron labels.
+
+    This object is the handover point between training and every
+    fault-injection experiment: experiments copy its weights into a fresh
+    network, inject faults, and run inference.  It also carries the
+    clean-weight statistics the Bound-and-Protect techniques need.
+
+    Attributes
+    ----------
+    network_config:
+        Configuration the network was trained with.
+    weights:
+        Clean trained weight matrix ``(n_inputs, n_neurons)``.
+    theta:
+        Adaptive-threshold values carried into inference.
+    neuron_labels:
+        Class label assigned to each excitatory neuron.
+    clean_max_weight:
+        Maximum clean weight (the paper's ``wgh_max`` / ``wgh_th``).
+    clean_most_probable_weight:
+        Mode of the clean weight distribution (the paper's ``wgh_hp``).
+    training_history:
+        Per-epoch diagnostic statistics recorded during training.
+    """
+
+    network_config: NetworkConfig
+    weights: np.ndarray
+    theta: np.ndarray
+    neuron_labels: np.ndarray
+    clean_max_weight: float
+    clean_most_probable_weight: float
+    training_history: Dict[str, list] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.weights = np.asarray(self.weights, dtype=np.float64)
+        self.theta = np.asarray(self.theta, dtype=np.float64)
+        self.neuron_labels = np.asarray(self.neuron_labels, dtype=np.int64)
+        expected = (self.network_config.n_inputs, self.network_config.n_neurons)
+        if self.weights.shape != expected:
+            raise ValueError(
+                f"weights must have shape {expected}, got {self.weights.shape}"
+            )
+        if self.theta.shape != (self.network_config.n_neurons,):
+            raise ValueError(
+                f"theta must have shape ({self.network_config.n_neurons},), "
+                f"got {self.theta.shape}"
+            )
+        if self.neuron_labels.shape != (self.network_config.n_neurons,):
+            raise ValueError(
+                f"neuron_labels must have shape ({self.network_config.n_neurons},), "
+                f"got {self.neuron_labels.shape}"
+            )
+        if self.clean_max_weight < 0:
+            raise ValueError("clean_max_weight must be non-negative")
+        if self.clean_most_probable_weight < 0:
+            raise ValueError("clean_most_probable_weight must be non-negative")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_neurons(self) -> int:
+        """Number of excitatory neurons in the trained network."""
+        return self.network_config.n_neurons
+
+    @property
+    def n_classes(self) -> int:
+        """Number of distinct classes the neurons are labelled with."""
+        if self.neuron_labels.size == 0:
+            return 0
+        return int(self.neuron_labels.max()) + 1
+
+    @property
+    def deployment_full_scale(self) -> float:
+        """Full-scale weight value of the deployed 8-bit register format."""
+        return self.network_config.make_quantizer(self.clean_max_weight).full_scale
+
+    def build_network(self, rng: RNGLike = None) -> DiehlCookNetwork:
+        """Instantiate a fresh inference network loaded with the trained parameters.
+
+        The network uses the deployed 8-bit register format (full scale set
+        to twice the clean maximum weight unless the configuration pins it
+        explicitly), so every fault-injection experiment operates on exactly
+        the registers the accelerator would hold.  Every call returns an
+        independent network, so trials never contaminate the trained model
+        or each other.
+        """
+        quantizer = self.network_config.make_quantizer(self.clean_max_weight)
+        network = DiehlCookNetwork(
+            config=self.network_config, rng=rng, quantizer=quantizer
+        )
+        network.synapses.set_weights(
+            np.clip(self.weights, 0.0, quantizer.full_scale)
+        )
+        network.neurons.theta = self.theta.copy()
+        return network
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialisable summary (weights included) of the trained model."""
+        return {
+            "n_inputs": self.network_config.n_inputs,
+            "n_neurons": self.network_config.n_neurons,
+            "timesteps": self.network_config.timesteps,
+            "clean_max_weight": self.clean_max_weight,
+            "clean_most_probable_weight": self.clean_most_probable_weight,
+            "neuron_labels": self.neuron_labels.tolist(),
+            "theta": self.theta.tolist(),
+            "weights": self.weights.tolist(),
+        }
+
+
+class STDPTrainer:
+    """Unsupervised trainer producing a :class:`TrainedModel`.
+
+    Parameters
+    ----------
+    network_config:
+        Configuration of the network to train.
+    training_config:
+        Training-loop hyper-parameters, including the learning mode.
+    """
+
+    def __init__(
+        self,
+        network_config: Optional[NetworkConfig] = None,
+        training_config: Optional[TrainingConfig] = None,
+    ) -> None:
+        self.network_config = (
+            network_config if network_config is not None else NetworkConfig()
+        )
+        self.training_config = (
+            training_config if training_config is not None else TrainingConfig()
+        )
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def train(self, dataset: Dataset, rng: RNGLike = None) -> TrainedModel:
+        """Run unsupervised training followed by neuron label assignment."""
+        if len(dataset) == 0:
+            raise ValueError("training dataset must not be empty")
+        if dataset.n_pixels != self.network_config.n_inputs:
+            raise ValueError(
+                f"dataset has {dataset.n_pixels} pixels per image but the network "
+                f"expects {self.network_config.n_inputs} inputs"
+            )
+        generator = resolve_rng(rng)
+        mode = self.training_config.learning_mode
+        if mode == "pairwise_stdp":
+            weights, history = self._train_pairwise_stdp(dataset, generator)
+        else:
+            weights, history = self._train_wta(
+                dataset, generator, spiking=(mode == "spiking_wta")
+            )
+
+        neuron_labels = self._assign_labels(weights, dataset, generator)
+        clean_max = float(weights.max())
+        most_probable = self._most_probable_weight(weights)
+        return TrainedModel(
+            network_config=self.network_config,
+            weights=weights,
+            # Homeostatic bias is a training-time device; inference starts
+            # from the base threshold, as in the deployed accelerator whose
+            # neuron parameters are loaded fresh for the inference phase.
+            theta=np.zeros(self.network_config.n_neurons),
+            neuron_labels=neuron_labels,
+            clean_max_weight=clean_max,
+            clean_most_probable_weight=most_probable,
+            training_history=history,
+        )
+
+    # ------------------------------------------------------------------ #
+    # learning modes
+    # ------------------------------------------------------------------ #
+    def _train_pairwise_stdp(
+        self, dataset: Dataset, generator: np.random.Generator
+    ) -> tuple:
+        """Per-timestep pair-based STDP (the classical rule)."""
+        network = DiehlCookNetwork(
+            config=self.network_config,
+            rng=generator,
+            quantizer=self.network_config.make_training_quantizer(),
+        )
+        network.normalize_weights(self.training_config.weight_norm_total)
+
+        history: Dict[str, list] = {"epoch_mean_spikes": []}
+        for epoch in range(self.training_config.epochs):
+            order = self._epoch_order(len(dataset), generator)
+            epoch_spikes = []
+            for index in order:
+                image, _ = dataset[int(index)]
+                result = network.present(image, learning=True, rng=generator)
+                network.normalize_weights(self.training_config.weight_norm_total)
+                epoch_spikes.append(result.total_output_spikes)
+            mean_spikes = float(np.mean(epoch_spikes))
+            history["epoch_mean_spikes"].append(mean_spikes)
+            _LOGGER.info(
+                "pairwise_stdp epoch %d/%d: mean output spikes per sample %.2f",
+                epoch + 1,
+                self.training_config.epochs,
+                mean_spikes,
+            )
+        return network.synapses.weights, history
+
+    def _train_wta(
+        self,
+        dataset: Dataset,
+        generator: np.random.Generator,
+        spiking: bool,
+    ) -> tuple:
+        """Sample-level winner-take-all Hebbian learning."""
+        config = self.training_config
+        n_inputs = self.network_config.n_inputs
+        n_neurons = self.network_config.n_neurons
+
+        network = DiehlCookNetwork(
+            config=self.network_config,
+            rng=generator,
+            quantizer=self.network_config.make_training_quantizer(),
+        )
+        network.normalize_weights(config.weight_norm_total)
+        weights = network.synapses.weights
+        conscience = np.zeros(n_neurons, dtype=np.float64)
+        wins = np.zeros(n_neurons, dtype=np.int64)
+
+        history: Dict[str, list] = {"epoch_neurons_used": [], "epoch_mean_spikes": []}
+        for epoch in range(self.training_config.epochs):
+            order = self._epoch_order(len(dataset), generator)
+            epoch_spikes = []
+            for index in order:
+                image, _ = dataset[int(index)]
+                flat = image.reshape(-1)
+                if spiking:
+                    network.synapses.set_weights(weights)
+                    network.neurons.theta = conscience.copy()
+                    result = network.present(image, learning=False, rng=generator)
+                    epoch_spikes.append(result.total_output_spikes)
+                    responses = result.spike_counts.astype(np.float64)
+                    if responses.max() <= 0:
+                        # Silent presentation: fall back to the linear
+                        # response so every sample still contributes.
+                        responses = flat @ weights - conscience
+                else:
+                    responses = flat @ weights - conscience
+                    epoch_spikes.append(0)
+                winner = int(np.argmax(responses))
+                wins[winner] += 1
+
+                pattern_sum = flat.sum()
+                if pattern_sum > 0:
+                    target = flat / pattern_sum * config.weight_norm_total
+                    weights[:, winner] = (
+                        (1.0 - config.wta_learning_rate) * weights[:, winner]
+                        + config.wta_learning_rate * target
+                    )
+                conscience[winner] += config.conscience_increment
+                conscience *= config.conscience_decay
+                weights = self._normalize_columns(weights)
+
+            neurons_used = int((wins > 0).sum())
+            history["epoch_neurons_used"].append(neurons_used)
+            history["epoch_mean_spikes"].append(
+                float(np.mean(epoch_spikes)) if epoch_spikes else 0.0
+            )
+            _LOGGER.info(
+                "%s epoch %d/%d: %d of %d neurons selected as winners",
+                "spiking_wta" if spiking else "fast_wta",
+                epoch + 1,
+                self.training_config.epochs,
+                neurons_used,
+                n_neurons,
+            )
+        weights = np.clip(weights, 0.0, self.network_config.stdp.w_max)
+        return weights.reshape(n_inputs, n_neurons), history
+
+    # ------------------------------------------------------------------ #
+    # label assignment
+    # ------------------------------------------------------------------ #
+    def _assign_labels(
+        self,
+        weights: np.ndarray,
+        dataset: Dataset,
+        generator: np.random.Generator,
+    ) -> np.ndarray:
+        """Assign a class label to each neuron from its mean class response."""
+        n_classes = dataset.n_classes
+        n_neurons = self.network_config.n_neurons
+        response_sums = np.zeros((n_classes, n_neurons), dtype=np.float64)
+        class_counts = np.zeros(n_classes, dtype=np.float64)
+
+        if self.training_config.label_assignment_mode == "spiking":
+            network = DiehlCookNetwork(
+                config=self.network_config,
+                rng=generator,
+                quantizer=self.network_config.make_training_quantizer(),
+            )
+            network.synapses.set_weights(weights)
+            for image, label in dataset:
+                result = network.present(image, learning=False, rng=generator)
+                response_sums[label] += result.spike_counts
+                class_counts[label] += 1
+        else:
+            flat_images = dataset.flattened_images()
+            # Normalise each image to unit total intensity so the linear
+            # responses are comparable across samples with different amounts
+            # of "ink", mirroring the encoder's per-sample rate normalisation.
+            totals = flat_images.sum(axis=1, keepdims=True)
+            totals[totals == 0] = 1.0
+            responses = (flat_images / totals) @ weights
+            for index, label in enumerate(dataset.labels):
+                response_sums[label] += responses[index]
+                class_counts[label] += 1
+
+        class_counts[class_counts == 0] = 1.0
+        mean_responses = response_sums / class_counts[:, np.newaxis]
+        mean_responses += self.training_config.label_smoothing
+        return np.argmax(mean_responses, axis=0).astype(np.int64)
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _epoch_order(
+        self, n_samples: int, generator: np.random.Generator
+    ) -> np.ndarray:
+        if self.training_config.shuffle:
+            return generator.permutation(n_samples)
+        return np.arange(n_samples)
+
+    def _normalize_columns(self, weights: np.ndarray) -> np.ndarray:
+        """Rescale every neuron's incoming weights to the configured sum."""
+        column_sums = weights.sum(axis=0)
+        column_sums[column_sums == 0] = 1.0
+        return weights * (self.training_config.weight_norm_total / column_sums)
+
+    def _most_probable_weight(self, weights: np.ndarray, bins: int = 64) -> float:
+        """Mode of the non-zero clean weight distribution (``wgh_hp``)."""
+        max_weight = float(weights.max())
+        if max_weight <= 0:
+            return 0.0
+        counts, edges = np.histogram(weights, bins=bins, range=(0.0, max_weight))
+        if counts.size > 1:
+            counts = counts[1:]
+            edges = edges[1:]
+        if counts.sum() == 0:
+            return 0.0
+        index = int(np.argmax(counts))
+        return float(min(0.5 * (edges[index] + edges[index + 1]), max_weight))

@@ -1,0 +1,61 @@
+"""Shared utilities for the SoftSNN reproduction.
+
+This subpackage contains infrastructure that every other subpackage relies
+on but which is not itself part of the paper's contribution:
+
+* :mod:`repro.utils.rng` — reproducible random-number-generator management.
+  Every stochastic component in the library (Poisson encoding, fault-map
+  generation, dataset synthesis) accepts either a seed or a
+  :class:`numpy.random.Generator` and funnels it through
+  :func:`~repro.utils.rng.resolve_rng` so experiments are repeatable.
+* :mod:`repro.utils.bits` — bit-level helpers used by the 8-bit weight
+  register model and the bit-flip fault model.
+* :mod:`repro.utils.serialization` — small JSON-based persistence for
+  experiment results and trained-network snapshots.
+* :mod:`repro.utils.logging` — a thin, dependency-free logging configuration
+  helper shared by the examples and benchmark harness.
+* :mod:`repro.utils.validation` — argument validation helpers that raise
+  consistent, descriptive errors across the public API.
+"""
+
+from repro.utils.bits import (
+    bits_to_int,
+    count_set_bits,
+    flip_bit,
+    flip_bits,
+    int_to_bits,
+)
+from repro.utils.rng import SeedSequenceFactory, resolve_rng, spawn_rngs
+from repro.utils.serialization import (
+    load_json,
+    numpy_to_native,
+    save_json,
+)
+from repro.utils.validation import (
+    check_fraction,
+    check_in_choices,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_shape,
+)
+
+__all__ = [
+    "SeedSequenceFactory",
+    "bits_to_int",
+    "check_fraction",
+    "check_in_choices",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+    "check_shape",
+    "count_set_bits",
+    "flip_bit",
+    "flip_bits",
+    "int_to_bits",
+    "load_json",
+    "numpy_to_native",
+    "resolve_rng",
+    "save_json",
+    "spawn_rngs",
+]

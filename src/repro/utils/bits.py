@@ -1,0 +1,164 @@
+"""Bit-level helpers for the 8-bit weight-register model.
+
+The SoftSNN accelerator stores each synaptic weight in an 8-bit register
+(Section 2.1 of the paper).  A soft error in a synapse flips exactly one bit
+of that register (Section 2.2).  The fault-injection subpackage therefore
+needs fast, vectorised helpers to convert between integer register contents
+and bit vectors and to flip chosen bit positions, both for scalars and for
+whole weight matrices.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "bits_to_int",
+    "count_set_bits",
+    "flip_bit",
+    "flip_bits",
+    "flip_bits_in_array",
+    "int_to_bits",
+]
+
+
+def _check_bit_width(bit_width: int) -> None:
+    if not isinstance(bit_width, (int, np.integer)) or bit_width <= 0:
+        raise ValueError(f"bit_width must be a positive integer, got {bit_width}")
+    if bit_width > 64:
+        raise ValueError(f"bit_width must be <= 64, got {bit_width}")
+
+
+def int_to_bits(value: int, bit_width: int = 8) -> np.ndarray:
+    """Return the little-endian bit vector of *value*.
+
+    Bit index 0 is the least-significant bit, matching the convention used by
+    :func:`flip_bit` and the fault model.
+
+    >>> int_to_bits(5, bit_width=4).tolist()
+    [1, 0, 1, 0]
+    """
+    _check_bit_width(bit_width)
+    value = int(value)
+    if value < 0 or value >= (1 << bit_width):
+        raise ValueError(
+            f"value {value} does not fit in an unsigned {bit_width}-bit register"
+        )
+    return np.array([(value >> i) & 1 for i in range(bit_width)], dtype=np.uint8)
+
+
+def bits_to_int(bits: Sequence[int]) -> int:
+    """Inverse of :func:`int_to_bits` (little-endian bit order)."""
+    bits = np.asarray(bits, dtype=np.int64)
+    if bits.ndim != 1:
+        raise ValueError(f"bits must be a 1-D sequence, got shape {bits.shape}")
+    if np.any((bits != 0) & (bits != 1)):
+        raise ValueError("bits must contain only 0 and 1")
+    return int(np.sum(bits << np.arange(bits.size, dtype=np.int64)))
+
+
+def flip_bit(value: int, bit_position: int, bit_width: int = 8) -> int:
+    """Flip a single bit of an unsigned register value.
+
+    Parameters
+    ----------
+    value:
+        Current register contents (unsigned).
+    bit_position:
+        Bit index to flip; 0 is the least-significant bit.
+    bit_width:
+        Register width in bits.
+    """
+    _check_bit_width(bit_width)
+    value = int(value)
+    if value < 0 or value >= (1 << bit_width):
+        raise ValueError(
+            f"value {value} does not fit in an unsigned {bit_width}-bit register"
+        )
+    if not 0 <= bit_position < bit_width:
+        raise ValueError(
+            f"bit_position must be in [0, {bit_width}), got {bit_position}"
+        )
+    return value ^ (1 << bit_position)
+
+
+def flip_bits(value: int, bit_positions: Iterable[int], bit_width: int = 8) -> int:
+    """Flip multiple bit positions of a single register value."""
+    result = int(value)
+    for position in bit_positions:
+        result = flip_bit(result, position, bit_width=bit_width)
+    return result
+
+
+def flip_bits_in_array(
+    values: np.ndarray,
+    flat_indices: np.ndarray,
+    bit_positions: np.ndarray,
+    bit_width: int = 8,
+) -> np.ndarray:
+    """Flip one bit per selected element of an unsigned integer array.
+
+    This is the vectorised primitive used by the weight-register fault model:
+    given a flattened weight-register array, the flat indices of the faulty
+    registers and the bit position struck in each, it returns a copy of the
+    array with those bits flipped.  When the same register appears multiple
+    times in *flat_indices*, each listed strike is applied (two strikes on the
+    same bit cancel, matching real double-flip physics).
+
+    Parameters
+    ----------
+    values:
+        Integer array of register contents (any shape).
+    flat_indices:
+        Flat indices (into ``values.ravel()``) of the registers hit by faults.
+    bit_positions:
+        Bit position struck for each entry of *flat_indices*.
+    bit_width:
+        Register width; all values must fit in it.
+    """
+    _check_bit_width(bit_width)
+    values = np.asarray(values)
+    if not np.issubdtype(values.dtype, np.integer):
+        raise TypeError(f"values must be an integer array, got dtype {values.dtype}")
+    flat_indices = np.asarray(flat_indices, dtype=np.int64)
+    bit_positions = np.asarray(bit_positions, dtype=np.int64)
+    if flat_indices.shape != bit_positions.shape:
+        raise ValueError(
+            "flat_indices and bit_positions must have identical shapes, got "
+            f"{flat_indices.shape} and {bit_positions.shape}"
+        )
+    if flat_indices.size and (
+        flat_indices.min() < 0 or flat_indices.max() >= values.size
+    ):
+        raise IndexError("flat_indices out of range for the given array")
+    if bit_positions.size and (
+        bit_positions.min() < 0 or bit_positions.max() >= bit_width
+    ):
+        raise ValueError(f"bit_positions must lie in [0, {bit_width})")
+    if values.size and (values.min() < 0 or values.max() >= (1 << bit_width)):
+        raise ValueError(
+            f"all values must fit in an unsigned {bit_width}-bit register"
+        )
+
+    flat = values.ravel().copy()
+    # Sequential XOR so repeated strikes on the same register compose.
+    masks = (np.int64(1) << bit_positions).astype(flat.dtype)
+    np.bitwise_xor.at(flat, flat_indices, masks)
+    return flat.reshape(values.shape)
+
+
+def count_set_bits(values: np.ndarray) -> np.ndarray:
+    """Population count of each element of an unsigned integer array."""
+    values = np.asarray(values)
+    if not np.issubdtype(values.dtype, np.integer):
+        raise TypeError(f"values must be an integer array, got dtype {values.dtype}")
+    if values.size and values.min() < 0:
+        raise ValueError("values must be non-negative")
+    result = np.zeros(values.shape, dtype=np.int64)
+    remaining = values.astype(np.int64).copy()
+    while np.any(remaining):
+        result += remaining & 1
+        remaining >>= 1
+    return result

@@ -1,0 +1,49 @@
+"""Logging configuration shared by the examples and benchmark harness.
+
+The library itself never configures the root logger (a library should not
+hijack the host application's logging); it only creates namespaced loggers
+under ``repro.*``.  The examples and benches call :func:`configure_logging`
+once at start-up to get readable console output.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+__all__ = ["configure_logging", "get_logger"]
+
+_LIBRARY_ROOT = "repro"
+_DEFAULT_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """Return a logger namespaced under the library root.
+
+    ``get_logger("snn.training")`` returns the ``repro.snn.training`` logger.
+    Passing ``None`` returns the library root logger.
+    """
+    if name is None:
+        return logging.getLogger(_LIBRARY_ROOT)
+    if name.startswith(_LIBRARY_ROOT):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_LIBRARY_ROOT}.{name}")
+
+
+def configure_logging(level: int = logging.INFO, fmt: str = _DEFAULT_FORMAT) -> None:
+    """Attach a console handler to the library root logger.
+
+    Safe to call multiple times: existing handlers installed by this function
+    are replaced rather than duplicated, so repeated example runs inside one
+    interpreter do not multiply log lines.
+    """
+    root = logging.getLogger(_LIBRARY_ROOT)
+    root.setLevel(level)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_handler", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler()
+    handler.setFormatter(logging.Formatter(fmt))
+    handler._repro_handler = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    root.propagate = False

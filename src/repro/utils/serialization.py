@@ -1,0 +1,70 @@
+"""Lightweight JSON persistence for experiment results and model snapshots.
+
+The benchmark harness (one bench per paper figure) and the examples write
+their outputs as plain JSON so the regenerated series can be inspected,
+diffed and committed without any binary tooling.  NumPy scalars and arrays
+are converted to native Python types on the way out.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Union
+
+import numpy as np
+
+__all__ = ["numpy_to_native", "save_json", "load_json"]
+
+PathLike = Union[str, Path]
+
+
+def numpy_to_native(obj: Any) -> Any:
+    """Recursively convert NumPy containers/scalars into JSON-safe values.
+
+    Handles nested dictionaries, lists, tuples, NumPy arrays, NumPy scalar
+    types and leaves native Python values untouched.  Dictionary keys are
+    converted to strings when they are NumPy scalars so the result is always
+    JSON-serialisable.
+    """
+    if isinstance(obj, dict):
+        return {_native_key(key): numpy_to_native(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [numpy_to_native(item) for item in obj]
+    if isinstance(obj, np.ndarray):
+        return numpy_to_native(obj.tolist())
+    if isinstance(obj, (np.bool_,)):
+        return bool(obj)
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    return obj
+
+
+def _native_key(key: Any) -> Any:
+    if isinstance(key, (np.integer, np.floating, np.bool_)):
+        return str(key)
+    return key
+
+
+def save_json(data: Any, path: PathLike, indent: int = 2) -> Path:
+    """Serialise *data* to JSON at *path*, creating parent directories.
+
+    Returns the resolved :class:`~pathlib.Path` the data was written to.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(numpy_to_native(data), handle, indent=indent, sort_keys=False)
+        handle.write("\n")
+    return path
+
+
+def load_json(path: PathLike) -> Any:
+    """Load JSON previously written by :func:`save_json`."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no such results file: {path}")
+    with path.open("r", encoding="utf-8") as handle:
+        return json.load(handle)

@@ -1,0 +1,81 @@
+"""Argument-validation helpers shared across the public API.
+
+Every public constructor in the library validates its arguments eagerly and
+raises a descriptive error; these helpers keep the error messages uniform so
+users get the same style of feedback whether the mistake is an out-of-range
+fault rate, a negative membrane threshold or a mis-shaped weight matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "check_fraction",
+    "check_in_choices",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+    "check_shape",
+]
+
+
+def check_positive(value: float, name: str) -> float:
+    """Require ``value > 0`` and return it as a float."""
+    value = float(value)
+    if not np.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a positive finite number, got {value}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Require ``value >= 0`` and return it as a float."""
+    value = float(value)
+    if not np.isfinite(value) or value < 0:
+        raise ValueError(f"{name} must be a non-negative finite number, got {value}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Require ``0 <= value <= 1`` and return it as a float."""
+    value = float(value)
+    if not np.isfinite(value) or not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value}")
+    return value
+
+
+def check_fraction(value: float, name: str) -> float:
+    """Require ``0 < value <= 1`` and return it as a float."""
+    value = float(value)
+    if not np.isfinite(value) or not 0.0 < value <= 1.0:
+        raise ValueError(f"{name} must lie in (0, 1], got {value}")
+    return value
+
+
+def check_in_choices(value: Any, name: str, choices: Sequence[Any]) -> Any:
+    """Require *value* to be one of *choices* and return it unchanged."""
+    if value not in choices:
+        rendered = ", ".join(repr(choice) for choice in choices)
+        raise ValueError(f"{name} must be one of {rendered}; got {value!r}")
+    return value
+
+
+def check_shape(array: np.ndarray, expected: Tuple[int, ...], name: str) -> np.ndarray:
+    """Require *array* to have exactly the *expected* shape.
+
+    ``-1`` in *expected* matches any extent along that axis.
+    """
+    array = np.asarray(array)
+    if array.ndim != len(expected):
+        raise ValueError(
+            f"{name} must have {len(expected)} dimensions, got {array.ndim}"
+        )
+    for axis, (actual, wanted) in enumerate(zip(array.shape, expected)):
+        if wanted != -1 and actual != wanted:
+            raise ValueError(
+                f"{name} has shape {array.shape}, expected {expected} "
+                f"(mismatch on axis {axis})"
+            )
+    return array

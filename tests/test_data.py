@@ -1,0 +1,238 @@
+"""Tests for the synthetic datasets and the Dataset container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.datasets import Dataset, load_workload, train_test_split
+from repro.data.images import (
+    blank_canvas,
+    draw_ellipse,
+    draw_line,
+    draw_rectangle,
+    gaussian_blur,
+    normalize_image,
+)
+from repro.data.synthetic_fashion import SyntheticFashionMNIST
+from repro.data.synthetic_mnist import SyntheticMNIST
+
+
+class TestImagePrimitives:
+    def test_blank_canvas_is_zero(self):
+        assert blank_canvas(10).sum() == 0.0
+
+    def test_draw_line_adds_intensity(self):
+        canvas = draw_line(blank_canvas(16), (2, 2), (12, 12))
+        assert canvas.max() > 0.9
+        assert canvas.min() >= 0.0
+
+    def test_draw_line_does_not_mutate_input(self):
+        original = blank_canvas(16)
+        draw_line(original, (0, 0), (5, 5))
+        assert original.sum() == 0.0
+
+    def test_draw_ellipse_outline_is_hollow(self):
+        canvas = draw_ellipse(blank_canvas(28), (14, 14), (8, 8))
+        assert canvas[14, 14] < 0.5          # centre stays dark
+        assert canvas[14, 6] > 0.5           # boundary is bright
+
+    def test_draw_ellipse_filled_covers_centre(self):
+        canvas = draw_ellipse(blank_canvas(28), (14, 14), (8, 8), filled=True)
+        assert canvas[14, 14] > 0.9
+
+    def test_draw_rectangle_filled(self):
+        canvas = draw_rectangle(blank_canvas(20), (5, 5), (10, 12))
+        assert canvas[7, 8] == 1.0
+        assert canvas[2, 2] == 0.0
+
+    def test_draw_rectangle_invalid_corners(self):
+        with pytest.raises(ValueError):
+            draw_rectangle(blank_canvas(20), (10, 10), (5, 5))
+
+    def test_gaussian_blur_preserves_shape_and_softens(self):
+        canvas = draw_line(blank_canvas(20), (10, 2), (10, 18))
+        blurred = gaussian_blur(canvas, sigma=1.0)
+        assert blurred.shape == canvas.shape
+        assert blurred.max() <= canvas.max() + 1e-9
+
+    def test_normalize_image_peak_is_one(self):
+        canvas = 0.25 * draw_line(blank_canvas(20), (0, 0), (19, 19))
+        assert normalize_image(canvas).max() == pytest.approx(1.0)
+
+    def test_normalize_all_zero(self):
+        assert normalize_image(blank_canvas(8)).sum() == 0.0
+
+
+class TestSyntheticMNIST:
+    def test_generate_shapes_and_ranges(self):
+        data = SyntheticMNIST().generate(n_samples=20, rng=0)
+        assert data.images.shape == (20, 28, 28)
+        assert data.labels.shape == (20,)
+        assert 0.0 <= data.images.min() and data.images.max() <= 1.0
+
+    def test_deterministic_given_seed(self):
+        a = SyntheticMNIST().generate(n_samples=10, rng=5)
+        b = SyntheticMNIST().generate(n_samples=10, rng=5)
+        assert np.array_equal(a.images, b.images)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_class_balance(self):
+        data = SyntheticMNIST().generate(n_samples=100, rng=1)
+        counts = data.class_counts()
+        assert set(counts) == set(range(10))
+        assert all(count == 10 for count in counts.values())
+
+    def test_class_restriction(self):
+        data = SyntheticMNIST().generate(n_samples=12, rng=2, classes=[3, 7])
+        assert set(np.unique(data.labels)) == {3, 7}
+
+    def test_prototypes_are_distinct(self):
+        generator = SyntheticMNIST()
+        prototypes = np.stack([generator.prototype(d).ravel() for d in range(10)])
+        # No two class prototypes should be (nearly) identical images.
+        for i in range(10):
+            for j in range(i + 1, 10):
+                assert np.abs(prototypes[i] - prototypes[j]).mean() > 0.01
+
+    def test_unknown_class_raises(self):
+        with pytest.raises(ValueError):
+            SyntheticMNIST().render(11)
+
+    def test_invalid_sample_count_raises(self):
+        with pytest.raises(ValueError):
+            SyntheticMNIST().generate(n_samples=0)
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            SyntheticMNIST(side=4)
+        with pytest.raises(ValueError):
+            SyntheticMNIST(noise_std=-1)
+        with pytest.raises(ValueError):
+            SyntheticMNIST(scale_jitter=0.9)
+
+
+class TestSyntheticFashionMNIST:
+    def test_generate_shapes(self):
+        data = SyntheticFashionMNIST().generate(n_samples=20, rng=0)
+        assert data.images.shape == (20, 28, 28)
+        assert data.n_classes == 10
+
+    def test_class_names(self):
+        assert SyntheticFashionMNIST.class_name(0) == "t-shirt"
+        assert SyntheticFashionMNIST.class_name(9) == "ankle-boot"
+        with pytest.raises(ValueError):
+            SyntheticFashionMNIST.class_name(10)
+
+    def test_garments_have_more_ink_than_digits(self):
+        fashion = SyntheticFashionMNIST().generate(n_samples=20, rng=3)
+        digits = SyntheticMNIST().generate(n_samples=20, rng=3)
+        assert fashion.images.sum() > digits.images.sum()
+
+    def test_deterministic_given_seed(self):
+        a = SyntheticFashionMNIST().generate(n_samples=8, rng=9)
+        b = SyntheticFashionMNIST().generate(n_samples=8, rng=9)
+        assert np.array_equal(a.images, b.images)
+
+
+class TestDatasetContainer:
+    def _make(self, n=10):
+        rng = np.random.default_rng(0)
+        images = rng.random((n, 4, 4))
+        labels = np.arange(n) % 3
+        return Dataset(images=images, labels=labels, name="toy")
+
+    def test_len_and_getitem(self):
+        data = self._make(6)
+        assert len(data) == 6
+        image, label = data[2]
+        assert image.shape == (4, 4)
+        assert label == 2
+
+    def test_images_are_readonly(self):
+        data = self._make()
+        with pytest.raises(ValueError):
+            data.images[0, 0, 0] = 0.5
+
+    def test_n_pixels_and_classes(self):
+        data = self._make()
+        assert data.n_pixels == 16
+        assert data.n_classes == 3
+
+    def test_flattened_images(self):
+        assert self._make(5).flattened_images().shape == (5, 16)
+
+    def test_subset_and_take(self):
+        data = self._make(10)
+        subset = data.subset(np.array([0, 2, 4]))
+        assert len(subset) == 3
+        taken = data.take(4, rng=1)
+        assert len(taken) == 4
+
+    def test_take_too_many_raises(self):
+        with pytest.raises(ValueError):
+            self._make(3).take(10)
+
+    def test_subset_out_of_range_raises(self):
+        with pytest.raises(IndexError):
+            self._make(3).subset(np.array([5]))
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            Dataset(images=np.zeros((3, 2, 2)), labels=np.zeros(2, dtype=int))
+
+    def test_out_of_range_values_raise(self):
+        with pytest.raises(ValueError):
+            Dataset(images=np.full((1, 2, 2), 2.0), labels=np.zeros(1, dtype=int))
+
+    def test_shuffled_preserves_content(self):
+        data = self._make(8)
+        shuffled = data.shuffled(rng=3)
+        assert sorted(shuffled.labels.tolist()) == sorted(data.labels.tolist())
+
+
+class TestTrainTestSplit:
+    def test_stratified_split_covers_all_classes(self):
+        data = SyntheticMNIST().generate(n_samples=60, rng=4)
+        train, test = train_test_split(data, test_fraction=0.25, rng=1)
+        assert len(train) + len(test) == len(data)
+        assert set(np.unique(test.labels)) == set(np.unique(data.labels))
+
+    def test_disjoint(self):
+        data = SyntheticMNIST().generate(n_samples=40, rng=4)
+        train, test = train_test_split(data, test_fraction=0.3, rng=2)
+        # No image should appear in both subsets.
+        train_hashes = {hash(img.tobytes()) for img in train.images}
+        test_hashes = {hash(img.tobytes()) for img in test.images}
+        assert not train_hashes & test_hashes
+
+    def test_invalid_fraction_raises(self):
+        data = SyntheticMNIST().generate(n_samples=10, rng=0)
+        with pytest.raises(ValueError):
+            train_test_split(data, test_fraction=0.0)
+        with pytest.raises(ValueError):
+            train_test_split(data, test_fraction=1.0)
+
+    @given(fraction=st.floats(min_value=0.1, max_value=0.5))
+    @settings(max_examples=10, deadline=None)
+    def test_split_sizes_property(self, fraction):
+        data = SyntheticMNIST().generate(n_samples=50, rng=11)
+        train, test = train_test_split(data, test_fraction=fraction, rng=0)
+        assert len(train) + len(test) == 50
+        assert len(test) >= 1
+
+
+class TestLoadWorkload:
+    def test_mnist_aliases(self):
+        data = load_workload("mnist", n_samples=10, rng=0)
+        assert data.name == "synthetic-mnist"
+
+    def test_fashion_aliases(self):
+        data = load_workload("fashion-mnist", n_samples=10, rng=0)
+        assert data.name == "synthetic-fashion-mnist"
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(ValueError):
+            load_workload("cifar10", n_samples=10)

@@ -1,0 +1,232 @@
+"""Tests for the analytical hardware model (area, latency, energy)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.accelerator import AcceleratorModel
+from repro.hardware.area import AreaModel
+from repro.hardware.compute_engine import ComputeEngineConfig
+from repro.hardware.energy import ActivityProfile, EnergyModel
+from repro.hardware.enhancements import (
+    BnPHardwareEnhancement,
+    HardwareCostParameters,
+    MitigationKind,
+)
+from repro.hardware.latency import LatencyModel
+
+
+class TestComputeEngineConfig:
+    def test_tiling_matches_paper_network_sizes(self):
+        # These tile counts are what produce the paper's 1.0/2.0/3.5/5.0/7.5
+        # latency scaling across N400..N3600 (Fig. 14a).
+        expected = {400: 2, 900: 4, 1600: 7, 2500: 10, 3600: 15}
+        for n_neurons, tiles in expected.items():
+            config = ComputeEngineConfig(n_neurons=n_neurons)
+            assert config.neuron_tiles == tiles
+            assert config.input_tiles == 4  # 784 inputs / 256 rows
+
+    def test_physical_inventory(self):
+        config = ComputeEngineConfig()
+        assert config.physical_synapses == 256 * 256
+        assert config.physical_neurons == 256
+
+    def test_with_network_size(self):
+        config = ComputeEngineConfig(n_neurons=400).with_network_size(900)
+        assert config.n_neurons == 900
+        assert config.n_inputs == 784
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ComputeEngineConfig(n_neurons=0)
+        with pytest.raises(ValueError):
+            ComputeEngineConfig(clock_frequency_mhz=0)
+
+
+class TestEnhancementInventory:
+    def test_no_mitigation_adds_nothing(self):
+        inventory = BnPHardwareEnhancement.for_kind(MitigationKind.NO_MITIGATION)
+        assert not inventory.adds_synapse_logic
+        assert inventory.global_hardened_registers == 0
+
+    def test_re_execution_adds_nothing(self):
+        inventory = BnPHardwareEnhancement.for_kind(MitigationKind.RE_EXECUTION)
+        assert not inventory.adds_synapse_logic
+        assert not inventory.neuron_protection
+
+    def test_bnp1_uses_zero_mask_and_one_register(self):
+        inventory = BnPHardwareEnhancement.for_kind(MitigationKind.BNP1)
+        assert inventory.comparator_per_synapse
+        assert inventory.zero_mask_per_synapse
+        assert not inventory.mux_per_synapse
+        assert inventory.global_hardened_registers == 1
+        assert inventory.neuron_protection
+
+    def test_bnp2_and_bnp3_use_mux_and_two_registers(self):
+        for kind in (MitigationKind.BNP2, MitigationKind.BNP3):
+            inventory = BnPHardwareEnhancement.for_kind(kind)
+            assert inventory.mux_per_synapse
+            assert not inventory.zero_mask_per_synapse
+            assert inventory.global_hardened_registers == 2
+
+    def test_inventory_table_covers_all_kinds(self):
+        table = BnPHardwareEnhancement.inventory_table()
+        assert set(table) == set(MitigationKind.all_kinds())
+
+    def test_cost_parameters_validation(self):
+        with pytest.raises(ValueError):
+            HardwareCostParameters(register_area_per_bit=-1.0)
+        with pytest.raises(ValueError):
+            HardwareCostParameters(hardening_area_factor=0.5)
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(TypeError):
+            BnPHardwareEnhancement.for_kind("bnp1")
+
+
+class TestAreaModel:
+    def test_paper_area_overheads(self):
+        """Fig. 14(c): 1.00 / 1.00 / 1.14 / 1.18 / 1.18."""
+        table = AreaModel().overhead_table()
+        assert table[MitigationKind.NO_MITIGATION] == pytest.approx(1.0)
+        assert table[MitigationKind.RE_EXECUTION] == pytest.approx(1.0)
+        assert table[MitigationKind.BNP1] == pytest.approx(1.14, abs=0.01)
+        assert table[MitigationKind.BNP2] == pytest.approx(1.18, abs=0.01)
+        assert table[MitigationKind.BNP3] == pytest.approx(1.18, abs=0.01)
+
+    def test_synapse_array_dominates(self):
+        breakdown = AreaModel().breakdown(MitigationKind.BNP1)
+        assert breakdown.synapse_array > 10 * breakdown.neuron_array
+        assert breakdown.global_registers < 0.001 * breakdown.synapse_array
+
+    def test_breakdown_total_consistent(self):
+        model = AreaModel()
+        breakdown = model.breakdown(MitigationKind.BNP3)
+        assert breakdown.total == pytest.approx(model.total_area(MitigationKind.BNP3))
+        assert breakdown.enhancement_total > 0
+        assert set(breakdown.as_dict()) >= {"synapse_array", "total"}
+
+    def test_area_independent_of_logical_network_size(self):
+        small = AreaModel(ComputeEngineConfig(n_neurons=400))
+        large = AreaModel(ComputeEngineConfig(n_neurons=3600))
+        assert small.total_area(MitigationKind.BNP1) == pytest.approx(
+            large.total_area(MitigationKind.BNP1)
+        )
+
+
+class TestLatencyModel:
+    def test_paper_network_scaling(self):
+        """Fig. 14(a): no-mitigation latency 1.0 / 2.0 / 3.5 / 5.0 / 7.5."""
+        reference = LatencyModel(ComputeEngineConfig(n_neurons=400))
+        expected = {400: 1.0, 900: 2.0, 1600: 3.5, 2500: 5.0, 3600: 7.5}
+        for n_neurons, value in expected.items():
+            model = LatencyModel(ComputeEngineConfig(n_neurons=n_neurons))
+            table = model.normalized_table(reference=reference)
+            assert table[MitigationKind.NO_MITIGATION] == pytest.approx(value)
+
+    def test_re_execution_is_three_times(self):
+        table = LatencyModel().normalized_table()
+        assert table[MitigationKind.RE_EXECUTION] == pytest.approx(3.0)
+
+    def test_bnp_latency_overhead_small(self):
+        table = LatencyModel().normalized_table()
+        assert table[MitigationKind.BNP1] == pytest.approx(1.0)
+        assert 1.0 < table[MitigationKind.BNP2] <= 1.061
+        assert table[MitigationKind.BNP3] == table[MitigationKind.BNP2]
+
+    def test_savings_vs_reexecution_about_3x(self):
+        table = LatencyModel().normalized_table()
+        assert table[MitigationKind.RE_EXECUTION] / table[MitigationKind.BNP1] >= 2.9
+
+    def test_estimate_fields(self):
+        estimate = LatencyModel().estimate(MitigationKind.RE_EXECUTION)
+        assert estimate.executions == 3
+        assert estimate.total_ns > 0
+        assert estimate.normalized_to(estimate) == pytest.approx(1.0)
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(TypeError):
+            LatencyModel().estimate("bnp1")
+
+
+class TestEnergyModel:
+    def test_paper_technique_overheads(self):
+        """Fig. 14(b) at one size: 1.0 / 3.0 / 1.3 / 1.6 / 1.6."""
+        table = EnergyModel().normalized_table()
+        assert table[MitigationKind.NO_MITIGATION] == pytest.approx(1.0)
+        assert table[MitigationKind.RE_EXECUTION] == pytest.approx(3.0)
+        assert table[MitigationKind.BNP1] == pytest.approx(1.3, abs=0.02)
+        assert table[MitigationKind.BNP2] == pytest.approx(1.6, abs=0.02)
+        assert table[MitigationKind.BNP3] == pytest.approx(1.6, abs=0.02)
+
+    def test_energy_savings_vs_reexecution(self):
+        table = EnergyModel().normalized_table()
+        savings = table[MitigationKind.RE_EXECUTION] / table[MitigationKind.BNP3]
+        assert savings >= 1.8  # paper reports up to 2.3x
+
+    def test_network_size_scaling_tracks_tiles(self):
+        reference = EnergyModel(ComputeEngineConfig(n_neurons=400))
+        model = EnergyModel(ComputeEngineConfig(n_neurons=900))
+        table = model.normalized_table(reference=reference)
+        assert table[MitigationKind.NO_MITIGATION] == pytest.approx(2.0)
+
+    def test_event_driven_activity_reduces_energy(self):
+        config = ComputeEngineConfig(n_neurons=400)
+        model = EnergyModel(config)
+        dense = model.energy(MitigationKind.NO_MITIGATION)
+        sparse_activity = ActivityProfile.from_spike_counts(
+            config, total_input_spikes=1000, n_samples=1
+        )
+        sparse = model.energy(MitigationKind.NO_MITIGATION, activity=sparse_activity)
+        assert sparse < dense
+
+    def test_activity_profile_validation(self):
+        with pytest.raises(ValueError):
+            ActivityProfile(synapse_accesses=-1, neuron_updates=0)
+        with pytest.raises(ValueError):
+            ActivityProfile.from_spike_counts(
+                ComputeEngineConfig(), total_input_spikes=10, n_samples=0
+            )
+
+    @given(spikes=st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=20, deadline=None)
+    def test_energy_monotone_in_activity_property(self, spikes):
+        config = ComputeEngineConfig(n_neurons=400)
+        model = EnergyModel(config)
+        low = model.energy(
+            MitigationKind.BNP1,
+            activity=ActivityProfile.from_spike_counts(config, spikes),
+        )
+        high = model.energy(
+            MitigationKind.BNP1,
+            activity=ActivityProfile.from_spike_counts(config, spikes + 100),
+        )
+        assert high >= low
+
+
+class TestAcceleratorModel:
+    def test_report_all_covers_every_technique(self):
+        reports = AcceleratorModel().report_all()
+        assert set(reports) == set(MitigationKind.all_kinds())
+        for report in reports.values():
+            assert report.latency_ns > 0
+            assert report.energy > 0
+            assert report.area > 0
+            assert set(report.as_dict()) == {"technique", "latency_ns", "energy", "area"}
+
+    def test_for_network_size_changes_latency_not_area(self):
+        base = AcceleratorModel(ComputeEngineConfig(n_neurons=400))
+        bigger = base.for_network_size(3600)
+        assert bigger.report(MitigationKind.NO_MITIGATION).latency_ns > base.report(
+            MitigationKind.NO_MITIGATION
+        ).latency_ns
+        assert bigger.report(MitigationKind.NO_MITIGATION).area == pytest.approx(
+            base.report(MitigationKind.NO_MITIGATION).area
+        )
+
+    def test_normalized_tables_consistent_with_submodels(self):
+        model = AcceleratorModel()
+        assert model.normalized_area() == model.area_model.overhead_table()
+        assert model.normalized_latency() == model.latency_model.normalized_table()

@@ -1,0 +1,227 @@
+"""Tests for the LIF neuron group and its four explicit hardware operations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.snn.neuron import LIFNeuronGroup, LIFParameters, NeuronOperationStatus
+
+
+def _drive(group: LIFNeuronGroup, current: float, steps: int) -> np.ndarray:
+    """Drive every neuron with a constant current and return total spike counts."""
+    counts = np.zeros(group.n_neurons, dtype=int)
+    for _ in range(steps):
+        counts += group.step(np.full(group.n_neurons, current))
+    return counts
+
+
+class TestLIFParameters:
+    def test_decay_factors_in_unit_interval(self):
+        params = LIFParameters()
+        assert 0 < params.membrane_decay < 1
+        assert 0 < params.theta_decay < 1
+
+    def test_invalid_threshold_raises(self):
+        with pytest.raises(ValueError):
+            LIFParameters(v_threshold=0.0, v_reset=0.0)
+
+    def test_invalid_refractory_raises(self):
+        with pytest.raises(ValueError):
+            LIFParameters(refractory_period=-1)
+
+    def test_vmin_above_reset_raises(self):
+        with pytest.raises(ValueError):
+            LIFParameters(v_min=1.0, v_reset=0.0)
+
+
+class TestHealthyDynamics:
+    def test_strong_drive_produces_spikes(self):
+        group = LIFNeuronGroup(4, LIFParameters(inhibition_strength=0.0))
+        counts = _drive(group, current=1.0, steps=30)
+        assert (counts > 0).all()
+
+    def test_subthreshold_drive_is_silent(self):
+        group = LIFNeuronGroup(4, LIFParameters(tau_membrane=5.0))
+        counts = _drive(group, current=0.01, steps=30)
+        assert counts.sum() == 0
+
+    def test_membrane_resets_after_spike(self):
+        group = LIFNeuronGroup(1, LIFParameters(inhibition_strength=0.0))
+        spiked = False
+        for _ in range(20):
+            spikes = group.step(np.array([1.0]))
+            if spikes[0]:
+                spiked = True
+                assert group.v[0] == pytest.approx(group.params.v_reset)
+                break
+        assert spiked
+
+    def test_refractory_period_blocks_integration(self):
+        params = LIFParameters(refractory_period=5, inhibition_strength=0.0)
+        group = LIFNeuronGroup(1, params)
+        # Force a spike, then confirm no spikes for the refractory window even
+        # under very strong drive.
+        while not group.step(np.array([5.0]))[0]:
+            pass
+        spikes_during_refractory = [
+            group.step(np.array([5.0]))[0] for _ in range(params.refractory_period - 1)
+        ]
+        assert not any(spikes_during_refractory)
+
+    def test_leak_pulls_toward_rest(self):
+        group = LIFNeuronGroup(1, LIFParameters(tau_membrane=2.0))
+        group.step(np.array([0.5]))
+        v_after_input = group.v[0]
+        group.step(np.array([0.0]))
+        assert group.v[0] < v_after_input
+
+    def test_lateral_inhibition_suppresses_others(self):
+        params = LIFParameters(inhibition_strength=1.0)
+        group = LIFNeuronGroup(2, params)
+        # Neuron 0 gets strong drive; neuron 1 gets moderate drive.
+        for _ in range(10):
+            group.step(np.array([2.0, 0.3]))
+        inhibited_v = group.v[1]
+        group_no_inh = LIFNeuronGroup(2, LIFParameters(inhibition_strength=0.0))
+        for _ in range(10):
+            group_no_inh.step(np.array([2.0, 0.3]))
+        assert inhibited_v < group_no_inh.v[1]
+
+    def test_theta_only_adapts_when_learning(self):
+        group = LIFNeuronGroup(1, LIFParameters(inhibition_strength=0.0))
+        _drive(group, 2.0, 10)
+        assert group.theta[0] == 0.0
+        for _ in range(10):
+            group.step(np.array([2.0]), learning=True)
+        assert group.theta[0] > 0.0
+
+    def test_reset_state_clears_dynamics_but_keeps_theta(self):
+        group = LIFNeuronGroup(1, LIFParameters(inhibition_strength=0.0))
+        for _ in range(10):
+            group.step(np.array([2.0]), learning=True)
+        theta_before = group.theta[0]
+        group.reset_state()
+        assert group.v[0] == group.params.v_rest
+        assert group.theta[0] == theta_before
+        group.reset_state(reset_theta=True)
+        assert group.theta[0] == 0.0
+
+    def test_run_matches_step_loop(self):
+        currents = np.full((15, 3), 0.8)
+        a = LIFNeuronGroup(3, LIFParameters(inhibition_strength=0.0))
+        raster = a.run(currents)
+        b = LIFNeuronGroup(3, LIFParameters(inhibition_strength=0.0))
+        manual = np.stack([b.step(row) for row in currents])
+        assert np.array_equal(raster, manual)
+
+    def test_input_shape_validation(self):
+        group = LIFNeuronGroup(3)
+        with pytest.raises(ValueError):
+            group.step(np.zeros(4))
+        with pytest.raises(ValueError):
+            group.run(np.zeros((5, 4)))
+
+
+class TestFaultyOperations:
+    """The four faulty behaviours of Fig. 6."""
+
+    def _status(self, n, **kwargs):
+        status = NeuronOperationStatus.healthy(n)
+        for name, indices in kwargs.items():
+            getattr(status, name)[indices] = False
+        return status
+
+    def test_faulty_vmem_increase_silences_neuron(self):
+        status = self._status(2, vmem_increase_ok=[0])
+        group = LIFNeuronGroup(2, LIFParameters(inhibition_strength=0.0), status)
+        counts = _drive(group, 2.0, 30)
+        assert counts[0] == 0
+        assert counts[1] > 0
+
+    def test_faulty_vmem_leak_keeps_potential(self):
+        status = self._status(1, vmem_leak_ok=[0])
+        group = LIFNeuronGroup(1, LIFParameters(tau_membrane=2.0), status)
+        group.step(np.array([0.5]))
+        v_after = group.v[0]
+        group.step(np.array([0.0]))
+        assert group.v[0] == pytest.approx(v_after)
+
+    def test_faulty_vmem_reset_causes_burst(self):
+        status = self._status(1, vmem_reset_ok=[0])
+        group = LIFNeuronGroup(1, LIFParameters(inhibition_strength=0.0), status)
+        counts = _drive(group, 2.0, 30)
+        healthy = LIFNeuronGroup(1, LIFParameters(inhibition_strength=0.0))
+        healthy_counts = _drive(healthy, 2.0, 30)
+        # The bursting neuron fires far more often than a healthy one.
+        assert counts[0] > 2 * healthy_counts[0]
+
+    def test_faulty_spike_generation_blocks_output_but_resets(self):
+        status = self._status(1, spike_generation_ok=[0])
+        group = LIFNeuronGroup(1, LIFParameters(inhibition_strength=0.0), status)
+        counts = _drive(group, 2.0, 30)
+        assert counts[0] == 0
+        # Membrane keeps being reset internally, so it never runs away.
+        assert group.v[0] < 10 * group.params.v_threshold
+
+    def test_operation_status_validation(self):
+        with pytest.raises(ValueError):
+            NeuronOperationStatus(n_neurons=0)
+        with pytest.raises(ValueError):
+            NeuronOperationStatus(n_neurons=3, vmem_reset_ok=np.ones(2, bool))
+
+    def test_status_copy_is_independent(self):
+        status = NeuronOperationStatus.healthy(3)
+        clone = status.copy()
+        clone.vmem_reset_ok[0] = False
+        assert status.vmem_reset_ok[0]
+
+    def test_faulty_neuron_count(self):
+        status = self._status(5, vmem_reset_ok=[0], spike_generation_ok=[0, 3])
+        assert status.faulty_neuron_count() == 2
+        assert status.any_faulty
+
+    def test_mismatched_status_rejected(self):
+        group = LIFNeuronGroup(3)
+        with pytest.raises(ValueError):
+            group.set_operation_status(NeuronOperationStatus.healthy(4))
+
+
+class TestProtectionHooks:
+    def test_comparator_counter_tracks_stuck_neurons(self):
+        status = NeuronOperationStatus.healthy(1)
+        status.vmem_reset_ok[0] = False
+        group = LIFNeuronGroup(1, LIFParameters(inhibition_strength=0.0), status)
+        _drive(group, 2.0, 10)
+        assert group.consecutive_above_threshold[0] >= 2
+
+    def test_healthy_neuron_never_reaches_two_consecutive(self):
+        group = LIFNeuronGroup(1, LIFParameters(inhibition_strength=0.0))
+        max_consecutive = 0
+        for _ in range(40):
+            group.step(np.array([2.0]))
+            max_consecutive = max(max_consecutive, group.consecutive_above_threshold[0])
+        assert max_consecutive <= 1
+
+    def test_disable_spiking_gates_output(self):
+        status = NeuronOperationStatus.healthy(1)
+        status.vmem_reset_ok[0] = False
+        group = LIFNeuronGroup(1, LIFParameters(inhibition_strength=0.0), status)
+        group.disable_spiking(np.array([True]))
+        counts = _drive(group, 2.0, 20)
+        assert counts[0] == 0
+
+    def test_disable_spiking_shape_validation(self):
+        group = LIFNeuronGroup(2)
+        with pytest.raises(ValueError):
+            group.disable_spiking(np.array([True]))
+
+    @given(current=st.floats(min_value=0.0, max_value=3.0), steps=st.integers(5, 40))
+    @settings(max_examples=25, deadline=None)
+    def test_membrane_never_below_vmin_property(self, current, steps):
+        group = LIFNeuronGroup(5, LIFParameters())
+        for _ in range(steps):
+            group.step(np.full(5, current))
+            assert (group.v >= group.params.v_min - 1e-9).all()

@@ -1,0 +1,159 @@
+"""Unit and property tests for :mod:`repro.utils.bits`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.bits import (
+    bits_to_int,
+    count_set_bits,
+    flip_bit,
+    flip_bits,
+    flip_bits_in_array,
+    int_to_bits,
+)
+
+
+class TestIntBitsConversion:
+    def test_int_to_bits_little_endian(self):
+        assert int_to_bits(5, bit_width=4).tolist() == [1, 0, 1, 0]
+
+    def test_bits_to_int_roundtrip_example(self):
+        assert bits_to_int([1, 0, 1, 0]) == 5
+
+    def test_zero(self):
+        assert int_to_bits(0, bit_width=8).tolist() == [0] * 8
+
+    def test_all_ones(self):
+        assert bits_to_int([1] * 8) == 255
+
+    def test_value_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            int_to_bits(256, bit_width=8)
+
+    def test_negative_value_raises(self):
+        with pytest.raises(ValueError):
+            int_to_bits(-1, bit_width=8)
+
+    def test_bad_bit_width_raises(self):
+        with pytest.raises(ValueError):
+            int_to_bits(1, bit_width=0)
+
+    def test_non_binary_bits_raise(self):
+        with pytest.raises(ValueError):
+            bits_to_int([0, 2, 1])
+
+    @given(value=st.integers(min_value=0, max_value=255))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, value):
+        assert bits_to_int(int_to_bits(value, bit_width=8)) == value
+
+
+class TestFlipBit:
+    def test_flip_sets_bit(self):
+        assert flip_bit(0, 3, bit_width=8) == 8
+
+    def test_flip_clears_bit(self):
+        assert flip_bit(8, 3, bit_width=8) == 0
+
+    def test_flip_twice_is_identity(self):
+        assert flip_bit(flip_bit(42, 5), 5) == 42
+
+    def test_out_of_range_position_raises(self):
+        with pytest.raises(ValueError):
+            flip_bit(0, 8, bit_width=8)
+
+    def test_flip_bits_multiple_positions(self):
+        assert flip_bits(0, [0, 1, 2], bit_width=8) == 7
+
+    @given(
+        value=st.integers(min_value=0, max_value=255),
+        position=st.integers(min_value=0, max_value=7),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_flip_changes_exactly_one_bit(self, value, position):
+        flipped = flip_bit(value, position, bit_width=8)
+        assert flipped != value
+        assert count_set_bits(np.array([value ^ flipped]))[0] == 1
+
+
+class TestFlipBitsInArray:
+    def test_flips_selected_registers(self):
+        values = np.array([0, 1, 2, 3], dtype=np.int64)
+        out = flip_bits_in_array(values, np.array([0, 2]), np.array([0, 1]))
+        assert out.tolist() == [1, 1, 0, 3]
+
+    def test_original_untouched(self):
+        values = np.array([7], dtype=np.int64)
+        flip_bits_in_array(values, np.array([0]), np.array([0]))
+        assert values[0] == 7
+
+    def test_repeated_strike_same_bit_cancels(self):
+        values = np.array([0], dtype=np.int64)
+        out = flip_bits_in_array(values, np.array([0, 0]), np.array([3, 3]))
+        assert out[0] == 0
+
+    def test_repeated_strike_different_bits_compose(self):
+        values = np.array([0], dtype=np.int64)
+        out = flip_bits_in_array(values, np.array([0, 0]), np.array([0, 1]))
+        assert out[0] == 3
+
+    def test_preserves_shape(self):
+        values = np.arange(12, dtype=np.int64).reshape(3, 4)
+        out = flip_bits_in_array(values, np.array([5]), np.array([7]))
+        assert out.shape == (3, 4)
+        assert out[1, 1] == values[1, 1] ^ 128
+
+    def test_index_out_of_range_raises(self):
+        with pytest.raises(IndexError):
+            flip_bits_in_array(
+                np.array([0], dtype=np.int64), np.array([1]), np.array([0])
+            )
+
+    def test_bit_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            flip_bits_in_array(
+                np.array([0], dtype=np.int64), np.array([0]), np.array([8])
+            )
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            flip_bits_in_array(
+                np.array([0], dtype=np.int64), np.array([0, 0]), np.array([1])
+            )
+
+    def test_float_array_rejected(self):
+        with pytest.raises(TypeError):
+            flip_bits_in_array(np.array([0.5]), np.array([0]), np.array([0]))
+
+    @given(
+        data=st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=20),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_double_injection_restores_original(self, data, seed):
+        """Applying the same fault map twice must restore the registers."""
+        values = np.array(data, dtype=np.int64)
+        generator = np.random.default_rng(seed)
+        n_faults = generator.integers(1, 2 * len(data) + 1)
+        indices = generator.integers(0, len(data), size=n_faults)
+        bits = generator.integers(0, 8, size=n_faults)
+        once = flip_bits_in_array(values, indices, bits)
+        twice = flip_bits_in_array(once, indices, bits)
+        assert np.array_equal(twice, values)
+
+
+class TestCountSetBits:
+    def test_known_values(self):
+        assert count_set_bits(np.array([0, 1, 3, 255])).tolist() == [0, 1, 2, 8]
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            count_set_bits(np.array([-1]))
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            count_set_bits(np.array([1.0]))

@@ -1,0 +1,178 @@
+"""Tests for RNG management, serialization, validation and logging helpers."""
+
+from __future__ import annotations
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.utils.logging import configure_logging, get_logger
+from repro.utils.rng import SeedSequenceFactory, resolve_rng, spawn_rngs
+from repro.utils.serialization import load_json, numpy_to_native, save_json
+from repro.utils.validation import (
+    check_fraction,
+    check_in_choices,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_shape,
+)
+
+
+class TestResolveRng:
+    def test_none_returns_generator(self):
+        assert isinstance(resolve_rng(None), np.random.Generator)
+
+    def test_seed_is_deterministic(self):
+        assert resolve_rng(5).random() == resolve_rng(5).random()
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(1)
+        assert resolve_rng(generator) is generator
+
+    def test_negative_seed_raises(self):
+        with pytest.raises(ValueError):
+            resolve_rng(-1)
+
+    def test_bad_type_raises(self):
+        with pytest.raises(TypeError):
+            resolve_rng("seed")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 4)) == 4
+
+    def test_children_differ(self):
+        children = spawn_rngs(0, 2)
+        assert children[0].random() != children[1].random()
+
+    def test_deterministic_from_seed(self):
+        a = [g.random() for g in spawn_rngs(3, 3)]
+        b = [g.random() for g in spawn_rngs(3, 3)]
+        assert a == b
+
+    def test_zero_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, 0)
+
+
+class TestSeedSequenceFactory:
+    def test_same_purpose_same_seed(self):
+        factory = SeedSequenceFactory(42)
+        assert factory.seed_for("a/b") == factory.seed_for("a/b")
+
+    def test_different_purposes_differ(self):
+        factory = SeedSequenceFactory(42)
+        assert factory.seed_for("a") != factory.seed_for("b")
+
+    def test_root_seed_changes_seeds(self):
+        assert (
+            SeedSequenceFactory(1).seed_for("x") != SeedSequenceFactory(2).seed_for("x")
+        )
+
+    def test_child_namespacing(self):
+        factory = SeedSequenceFactory(7)
+        child = factory.child("fig13")
+        assert child.seed_for("x") != factory.seed_for("x")
+
+    def test_rng_for_is_deterministic(self):
+        factory = SeedSequenceFactory(5)
+        assert factory.rng_for("p").random() == factory.rng_for("p").random()
+
+    def test_empty_purpose_raises(self):
+        with pytest.raises(ValueError):
+            SeedSequenceFactory(0).seed_for("")
+
+    def test_negative_root_raises(self):
+        with pytest.raises(ValueError):
+            SeedSequenceFactory(-1)
+
+
+class TestSerialization:
+    def test_numpy_to_native_scalars(self):
+        converted = numpy_to_native(
+            {"a": np.int64(3), "b": np.float64(0.5), "c": np.bool_(True)}
+        )
+        assert converted == {"a": 3, "b": 0.5, "c": True}
+        assert all(not isinstance(v, np.generic) for v in converted.values())
+
+    def test_numpy_to_native_nested(self):
+        converted = numpy_to_native({"x": [np.arange(3), (np.float32(1.5),)]})
+        assert converted == {"x": [[0, 1, 2], [1.5]]}
+
+    def test_save_and_load_roundtrip(self, tmp_path):
+        payload = {"accuracy": np.float64(91.2), "rates": np.array([1e-3, 1e-2])}
+        path = save_json(payload, tmp_path / "out" / "results.json")
+        assert path.exists()
+        loaded = load_json(path)
+        assert loaded["accuracy"] == pytest.approx(91.2)
+        assert loaded["rates"] == [1e-3, 1e-2]
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_json(tmp_path / "nope.json")
+
+
+class TestValidation:
+    def test_check_positive_accepts(self):
+        assert check_positive(0.1, "x") == pytest.approx(0.1)
+
+    def test_check_positive_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive(0, "x")
+
+    def test_check_non_negative_accepts_zero(self):
+        assert check_non_negative(0, "x") == 0.0
+
+    def test_check_non_negative_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative(-0.5, "x")
+
+    def test_check_probability_bounds(self):
+        assert check_probability(0.0, "p") == 0.0
+        assert check_probability(1.0, "p") == 1.0
+        with pytest.raises(ValueError):
+            check_probability(1.1, "p")
+
+    def test_check_fraction_excludes_zero(self):
+        with pytest.raises(ValueError):
+            check_fraction(0.0, "f")
+        assert check_fraction(1.0, "f") == 1.0
+
+    def test_check_in_choices(self):
+        assert check_in_choices("a", "x", ["a", "b"]) == "a"
+        with pytest.raises(ValueError):
+            check_in_choices("c", "x", ["a", "b"])
+
+    def test_check_shape_exact(self):
+        array = np.zeros((3, 4))
+        assert check_shape(array, (3, 4), "m") is not None
+
+    def test_check_shape_wildcard(self):
+        check_shape(np.zeros((3, 4)), (-1, 4), "m")
+
+    def test_check_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            check_shape(np.zeros((3, 4)), (4, 3), "m")
+
+    def test_check_shape_ndim_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            check_shape(np.zeros(3), (3, 1), "m")
+
+
+class TestLogging:
+    def test_get_logger_namespacing(self):
+        assert get_logger("snn.training").name == "repro.snn.training"
+        assert get_logger().name == "repro"
+        assert get_logger("repro.core").name == "repro.core"
+
+    def test_configure_logging_idempotent(self):
+        configure_logging(level=logging.WARNING)
+        configure_logging(level=logging.WARNING)
+        root = logging.getLogger("repro")
+        own_handlers = [
+            h for h in root.handlers if getattr(h, "_repro_handler", False)
+        ]
+        assert len(own_handlers) == 1
