@@ -33,7 +33,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.hardware.enhancements import MitigationKind
-from repro.snn.neuron import LIFNeuronGroup
+from repro.snn.synapse import BoundedWeightRule
 from repro.utils.validation import check_non_negative
 
 __all__ = ["BnPVariant", "WeightBounding", "NeuronProtection"]
@@ -131,8 +131,19 @@ class WeightBounding:
         Fig. 11: the stored (possibly corrupted) registers are untouched;
         only the value forwarded to the adder chain is bounded.
         """
-        weights = np.asarray(weights, dtype=np.float64)
-        return np.where(weights >= self.threshold, self.substitute, weights)
+        return self.as_weight_rule().apply(weights)
+
+    def as_weight_rule(self) -> BoundedWeightRule:
+        """Symbolic form of Eq. 1 consumed by the simulation hot paths.
+
+        Passing the rule (rather than a dense bounded matrix) lets
+        :meth:`repro.snn.synapse.SynapseMatrix.current_operator` evaluate
+        the bounded currents through exact integer-code arithmetic, keeping
+        batched and sequential runs bitwise identical.
+        """
+        return BoundedWeightRule(
+            threshold=self.threshold, substitute=self.substitute
+        )
 
     def out_of_range_mask(self, weights: np.ndarray) -> np.ndarray:
         """Boolean mask of the weights the bounding rule would replace."""
@@ -146,12 +157,20 @@ class WeightBounding:
 class NeuronProtection:
     """Faulty ``Vmem reset`` detector and spike gate (Section 3.2 / Fig. 11c).
 
-    An instance is used as the ``step_monitor`` hook of
-    :meth:`repro.snn.network.DiehlCookNetwork.present`: after every timestep
-    it reads how long each neuron's ``Vmem >= Vth`` comparator has stayed
-    asserted, and once that reaches ``trigger_cycles`` (two in the paper) it
-    latches the neuron's spike generation off for the rest of the
-    presentation.
+    An instance is used as the ``step_monitor`` hook of the inference
+    paths: after every timestep it reads how long each neuron's
+    ``Vmem >= Vth`` comparator has stayed asserted, and once that reaches
+    ``trigger_cycles`` (two in the paper) it latches the neuron's spike
+    generation off for the rest of the presentation.
+
+    The monitor understands both state protocols: the sequential
+    :class:`~repro.snn.neuron.LIFNeuronGroup` (1-D comparator counter) and
+    the batched :class:`~repro.snn.engine.BatchedLIFState` (a
+    ``(batch, n_neurons)`` counter).  On the batched path the gating still
+    happens live inside :meth:`__call__`, but the statistics are recorded
+    through :meth:`commit_batch` once the engine *accepts* a batch of
+    samples — the engine may re-simulate suffixes of a batch to resolve
+    cross-sample faulty-reset latches, and only accepted passes count.
 
     Parameters
     ----------
@@ -170,17 +189,48 @@ class NeuronProtection:
         self._activations = 0
 
     # ------------------------------------------------------------------ #
-    def __call__(self, neurons: LIFNeuronGroup) -> None:
-        """Inspect the neuron group after one timestep and gate faulty neurons."""
-        stuck = neurons.consecutive_above_threshold >= self.trigger_cycles
-        if stuck.any():
+    def __call__(self, neurons) -> None:
+        """Inspect the neuron state after one timestep and gate faulty neurons.
+
+        *neurons* is either a :class:`~repro.snn.neuron.LIFNeuronGroup` or
+        a :class:`~repro.snn.engine.BatchedLIFState`.
+        """
+        counter = neurons.consecutive_above_threshold
+        stuck = counter >= self.trigger_cycles
+        if not stuck.any():
+            return
+        if counter.ndim == 1:
             newly_protected = stuck & ~neurons.spike_disabled
             if newly_protected.any():
                 self._protected_neurons.update(
                     int(index) for index in np.flatnonzero(newly_protected)
                 )
                 self._activations += int(newly_protected.sum())
-            neurons.disable_spiking(stuck)
+        neurons.disable_spiking(stuck)
+
+    def commit_batch(
+        self, sample_indices: np.ndarray, spike_disabled: np.ndarray
+    ) -> None:
+        """Record the protection statistics of accepted batch samples.
+
+        Parameters
+        ----------
+        sample_indices:
+            Global dataset index of each accepted row (unused by the
+            default statistics, which aggregate over samples exactly like
+            the sequential path, but part of the protocol so subclasses can
+            attribute events to samples).
+        spike_disabled:
+            Final ``(rows, n_neurons)`` spike-gate state of the accepted
+            rows; every gated (sample, neuron) pair is one activation,
+            matching the sequential count of newly-protected events.
+        """
+        spike_disabled = np.asarray(spike_disabled, dtype=bool)
+        if spike_disabled.any():
+            self._activations += int(spike_disabled.sum())
+            self._protected_neurons.update(
+                int(index) for index in np.flatnonzero(spike_disabled.any(axis=0))
+            )
 
     # ------------------------------------------------------------------ #
     @property

@@ -67,6 +67,7 @@ class MitigationTechnique(abc.ABC):
         fault_config: Optional[ComputeEngineFaultConfig] = None,
         rng: RNGLike = None,
         fault_map: Optional[FaultMap] = None,
+        batch_size: Optional[int] = None,
     ) -> InferenceResult:
         """Classify *dataset* under the given soft-error scenario.
 
@@ -84,6 +85,9 @@ class MitigationTechnique(abc.ABC):
         fault_map:
             Optional pre-drawn fault map, replayed instead of drawing a new
             one — used by the harness for paired comparisons.
+        batch_size:
+            Number of samples the batched inference engine advances
+            together; ``None`` uses the engine default.
         """
 
     # ------------------------------------------------------------------ #
@@ -123,13 +127,14 @@ class NoMitigation(MitigationTechnique):
         fault_config: Optional[ComputeEngineFaultConfig] = None,
         rng: RNGLike = None,
         fault_map: Optional[FaultMap] = None,
+        batch_size: Optional[int] = None,
     ) -> InferenceResult:
         generator = resolve_rng(rng)
         network, _ = self._build_faulty_network(
             model, fault_config, generator, fault_map
         )
         engine = InferenceEngine(network, model.neuron_labels)
-        return engine.evaluate(dataset, rng=generator)
+        return engine.evaluate(dataset, rng=generator, batch_size=batch_size)
 
 
 class ReExecutionTMR(MitigationTechnique):
@@ -186,6 +191,7 @@ class ReExecutionTMR(MitigationTechnique):
         fault_config: Optional[ComputeEngineFaultConfig] = None,
         rng: RNGLike = None,
         fault_map: Optional[FaultMap] = None,
+        batch_size: Optional[int] = None,
     ) -> InferenceResult:
         generator = resolve_rng(rng)
         runs = []
@@ -217,7 +223,9 @@ class ReExecutionTMR(MitigationTechnique):
                 model, execution_config, generator, execution_map
             )
             engine = InferenceEngine(network, model.neuron_labels)
-            runs.append(engine.evaluate(dataset, rng=generator))
+            runs.append(
+                engine.evaluate(dataset, rng=generator, batch_size=batch_size)
+            )
 
         predictions = self._majority_vote([run.predictions for run in runs])
         # Spike counts and activity of the report come from the first run;
@@ -300,15 +308,17 @@ class BnPTechnique(MitigationTechnique):
         fault_config: Optional[ComputeEngineFaultConfig] = None,
         rng: RNGLike = None,
         fault_map: Optional[FaultMap] = None,
+        batch_size: Optional[int] = None,
     ) -> InferenceResult:
         generator = resolve_rng(rng)
         network, _ = self._build_faulty_network(
             model, fault_config, generator, fault_map
         )
         bounding = self.bounding_for(model)
-        faulty_weights = network.synapses.weights
-        self.last_bounded_count = bounding.count_bounded(faulty_weights)
-        effective_weights = bounding.apply(faulty_weights)
+        self.last_bounded_count = bounding.count_bounded(network.synapses.weights)
+        # The symbolic rule lets the crossbar evaluate bounded currents
+        # through exact integer-code arithmetic (batch-shape independent).
+        effective_weights = bounding.as_weight_rule()
 
         protection = NeuronProtection(trigger_cycles=self.protection_trigger_cycles)
         self.last_protection = protection
@@ -319,6 +329,7 @@ class BnPTechnique(MitigationTechnique):
             rng=generator,
             effective_weights=effective_weights,
             step_monitor=protection,
+            batch_size=batch_size,
         )
 
 

@@ -53,6 +53,11 @@ class ExperimentConfig:
     paper_network_size:
         The paper network size this configuration stands in for (e.g. the
         scaled-down N400 proxy); purely documentation carried into reports.
+    eval_batch_size:
+        Number of test samples the batched inference engine classifies
+        together; forward it to :class:`~repro.eval.sweep.FaultRateSweep`
+        or :meth:`MitigationTechnique.evaluate` calls built from this
+        configuration.
     """
 
     workload: str = "mnist"
@@ -66,6 +71,7 @@ class ExperimentConfig:
     seed: int = 0
     paper_network_size: Optional[int] = None
     neuron_params: LIFParameters = field(default_factory=LIFParameters)
+    eval_batch_size: int = 64
 
     def __post_init__(self) -> None:
         if self.n_neurons <= 0:
@@ -78,6 +84,10 @@ class ExperimentConfig:
             raise ValueError(f"epochs must be positive, got {self.epochs}")
         if self.seed < 0:
             raise ValueError(f"seed must be non-negative, got {self.seed}")
+        if self.eval_batch_size <= 0:
+            raise ValueError(
+                f"eval_batch_size must be positive, got {self.eval_batch_size}"
+            )
 
     # ------------------------------------------------------------------ #
     def network_config(self) -> NetworkConfig:
@@ -186,6 +196,31 @@ class ExperimentRunner:
         )
         self._cache[key] = prepared
         return prepared
+
+    def clean_accuracy(self, prepared: PreparedExperiment) -> float:
+        """Batched clean-network accuracy (percent) on the test set (cached).
+
+        Classification runs through the batched inference engine in chunks
+        of ``config.eval_batch_size``; the result is attached to the
+        prepared experiment so repeated figure benches reuse it.
+        """
+        cached = prepared.clean_accuracy_hint
+        if cached is not None:
+            return cached
+        from repro.snn.inference import InferenceEngine
+
+        config = prepared.config
+        network = prepared.model.build_network(
+            rng=self.seeds.rng_for(f"clean-eval/{config.label()}/{config.seed}")
+        )
+        engine = InferenceEngine(network, prepared.model.neuron_labels)
+        result = engine.evaluate(
+            prepared.test_set,
+            rng=self.seeds.rng_for(f"clean-eval-enc/{config.label()}/{config.seed}"),
+            batch_size=config.eval_batch_size,
+        )
+        prepared._clean_accuracy = result.accuracy_percent
+        return result.accuracy_percent
 
     def clear_cache(self) -> None:
         """Drop all cached prepared experiments."""

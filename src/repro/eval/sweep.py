@@ -9,6 +9,7 @@ is paired.  :class:`FaultRateSweep` implements that loop once.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -51,9 +52,14 @@ class TechniqueAccuracy:
     per_trial: List[List[float]] = field(default_factory=list)
 
     def accuracy_at(self, fault_rate: float) -> float:
-        """Mean accuracy at the given fault rate (must have been swept)."""
+        """Mean accuracy at the given fault rate (must have been swept).
+
+        Rates are matched with :func:`math.isclose` rather than exact float
+        equality so a rate recomputed elsewhere (e.g. ``10 ** -1`` versus
+        the literal ``1e-1``) still resolves to its swept entry.
+        """
         for rate, accuracy in zip(self.fault_rates, self.accuracies):
-            if rate == fault_rate:
+            if math.isclose(rate, fault_rate, rel_tol=1e-9, abs_tol=1e-12):
                 return accuracy
         raise KeyError(f"fault rate {fault_rate} was not part of this sweep")
 
@@ -133,6 +139,9 @@ class FaultRateSweep:
     n_trials:
         Number of independent fault maps per fault rate; accuracies are
         averaged across trials.
+    batch_size:
+        Chunk size forwarded to the batched inference engine for every
+        accuracy measurement; ``None`` uses the engine default.
     """
 
     def __init__(
@@ -143,17 +152,21 @@ class FaultRateSweep:
         inject_synapses: bool = True,
         inject_neurons: bool = True,
         n_trials: int = 1,
+        batch_size: Optional[int] = None,
     ) -> None:
         if not techniques:
             raise ValueError("at least one technique is required")
         if n_trials <= 0:
             raise ValueError(f"n_trials must be positive, got {n_trials}")
+        if batch_size is not None and batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
         self.model = model
         self.dataset = dataset
         self.techniques = list(techniques)
         self.inject_synapses = bool(inject_synapses)
         self.inject_neurons = bool(inject_neurons)
         self.n_trials = int(n_trials)
+        self.batch_size = batch_size
 
     # ------------------------------------------------------------------ #
     def run(
@@ -170,7 +183,13 @@ class FaultRateSweep:
         # Clean reference accuracy (no faults, no mitigation).
         clean_accuracy = (
             self.techniques[0]
-            .evaluate(self.model, self.dataset, fault_config=None, rng=generator)
+            .evaluate(
+                self.model,
+                self.dataset,
+                fault_config=None,
+                rng=generator,
+                batch_size=self.batch_size,
+            )
             .accuracy_percent
         )
 
@@ -209,6 +228,7 @@ class FaultRateSweep:
                         fault_config=config,
                         rng=trial_rng,
                         fault_map=fault_map,
+                        batch_size=self.batch_size,
                     )
                     per_technique_trials[technique.kind].append(
                         outcome.accuracy_percent

@@ -20,9 +20,20 @@ Design notes
 * Training (STDP + label assignment) and inference are deliberately separate
   (:mod:`repro.snn.training`, :mod:`repro.snn.inference`): all experiments in
   the paper inject faults only during inference on a pre-trained network.
+* Inference is batched: :mod:`repro.snn.engine` advances whole chunks of
+  samples per timestep with ``(batch, n_neurons)`` state arrays and one
+  weight-reusing matrix multiplication, spike-for-spike equivalent to the
+  sequential per-timestep loop it replaces (which remains available as the
+  verification reference).
 """
 
 from repro.snn.encoding import PoissonEncoder
+from repro.snn.engine import (
+    DEFAULT_BATCH_SIZE,
+    BatchedInferenceEngine,
+    BatchedLIFState,
+    BatchResult,
+)
 from repro.snn.inference import InferenceEngine, InferenceResult
 from repro.snn.network import DiehlCookNetwork, NetworkConfig
 from repro.snn.neuron import LIFNeuronGroup, LIFParameters, NeuronOperationStatus
@@ -32,6 +43,10 @@ from repro.snn.synapse import SynapseMatrix
 from repro.snn.training import STDPTrainer, TrainedModel, TrainingConfig
 
 __all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "BatchResult",
+    "BatchedInferenceEngine",
+    "BatchedLIFState",
     "DiehlCookNetwork",
     "InferenceEngine",
     "InferenceResult",

@@ -10,8 +10,6 @@ fully bright pixel.
 
 from __future__ import annotations
 
-from typing import Iterator
-
 import numpy as np
 
 from repro.utils.rng import RNGLike, resolve_rng
@@ -94,13 +92,28 @@ class PoissonEncoder:
         )
         return raster
 
-    def encode_batch(
-        self, images: np.ndarray, rng: RNGLike = None
-    ) -> Iterator[np.ndarray]:
-        """Yield a spike raster for each image of a batch.
+    def encode_batch(self, images: np.ndarray, rng: RNGLike = None) -> np.ndarray:
+        """Encode a batch of images into one boolean spike raster array.
 
-        Rasters are generated lazily so large sweeps do not hold every
-        encoded sample in memory at once.
+        Parameters
+        ----------
+        images:
+            Batch of images ``(n, height, width)`` — any trailing shape
+            works, each ``images[i]`` is flattened — or a single 2-D image
+            (encoded as a batch of one).  Pass a flattened batch as
+            ``(n, 1, n_pixels)``.
+        rng:
+            Seed or generator.  The whole batch is drawn with a single
+            ``generator.random((n, timesteps, n_pixels))`` call, which
+            consumes exactly the same stream values, in the same order, as
+            ``n`` successive :meth:`encode` calls — so batched and
+            sequential presentations of the same samples see bitwise
+            identical rasters.
+
+        Returns
+        -------
+        numpy.ndarray
+            Boolean array of shape ``(n, timesteps, n_pixels)``.
         """
         generator = resolve_rng(rng)
         images = np.asarray(images, dtype=np.float64)
@@ -110,8 +123,11 @@ class PoissonEncoder:
             raise ValueError(
                 f"images must have shape (n, height, width), got {images.shape}"
             )
-        for index in range(images.shape[0]):
-            yield self.encode(images[index], rng=generator)
+        probabilities = np.stack(
+            [self.spike_probabilities(image) for image in images]
+        )
+        draws = generator.random((images.shape[0], self.timesteps, probabilities.shape[1]))
+        return draws < probabilities[:, np.newaxis, :]
 
     def expected_spike_counts(self, image: np.ndarray) -> np.ndarray:
         """Expected number of spikes per pixel over the full presentation."""

@@ -1,0 +1,530 @@
+"""Batched vectorized inference engine.
+
+Every accuracy number in the paper reproduction comes from presenting test
+images through the per-timestep loop of
+:meth:`repro.snn.network.DiehlCookNetwork.present`.  That loop is exact but
+slow: each timestep performs a memory-bound vector-matrix product (the full
+weight matrix is re-streamed from memory for every sample) plus a couple of
+dozen small NumPy operations whose fixed overhead dominates at the
+population sizes the paper sweeps.  This module batches the *sample*
+dimension instead: all neuron state becomes ``(batch, n_neurons)`` arrays
+(:class:`BatchedLIFState`), the input currents of a whole batch are produced
+by one ``(batch * timesteps, n_inputs) @ (n_inputs, n_neurons)`` matrix
+multiplication that reuses the weight matrix across samples, and every LIF
+hardware operation of :meth:`repro.snn.neuron.LIFNeuronGroup.step` — leak,
+increase, reset, spike generation, each with its per-neuron fault switch —
+is advanced for all samples at once.
+
+Parity contract
+---------------
+The engine reproduces the sequential path *spike for spike* under a fixed
+RNG:
+
+* Poisson encoding draws the same underlying random stream: one
+  ``generator.random((batch, timesteps, n_inputs))`` call consumes exactly
+  the same values, in the same order, as the per-sample
+  ``generator.random((timesteps, n_inputs))`` calls of the sequential loop.
+* Every state update is the same elementwise expression the sequential
+  :meth:`~repro.snn.neuron.LIFNeuronGroup.step` evaluates, broadcast over
+  the batch dimension; elementwise IEEE operations are bitwise independent
+  of the array shape.  The only operation that is not bitwise reproducible
+  is the BLAS matrix multiplication that accumulates input currents (BLAS
+  kernels reassociate the reduction differently for different operand
+  shapes), which can move a membrane potential by an ULP; a spike decision
+  changes only if the potential lands within one ULP of the threshold,
+  which the parity test suite verifies does not happen on the evaluated
+  workloads.
+
+Sequential fault semantics
+--------------------------
+The paper's *faulty reset* latch couples samples: a neuron whose
+``Vmem reset`` operation is broken keeps bursting across sample boundaries
+once it has crossed the threshold, so sample ``i`` starts with the latches
+accumulated over samples ``0..i-1``.  A naive parallel batch would lose that
+ordering.  The engine therefore runs an optimistic parallel pass assuming
+the latch state at batch entry, detects the first sample that latched a new
+neuron, accepts every sample up to and including it (their assumed latch
+state was correct), and re-simulates only the remainder with the updated
+latch state.  Each iteration permanently accepts at least one sample and
+the latch set is bounded by the number of faulty-reset neurons, so the
+fix-up converges in at most ``min(batch, faulty_reset_neurons + 1)``
+passes; fault-free batches take exactly one pass with no bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
+
+import numpy as np
+
+from repro.snn.neuron import LIFParameters, NeuronOperationStatus
+from repro.utils.rng import RNGLike, resolve_rng
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.snn.network import DiehlCookNetwork
+
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "BatchedLIFState",
+    "BatchResult",
+    "BatchedInferenceEngine",
+]
+
+#: Default number of samples advanced together by the batched engine.
+DEFAULT_BATCH_SIZE = 64
+
+#: Step-monitor hook signature of the batched engine.  The monitor is called
+#: after every timestep with the live :class:`BatchedLIFState`; latching
+#: ``spike_disabled`` through :meth:`BatchedLIFState.disable_spiking` gates
+#: spike generation from the next timestep on, exactly like the sequential
+#: ``step_monitor`` hook.
+BatchStepMonitor = Callable[["BatchedLIFState"], None]
+
+
+@dataclass
+class BatchedLIFState:
+    """All mutable LIF neuron state for a batch of concurrent samples.
+
+    This is the batched counterpart of the per-sample state held by
+    :class:`repro.snn.neuron.LIFNeuronGroup`: every array that is ``(n,)``
+    there is ``(batch, n)`` here, advanced for all samples at once.  The
+    adaptive threshold ``theta`` stays ``(n,)`` because inference keeps it
+    frozen (the learning unit is idle), so all samples share it.
+
+    Attributes
+    ----------
+    params:
+        Shared LIF parameters.
+    operation_status:
+        Per-neuron health of the four hardware operations (shared by all
+        samples: soft errors corrupt the physical neuron, not the sample).
+    theta:
+        Adaptive-threshold component, shape ``(n_neurons,)``.
+    sample_indices:
+        Global dataset index of each batch row; used by batched step
+        monitors to attribute protection events to samples.
+    v / refractory_remaining / comparator_output /
+    consecutive_above_threshold / spike_disabled / reset_fault_latched /
+    last_spikes:
+        The batched ``(batch, n_neurons)`` state arrays, with the same
+        meaning as their :class:`~repro.snn.neuron.LIFNeuronGroup`
+        counterparts.
+    """
+
+    params: LIFParameters
+    operation_status: NeuronOperationStatus
+    theta: np.ndarray
+    sample_indices: np.ndarray
+    v: np.ndarray
+    refractory_remaining: np.ndarray
+    comparator_output: np.ndarray
+    consecutive_above_threshold: np.ndarray
+    spike_disabled: np.ndarray
+    reset_fault_latched: np.ndarray
+    last_spikes: np.ndarray
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def initial(
+        cls,
+        params: LIFParameters,
+        operation_status: NeuronOperationStatus,
+        theta: np.ndarray,
+        sample_indices: np.ndarray,
+        initial_reset_latch: Optional[np.ndarray] = None,
+    ) -> "BatchedLIFState":
+        """Fresh per-sample state, as after ``LIFNeuronGroup.reset_state``.
+
+        ``initial_reset_latch`` carries the faulty-reset latches accumulated
+        by the samples processed *before* this batch; latched neurons start
+        with their membrane pinned at (or above) the firing threshold, as in
+        the sequential :meth:`~repro.snn.neuron.LIFNeuronGroup.reset_state`.
+        """
+        batch = int(np.asarray(sample_indices).size)
+        n = operation_status.n_neurons
+        theta = np.asarray(theta, dtype=np.float64)
+        v = np.full((batch, n), params.v_rest, dtype=np.float64)
+        if initial_reset_latch is None:
+            latched = np.zeros((batch, n), dtype=bool)
+        else:
+            initial_reset_latch = np.asarray(initial_reset_latch, dtype=bool)
+            latched = np.broadcast_to(initial_reset_latch, (batch, n)).copy()
+            if latched.any():
+                threshold = params.v_threshold + theta
+                v = np.where(latched, np.maximum(v, threshold), v)
+        return cls(
+            params=params,
+            operation_status=operation_status,
+            theta=theta,
+            sample_indices=np.asarray(sample_indices, dtype=np.int64),
+            v=v,
+            refractory_remaining=np.zeros((batch, n), dtype=np.int64),
+            comparator_output=np.zeros((batch, n), dtype=bool),
+            consecutive_above_threshold=np.zeros((batch, n), dtype=np.int64),
+            spike_disabled=np.zeros((batch, n), dtype=bool),
+            reset_fault_latched=latched,
+            last_spikes=np.zeros((batch, n), dtype=bool),
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def batch_size(self) -> int:
+        """Number of samples advanced concurrently."""
+        return int(self.v.shape[0])
+
+    @property
+    def n_neurons(self) -> int:
+        """Population size."""
+        return int(self.v.shape[1])
+
+    @property
+    def effective_threshold(self) -> np.ndarray:
+        """Current firing threshold including the adaptive component."""
+        return self.params.v_threshold + self.theta
+
+    def disable_spiking(self, neuron_mask: np.ndarray) -> None:
+        """Latch off spike generation for the masked (sample, neuron) pairs.
+
+        Accepts either a ``(batch, n_neurons)`` mask or an ``(n_neurons,)``
+        mask applied to every sample (mirroring the sequential
+        :meth:`~repro.snn.neuron.LIFNeuronGroup.disable_spiking`).
+        """
+        neuron_mask = np.asarray(neuron_mask, dtype=bool)
+        if neuron_mask.shape not in (
+            (self.n_neurons,),
+            (self.batch_size, self.n_neurons),
+        ):
+            raise ValueError(
+                "neuron_mask must have shape "
+                f"({self.n_neurons},) or ({self.batch_size}, {self.n_neurons}), "
+                f"got {neuron_mask.shape}"
+            )
+        self.spike_disabled |= neuron_mask
+
+
+@dataclass
+class BatchResult:
+    """Outcome of running one batch through the engine.
+
+    Attributes
+    ----------
+    output_spikes:
+        Boolean output-spike raster, shape ``(batch, timesteps, n_neurons)``.
+    spike_counts:
+        Per-sample, per-neuron output spike counts ``(batch, n_neurons)``.
+    input_spike_counts:
+        Number of input spikes delivered per sample (activity statistic for
+        the energy model).
+    final_reset_latch:
+        Faulty-reset latch state ``(n_neurons,)`` after the *last* sample of
+        the batch, accounting for the sequential sample order; feed it as
+        ``initial_reset_latch`` of the next batch.
+    final_state:
+        Per-sample final neuron state (each row taken from the simulation
+        pass in which the sample was accepted).
+    simulation_passes:
+        Number of parallel passes the latch fix-up needed (1 when no new
+        faulty-reset latch fired).
+    """
+
+    output_spikes: np.ndarray
+    spike_counts: np.ndarray
+    input_spike_counts: np.ndarray
+    final_reset_latch: np.ndarray
+    final_state: BatchedLIFState
+    simulation_passes: int = 1
+
+    @property
+    def batch_size(self) -> int:
+        """Number of samples in the batch."""
+        return int(self.output_spikes.shape[0])
+
+
+class BatchedInferenceEngine:
+    """Advance a whole batch of samples through a network per timestep.
+
+    The engine reads the network's weights, neuron parameters, adaptive
+    thresholds and fault status at :meth:`run` time, so it can be
+    constructed once and reused across fault injections or weight updates.
+
+    Parameters
+    ----------
+    network:
+        The (possibly fault-injected) network to run.  Only inference is
+        supported — training keeps the sequential per-timestep loop because
+        STDP updates the weights between timesteps.
+    """
+
+    def __init__(self, network: "DiehlCookNetwork") -> None:
+        self.network = network
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        images: np.ndarray,
+        rng: RNGLike = None,
+        effective_weights: Optional[np.ndarray] = None,
+        step_monitor: Optional[BatchStepMonitor] = None,
+        initial_reset_latch: Optional[np.ndarray] = None,
+        sample_offset: int = 0,
+    ) -> BatchResult:
+        """Encode and classify a batch of images.
+
+        Parameters
+        ----------
+        images:
+            Batch of grayscale images: ``(batch, height, width)``,
+            ``(batch, n_inputs)`` flattened, or a single 2-D image (treated
+            as a batch of one).
+        rng:
+            Seed or generator for the Poisson encoding.  Encoding consumes
+            the generator's stream exactly as the sequential per-sample
+            loop would, so paired comparisons stay aligned.
+        effective_weights:
+            Optional substitute weight matrix used for current accumulation
+            (the Bound-and-Protect weight-bounding hook).
+        step_monitor:
+            Optional callable invoked with the :class:`BatchedLIFState`
+            after every timestep (the neuron-protection hook).
+        initial_reset_latch:
+            Faulty-reset latches carried over from previously processed
+            samples; defaults to the network's current latch state.
+        sample_offset:
+            Global dataset index of the first batch row (used to label
+            rows for batched step monitors).
+        """
+        network = self.network
+        images = np.asarray(images, dtype=np.float64)
+        if images.ndim == 2 and images.shape[1] != network.n_inputs:
+            images = images[np.newaxis, ...]
+        if images.ndim == 2:
+            flat = images
+        elif images.ndim == 3:
+            flat = images.reshape(images.shape[0], -1)
+        else:
+            raise ValueError(
+                "images must be (batch, height, width), (batch, n_inputs) or "
+                f"a single 2-D image, got shape {images.shape}"
+            )
+        if flat.shape[1] != network.n_inputs:
+            raise ValueError(
+                f"images have {flat.shape[1]} pixels but the network expects "
+                f"{network.n_inputs} inputs"
+            )
+        generator = resolve_rng(rng)
+        rasters = network.encoder.encode_batch(
+            flat[:, np.newaxis, :], rng=generator
+        )
+        return self.run_encoded(
+            rasters,
+            effective_weights=effective_weights,
+            step_monitor=step_monitor,
+            initial_reset_latch=initial_reset_latch,
+            sample_offset=sample_offset,
+        )
+
+    # ------------------------------------------------------------------ #
+    def run_encoded(
+        self,
+        rasters: np.ndarray,
+        effective_weights: Optional[np.ndarray] = None,
+        step_monitor: Optional[BatchStepMonitor] = None,
+        initial_reset_latch: Optional[np.ndarray] = None,
+        sample_offset: int = 0,
+    ) -> BatchResult:
+        """Run pre-encoded spike rasters of shape ``(batch, timesteps, n_inputs)``.
+
+        Exposed separately so benchmarks and re-executions can reuse
+        encodings; see :meth:`run` for the other parameters.
+        """
+        network = self.network
+        neurons = network.neurons
+        params = neurons.params
+        status = neurons.operation_status
+        n_neurons = network.n_neurons
+
+        rasters = np.asarray(rasters)
+        if rasters.ndim != 3 or rasters.shape[2] != network.n_inputs:
+            raise ValueError(
+                "rasters must have shape (batch, timesteps, n_inputs), got "
+                f"{rasters.shape}"
+            )
+        batch, timesteps, n_inputs = rasters.shape
+        if batch == 0:
+            raise ValueError("batch must not be empty")
+
+        operator = network.synapses.current_operator(effective_weights)
+
+        # One compute-bound GEMM produces the input currents of every
+        # (sample, timestep) pair, reusing the weight matrix across the
+        # whole batch; the sequential path re-streams it every timestep.
+        flat_spikes = rasters.reshape(batch * timesteps, n_inputs)
+        currents = operator.compute(flat_spikes).reshape(batch, timesteps, n_neurons)
+        # Timestep-major layout so each step touches one contiguous block.
+        currents = np.ascontiguousarray(currents.transpose(1, 0, 2))
+
+        if initial_reset_latch is None:
+            initial_reset_latch = neurons.reset_fault_latched
+        latch = np.asarray(initial_reset_latch, dtype=bool).copy()
+        has_reset_faults = bool((~status.vmem_reset_ok).any())
+
+        sample_indices = sample_offset + np.arange(batch, dtype=np.int64)
+        output = np.zeros((timesteps, batch, n_neurons), dtype=bool)
+        final = BatchedLIFState.initial(
+            params, status, neurons.theta, sample_indices, latch
+        )
+
+        start = 0
+        passes = 0
+        while start < batch:
+            state = BatchedLIFState.initial(
+                params, status, neurons.theta, sample_indices[start:], latch
+            )
+            self._simulate(state, currents[:, start:, :], output[:, start:, :], step_monitor)
+            passes += 1
+
+            if has_reset_faults:
+                new_events = state.reset_fault_latched & ~latch
+                event_rows = new_events.any(axis=1)
+            else:
+                event_rows = None
+            if event_rows is None or not event_rows.any():
+                accepted = slice(0, batch - start)
+            else:
+                # Samples up to and including the first one that latched a
+                # new neuron saw the correct entry latch state; everything
+                # after it must re-run with the updated latches.
+                first_event = int(np.argmax(event_rows))
+                accepted = slice(0, first_event + 1)
+                latch = latch | new_events[first_event]
+
+            self._accept_rows(final, state, start, accepted)
+            if step_monitor is not None and hasattr(step_monitor, "commit_batch"):
+                step_monitor.commit_batch(
+                    state.sample_indices[accepted],
+                    state.spike_disabled[accepted],
+                )
+            start += accepted.stop
+
+        output_spikes = np.ascontiguousarray(output.transpose(1, 0, 2))
+        return BatchResult(
+            output_spikes=output_spikes,
+            spike_counts=output_spikes.sum(axis=1, dtype=np.int64),
+            input_spike_counts=rasters.sum(axis=(1, 2), dtype=np.int64),
+            final_reset_latch=latch,
+            final_state=final,
+            simulation_passes=passes,
+        )
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _accept_rows(
+        final: BatchedLIFState,
+        state: BatchedLIFState,
+        start: int,
+        rows: slice,
+    ) -> None:
+        """Copy the accepted rows of a simulation pass into the final state."""
+        target = slice(start + rows.start, start + rows.stop)
+        final.v[target] = state.v[rows]
+        final.refractory_remaining[target] = state.refractory_remaining[rows]
+        final.comparator_output[target] = state.comparator_output[rows]
+        final.consecutive_above_threshold[target] = (
+            state.consecutive_above_threshold[rows]
+        )
+        final.spike_disabled[target] = state.spike_disabled[rows]
+        final.reset_fault_latched[target] = state.reset_fault_latched[rows]
+        final.last_spikes[target] = state.last_spikes[rows]
+
+    def _simulate(
+        self,
+        state: BatchedLIFState,
+        currents: np.ndarray,
+        output: np.ndarray,
+        step_monitor: Optional[BatchStepMonitor],
+    ) -> None:
+        """One parallel pass over all timesteps for the rows in *state*.
+
+        Each timestep performs, for the whole batch at once, exactly the
+        operation sequence of :meth:`repro.snn.neuron.LIFNeuronGroup.step`;
+        the per-operation fault switches are specialised away when every
+        neuron is healthy for that operation (a pure boolean identity, so
+        the arithmetic is unchanged).
+        """
+        params = state.params
+        status = state.operation_status
+        v_rest = params.v_rest
+        v_reset = params.v_reset
+        v_min = params.v_min
+        decay = params.membrane_decay
+        period = params.refractory_period
+        inhibition_strength = params.inhibition_strength
+        threshold = state.effective_threshold
+
+        leak_ok = status.vmem_leak_ok
+        increase_ok = status.vmem_increase_ok
+        reset_ok = status.vmem_reset_ok
+        spike_ok = status.spike_generation_ok
+        all_leak = bool(leak_ok.all())
+        all_increase = bool(increase_ok.all())
+        all_reset = bool(reset_ok.all())
+        all_spike = bool(spike_ok.all())
+
+        timesteps = currents.shape[0]
+        for t in range(timesteps):
+            # (2) Vmem leak.
+            decayed = v_rest + (state.v - v_rest) * decay
+            state.v = decayed if all_leak else np.where(leak_ok, decayed, state.v)
+
+            # (1) Vmem increase.
+            active = state.refractory_remaining <= 0
+            integrate = active if all_increase else (active & increase_ok)
+            state.v = state.v + np.where(integrate, currents[t], 0.0)
+            state.v = np.maximum(state.v, v_min)
+
+            # (4) Spike generation: comparator and protection counter.
+            comparator = active & (state.v >= threshold)
+            state.comparator_output = comparator
+            state.consecutive_above_threshold = np.where(
+                comparator, state.consecutive_above_threshold + 1, 0
+            )
+            internal = comparator
+            if all_spike:
+                spikes = internal & ~state.spike_disabled
+            else:
+                spikes = internal & spike_ok & ~state.spike_disabled
+
+            # (3) Vmem reset and refractory entry; faulty resets latch.
+            reset_now = internal if all_reset else (internal & reset_ok)
+            state.v = np.where(reset_now, v_reset, state.v)
+            state.refractory_remaining = np.where(
+                reset_now,
+                period,
+                np.maximum(state.refractory_remaining - 1, 0),
+            )
+            if not all_reset:
+                state.reset_fault_latched |= internal & ~reset_ok
+
+            # Direct lateral inhibition, per sample.
+            if inhibition_strength > 0 and spikes.any():
+                n_spiking = spikes.sum(axis=1, keepdims=True)
+                inhibition = inhibition_strength * (
+                    n_spiking - spikes.astype(np.float64)
+                )
+                state.v = np.maximum(state.v - inhibition, v_min)
+
+            # Keep latched faulty-reset membranes pinned at the threshold.
+            if not all_reset and state.reset_fault_latched.any():
+                state.v = np.where(
+                    state.reset_fault_latched,
+                    np.maximum(state.v, threshold),
+                    state.v,
+                )
+
+            state.last_spikes = spikes
+            output[t] = spikes
+            if step_monitor is not None:
+                step_monitor(state)

@@ -5,8 +5,13 @@ The inference engine presents test images to a network built from a
 into class votes through the neuron labels, and reports accuracy.  All
 SoftSNN experiments run through this engine: fault injection only changes
 the network the engine is given (corrupted registers and/or neuron operation
-status), and mitigation only changes the two hooks the engine forwards to
-:meth:`repro.snn.network.DiehlCookNetwork.present`.
+status), and mitigation only changes the two hooks the engine forwards on —
+an ``effective_weights`` override and a ``step_monitor``.
+
+Datasets are classified in configurable chunks through the vectorized
+:class:`~repro.snn.engine.BatchedInferenceEngine`; the original per-image
+loop is kept as :meth:`InferenceEngine.evaluate_sequential`, the reference
+the batched path is verified against spike-for-spike.
 """
 
 from __future__ import annotations
@@ -17,6 +22,7 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from repro.data.datasets import Dataset
+from repro.snn.engine import DEFAULT_BATCH_SIZE, BatchedInferenceEngine
 from repro.snn.network import DiehlCookNetwork
 from repro.snn.neuron import LIFNeuronGroup
 from repro.utils.rng import RNGLike, resolve_rng
@@ -117,6 +123,15 @@ class InferenceEngine:
         self.network = network
         self.neuron_labels = neuron_labels
         self._n_classes = int(neuron_labels.max()) + 1 if neuron_labels.size else 0
+        # Class-indicator matrix turning batched spike counts into votes
+        # with one exact (integer-valued) matmul.
+        self._class_indicator = np.zeros(
+            (network.n_neurons, self._n_classes), dtype=np.float64
+        )
+        if self._n_classes:
+            self._class_indicator[
+                np.arange(network.n_neurons), self.neuron_labels
+            ] = 1.0
 
     # ------------------------------------------------------------------ #
     def classify_counts(self, spike_counts: np.ndarray) -> int:
@@ -157,14 +172,97 @@ class InferenceEngine:
         )
         return self.classify_counts(result.spike_counts), result
 
+    def classify_batch(self, spike_counts: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`classify_counts` for ``(n_samples, n_neurons)``.
+
+        The class-indicator matmul sums integer-valued spike counts in
+        float64, which is exact, so the predictions are bitwise identical
+        to calling :meth:`classify_counts` per row.
+        """
+        spike_counts = np.asarray(spike_counts, dtype=np.float64)
+        if spike_counts.ndim != 2 or spike_counts.shape[1] != self.network.n_neurons:
+            raise ValueError(
+                "spike_counts must have shape "
+                f"(n_samples, {self.network.n_neurons}), got {spike_counts.shape}"
+            )
+        votes = spike_counts @ self._class_indicator
+        return np.argmax(votes, axis=1).astype(np.int64)
+
     def evaluate(
         self,
         dataset: Dataset,
         rng: RNGLike = None,
         effective_weights: Optional[np.ndarray] = None,
         step_monitor: Optional[StepMonitor] = None,
+        batch_size: Optional[int] = None,
     ) -> InferenceResult:
-        """Classify every sample of *dataset* and aggregate the results."""
+        """Classify every sample of *dataset* and aggregate the results.
+
+        The dataset is processed in chunks of ``batch_size`` samples
+        (default :data:`repro.snn.engine.DEFAULT_BATCH_SIZE`) through the
+        batched engine; the faulty-reset latch state is carried from chunk
+        to chunk so the sequential sample-order semantics are preserved,
+        and the neuron group is left in the same final state the per-image
+        loop (:meth:`evaluate_sequential`) would leave it in.
+        """
+        if len(dataset) == 0:
+            raise ValueError("evaluation dataset must not be empty")
+        if batch_size is None:
+            batch_size = DEFAULT_BATCH_SIZE
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        generator = resolve_rng(rng)
+        n_samples = len(dataset)
+        predictions = np.zeros(n_samples, dtype=np.int64)
+        spike_counts = np.zeros((n_samples, self.network.n_neurons), dtype=np.int64)
+        per_sample_output: List[int] = []
+        total_input_spikes = 0
+
+        engine = BatchedInferenceEngine(self.network)
+        latch = self.network.neurons.reset_fault_latched.copy()
+        last_result = None
+        for start in range(0, n_samples, batch_size):
+            stop = min(start + batch_size, n_samples)
+            result = engine.run(
+                dataset.images[start:stop],
+                rng=generator,
+                effective_weights=effective_weights,
+                step_monitor=step_monitor,
+                initial_reset_latch=latch,
+                sample_offset=start,
+            )
+            latch = result.final_reset_latch
+            predictions[start:stop] = self.classify_batch(result.spike_counts)
+            spike_counts[start:stop] = result.spike_counts
+            per_sample_output.extend(
+                int(count) for count in result.spike_counts.sum(axis=1)
+            )
+            total_input_spikes += int(result.input_spike_counts.sum())
+            last_result = result
+
+        self.network.sync_neuron_state(last_result)
+        return InferenceResult(
+            predictions=predictions,
+            labels=dataset.labels.copy(),
+            spike_counts=spike_counts,
+            total_input_spikes=total_input_spikes,
+            per_sample_output_spikes=per_sample_output,
+        )
+
+    def evaluate_sequential(
+        self,
+        dataset: Dataset,
+        rng: RNGLike = None,
+        effective_weights: Optional[np.ndarray] = None,
+        step_monitor: Optional[StepMonitor] = None,
+    ) -> InferenceResult:
+        """Classify *dataset* through the per-image reference loop.
+
+        This is the pre-batching code path, kept as the ground truth the
+        batched :meth:`evaluate` is verified against (and for step monitors
+        that require the sequential :class:`~repro.snn.neuron.LIFNeuronGroup`
+        protocol).
+        """
         if len(dataset) == 0:
             raise ValueError("evaluation dataset must not be empty")
         generator = resolve_rng(rng)
@@ -174,13 +272,14 @@ class InferenceEngine:
         total_input_spikes = 0
 
         for index, (image, _) in enumerate(dataset):
-            prediction, sample = self.classify_sample(
+            sample = self.network.present_sequential(
                 image,
+                learning=False,
                 rng=generator,
                 effective_weights=effective_weights,
                 step_monitor=step_monitor,
             )
-            predictions[index] = prediction
+            predictions[index] = self.classify_counts(sample.spike_counts)
             spike_counts[index] = sample.spike_counts
             per_sample_output.append(sample.total_output_spikes)
             total_input_spikes += sample.input_spike_count

@@ -24,6 +24,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.snn.encoding import PoissonEncoder
+from repro.snn.engine import BatchedInferenceEngine
 from repro.snn.neuron import LIFNeuronGroup, LIFParameters, NeuronOperationStatus
 from repro.snn.quantization import WeightQuantizer
 from repro.snn.stdp import STDPConfig, STDPRule
@@ -248,6 +249,14 @@ class DiehlCookNetwork:
     ) -> SampleResult:
         """Present one image to the network for ``config.timesteps`` steps.
 
+        Inference presentations (``learning=False``) run as a batch of one
+        through the vectorized :class:`repro.snn.engine.BatchedInferenceEngine`
+        and the neuron group's state is synchronised afterwards, so the
+        observable behaviour (spikes, latches, RNG consumption) matches the
+        sequential loop, which remains available as
+        :meth:`present_sequential`.  Training presentations keep the
+        sequential loop because STDP updates the weights between timesteps.
+
         Parameters
         ----------
         image:
@@ -262,8 +271,73 @@ class DiehlCookNetwork:
             (hook used by Bound-and-Protect weight bounding).  Ignored while
             learning.
         step_monitor:
-            Optional callable invoked with the neuron group after each
-            timestep (hook used by neuron protection).
+            Optional callable invoked after each timestep (hook used by
+            neuron protection).  On the inference path it receives the
+            engine's :class:`~repro.snn.engine.BatchedLIFState` (batch of
+            one); on the training path it receives the
+            :class:`~repro.snn.neuron.LIFNeuronGroup`.
+        """
+        if learning:
+            return self.present_sequential(
+                image,
+                learning=True,
+                rng=rng,
+                effective_weights=effective_weights,
+                step_monitor=step_monitor,
+            )
+        image = np.asarray(image, dtype=np.float64)
+        if image.size != self.n_inputs:
+            raise ValueError(
+                f"image has {image.size} pixels but the network expects {self.n_inputs}"
+            )
+        engine = BatchedInferenceEngine(self)
+        result = engine.run(
+            image.reshape(1, -1),
+            rng=rng,
+            effective_weights=effective_weights,
+            step_monitor=step_monitor,
+            initial_reset_latch=self.neurons.reset_fault_latched,
+        )
+        self.sync_neuron_state(result)
+        return SampleResult(
+            spike_counts=result.spike_counts[0],
+            output_spikes=result.output_spikes[0],
+            input_spike_count=int(result.input_spike_counts[0]),
+        )
+
+    def sync_neuron_state(self, result) -> None:
+        """Mirror a batch-of-one engine run back into the neuron group.
+
+        Keeps the sequential API contract: after ``present`` the neuron
+        group exposes the same final state (membranes, latches, protection
+        gates) the per-timestep loop would have left behind.
+        """
+        state = result.final_state
+        neurons = self.neurons
+        neurons.v = state.v[-1].copy()
+        neurons.refractory_remaining = state.refractory_remaining[-1].copy()
+        neurons.comparator_output = state.comparator_output[-1].copy()
+        neurons.consecutive_above_threshold = (
+            state.consecutive_above_threshold[-1].copy()
+        )
+        neurons.spike_disabled = state.spike_disabled[-1].copy()
+        neurons.reset_fault_latched = result.final_reset_latch.copy()
+        neurons.last_spikes = state.last_spikes[-1].copy()
+
+    def present_sequential(
+        self,
+        image: np.ndarray,
+        learning: bool = False,
+        rng: RNGLike = None,
+        effective_weights: Optional[np.ndarray] = None,
+        step_monitor: Optional[StepMonitor] = None,
+    ) -> SampleResult:
+        """Present one image through the per-timestep reference loop.
+
+        This is the original sequential path the batched engine is verified
+        against (see the parity test suite); training always runs through
+        it.  Parameters are those of :meth:`present`; ``step_monitor``
+        receives the :class:`~repro.snn.neuron.LIFNeuronGroup`.
         """
         image = np.asarray(image, dtype=np.float64)
         if image.size != self.n_inputs:
@@ -277,6 +351,9 @@ class DiehlCookNetwork:
         self.stdp.reset_traces()
 
         weights = self.synapses.weights if learning else None
+        operator = (
+            None if learning else self.synapses.current_operator(effective_weights)
+        )
         timesteps, n_neurons = raster.shape[0], self.n_neurons
         output_spikes = np.zeros((timesteps, n_neurons), dtype=bool)
 
@@ -285,9 +362,7 @@ class DiehlCookNetwork:
             if learning:
                 current = pre_spikes.astype(np.float64) @ weights
             else:
-                current = self.synapses.input_current(
-                    pre_spikes, effective_weights=effective_weights
-                )
+                current = operator.compute(pre_spikes[np.newaxis, :])[0]
             post_spikes = self.neurons.step(current, learning=learning)
             output_spikes[t] = post_spikes
 

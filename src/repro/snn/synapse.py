@@ -18,14 +18,150 @@ strike on the physical register would be observed by the adder tree.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
 from repro.snn.quantization import WeightQuantizer
 from repro.utils.bits import flip_bits_in_array
 
-__all__ = ["SynapseMatrix"]
+__all__ = ["BoundedWeightRule", "SynapseMatrix"]
+
+
+@dataclass(frozen=True)
+class BoundedWeightRule:
+    """Declarative form of a weight-bounding override.
+
+    Instead of handing the simulator a dense substitute weight matrix, a
+    bounding rule describes the per-synapse comparator + mux of the
+    Bound-and-Protect hardware: any stored weight ``>= threshold`` enters
+    the adder as ``substitute``, everything else enters unchanged.  Keeping
+    the rule symbolic lets :meth:`SynapseMatrix.current_operator` evaluate
+    the bounded currents through exact integer arithmetic (see below), so
+    batched and sequential simulations agree bitwise.
+    """
+
+    threshold: float
+    substitute: float
+
+    def apply(self, weights: np.ndarray) -> np.ndarray:
+        """Dense view of the rule (for inspection; simulation uses codes)."""
+        weights = np.asarray(weights, dtype=np.float64)
+        return np.where(weights >= self.threshold, self.substitute, weights)
+
+
+#: Accepted forms of a current-accumulation weight override.
+EffectiveWeights = Union[None, np.ndarray, BoundedWeightRule]
+
+
+def _exact_gemm_dtype(n_inputs: int, max_code: int) -> np.dtype:
+    """Smallest float dtype whose matmul is exact for code sums.
+
+    A crossbar column sum is at most ``n_inputs * max_code``.  When that
+    bound fits the 24-bit float32 mantissa, every product and every partial
+    sum of the GEMM is exactly representable in float32, so the (much
+    faster) SGEMM returns the same integers as a float64 GEMM — and the
+    same integers for every operand shape and kernel.
+    """
+    if n_inputs * max_code <= (1 << 24):
+        return np.dtype(np.float32)
+    return np.dtype(np.float64)
+
+
+def _exact_scale(accumulated: np.ndarray, factor: float) -> np.ndarray:
+    """Multiply exact integer-valued accumulators by a float64 factor.
+
+    The accumulator entries are integers held exactly in either float
+    precision, so widening to float64 during the multiply yields bitwise
+    identical currents regardless of the GEMM dtype.
+    """
+    return np.multiply(accumulated, factor, dtype=np.float64)
+
+
+class _LatticeCurrentOperator:
+    """Exact current accumulation for register-backed (lattice) weights.
+
+    Every stored weight is ``code * scale`` with an integer ``code``, so
+    the crossbar sum factorises as ``(spikes @ codes) * scale``.  The inner
+    matmul only ever adds integers (bounded by ``n_inputs * max_code``),
+    which every summation order computes exactly — the result is bitwise
+    identical for any batch shape, dtype (see :func:`_exact_gemm_dtype`)
+    and BLAS kernel, which is what makes the batched engine spike-exact
+    against the sequential loop.
+    """
+
+    def __init__(self, codes: np.ndarray, scale: float) -> None:
+        self._codes = codes
+        self._scale = scale
+
+    def compute(self, spikes: np.ndarray) -> np.ndarray:
+        """Per-neuron currents for ``(m, n_inputs)`` spike rows."""
+        spikes = np.asarray(spikes, dtype=self._codes.dtype)
+        return _exact_scale(spikes @ self._codes, self._scale)
+
+    @property
+    def is_exact(self) -> bool:
+        return True
+
+
+class _BoundedCurrentOperator:
+    """Exact current accumulation under a :class:`BoundedWeightRule`.
+
+    The bounded sum splits into the lattice sum of the kept weights plus
+    ``substitute`` times the number of spiking bounded synapses — two
+    integer matmuls, both exact, combined by one fixed elementwise
+    expression.
+    """
+
+    def __init__(
+        self,
+        kept_codes: np.ndarray,
+        bounded_mask: np.ndarray,
+        scale: float,
+        substitute: float,
+    ) -> None:
+        self._kept_codes = kept_codes
+        self._bounded_mask = bounded_mask
+        self._scale = scale
+        self._substitute = substitute
+
+    def compute(self, spikes: np.ndarray) -> np.ndarray:
+        """Per-neuron currents for ``(m, n_inputs)`` spike rows."""
+        spikes = np.asarray(spikes, dtype=self._kept_codes.dtype)
+        kept = _exact_scale(spikes @ self._kept_codes, self._scale)
+        bounded = _exact_scale(
+            spikes.astype(self._bounded_mask.dtype, copy=False) @ self._bounded_mask,
+            self._substitute,
+        )
+        return kept + bounded
+
+    @property
+    def is_exact(self) -> bool:
+        return True
+
+
+class _DenseCurrentOperator:
+    """Current accumulation for an arbitrary dense weight override.
+
+    A free-form float matrix has no integer decomposition, so the matmul
+    rounding depends on the operand shapes; spike parity between batched
+    and sequential runs is then only statistical (a spike decision flips
+    only when a membrane lands within an ULP of the threshold).  Prefer
+    :class:`BoundedWeightRule` for bounding-style overrides.
+    """
+
+    def __init__(self, weights: np.ndarray) -> None:
+        self._weights = weights
+
+    def compute(self, spikes: np.ndarray) -> np.ndarray:
+        """Per-neuron currents for ``(m, n_inputs)`` spike rows."""
+        spikes = np.asarray(spikes, dtype=np.float64)
+        return spikes @ self._weights
+
+    @property
+    def is_exact(self) -> bool:
+        return False
 
 
 class SynapseMatrix:
@@ -69,6 +205,7 @@ class SynapseMatrix:
             )
         self._registers = self.quantizer.quantize(weights)
         self._weights = self.quantizer.dequantize(self._registers)
+        self._float_codes: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ #
     # constructors
@@ -124,6 +261,42 @@ class SynapseMatrix:
         """Register-code view of the weights (copy)."""
         return self._registers.copy()
 
+    def current_operator(self, effective_weights: EffectiveWeights = None):
+        """Build the current-accumulation operator for this crossbar.
+
+        The operator's ``compute(spikes)`` maps ``(m, n_inputs)`` spike
+        rows to ``(m, n_neurons)`` input currents.  Stored weights and
+        :class:`BoundedWeightRule` overrides evaluate through exact
+        integer-code arithmetic, making the result bitwise independent of
+        the batch shape; a dense override array falls back to a plain
+        float matmul.
+        """
+        gemm_dtype = _exact_gemm_dtype(self.n_inputs, self.quantizer.max_code)
+        if effective_weights is None:
+            if self._float_codes is None:
+                self._float_codes = self._registers.astype(gemm_dtype)
+            return _LatticeCurrentOperator(self._float_codes, self.quantizer.scale)
+        if isinstance(effective_weights, BoundedWeightRule):
+            if self._float_codes is None:
+                self._float_codes = self._registers.astype(gemm_dtype)
+            bounded_mask = self._weights >= effective_weights.threshold
+            kept_codes = np.where(
+                bounded_mask, gemm_dtype.type(0.0), self._float_codes
+            )
+            return _BoundedCurrentOperator(
+                kept_codes,
+                bounded_mask.astype(gemm_dtype),
+                self.quantizer.scale,
+                effective_weights.substitute,
+            )
+        effective_weights = np.asarray(effective_weights, dtype=np.float64)
+        if effective_weights.shape != self.shape:
+            raise ValueError(
+                f"effective_weights must have shape {self.shape}, "
+                f"got {effective_weights.shape}"
+            )
+        return _DenseCurrentOperator(effective_weights)
+
     # ------------------------------------------------------------------ #
     # mutation
     # ------------------------------------------------------------------ #
@@ -143,6 +316,7 @@ class SynapseMatrix:
             )
         self._registers = self.quantizer.quantize(weights)
         self._weights = self.quantizer.dequantize(self._registers)
+        self._float_codes = None
 
     def set_registers(self, registers: np.ndarray) -> None:
         """Overwrite the register codes directly (e.g. after fault injection)."""
@@ -159,6 +333,7 @@ class SynapseMatrix:
             )
         self._registers = registers.astype(self.quantizer.dtype).copy()
         self._weights = self.quantizer.dequantize(self._registers)
+        self._float_codes = None
 
     def apply_bit_flips(
         self, flat_indices: np.ndarray, bit_positions: np.ndarray
@@ -186,6 +361,7 @@ class SynapseMatrix:
         clone.quantizer = self.quantizer
         clone._registers = self._registers.copy()
         clone._weights = self._weights.copy()
+        clone._float_codes = None
         return clone
 
     # ------------------------------------------------------------------ #
@@ -204,8 +380,8 @@ class SynapseMatrix:
         input_spikes:
             Boolean (or 0/1) vector of length ``n_inputs``.
         effective_weights:
-            Optional substitute weight matrix (e.g. after Bound-and-Protect
-            weight bounding); defaults to the stored weights.
+            Optional weight override: a dense substitute matrix or a
+            :class:`BoundedWeightRule`; defaults to the stored weights.
         """
         input_spikes = np.asarray(input_spikes)
         if input_spikes.shape != (self.n_inputs,):
@@ -213,12 +389,8 @@ class SynapseMatrix:
                 f"input_spikes must have shape ({self.n_inputs},), "
                 f"got {input_spikes.shape}"
             )
-        weights = self._weights if effective_weights is None else effective_weights
-        if weights.shape != self.shape:
-            raise ValueError(
-                f"effective_weights must have shape {self.shape}, got {weights.shape}"
-            )
-        return input_spikes.astype(np.float64) @ weights
+        operator = self.current_operator(effective_weights)
+        return operator.compute(input_spikes[np.newaxis, :])[0]
 
     # ------------------------------------------------------------------ #
     # statistics

@@ -66,6 +66,22 @@ class TestExperimentRunner:
         model_b = ExperimentRunner(root_seed=5).prepare(config).model
         assert np.array_equal(model_a.weights, model_b.weights)
 
+    def test_clean_accuracy_batched_and_cached(self):
+        config = ExperimentConfig(
+            n_neurons=10, n_train=24, n_test=8, timesteps=40, eval_batch_size=3
+        )
+        runner = ExperimentRunner(root_seed=5)
+        prepared = runner.prepare(config)
+        assert prepared.clean_accuracy_hint is None
+        accuracy = runner.clean_accuracy(prepared)
+        assert 0.0 <= accuracy <= 100.0
+        assert prepared.clean_accuracy_hint == accuracy
+        assert runner.clean_accuracy(prepared) == accuracy
+
+    def test_eval_batch_size_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(eval_batch_size=0)
+
 
 class TestFaultRateSweep:
     def test_sweep_produces_paired_series(self, trained_model, small_split):
@@ -85,6 +101,20 @@ class TestFaultRateSweep:
         assert result.clean_accuracy > 0.0
         rows = result.accuracy_table()
         assert len(rows) == 2 and len(rows[0]) == 3
+
+    def test_accuracy_at_tolerates_recomputed_rates(self, trained_model, small_split):
+        _, test_set = small_split
+        subset = test_set.subset(np.arange(5))
+        result = FaultRateSweep(trained_model, subset, [NoMitigation()]).run(
+            fault_rates=[1e-1, 1e-3], rng=12
+        )
+        series = result.techniques[MitigationKind.NO_MITIGATION]
+        # Rates recomputed elsewhere (10**-1, a lossy sum) must still
+        # resolve to the swept entries instead of raising KeyError.
+        assert series.accuracy_at(10 ** -1) == series.accuracies[0]
+        assert series.accuracy_at(0.0001 * 10) == series.accuracies[1]
+        with pytest.raises(KeyError):
+            series.accuracy_at(5e-2)
 
     def test_improvement_helper(self, trained_model, small_split):
         _, test_set = small_split

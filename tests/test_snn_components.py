@@ -57,12 +57,21 @@ class TestPoissonEncoder:
         with pytest.raises(ValueError):
             PoissonEncoder(target_total_intensity=-1.0)
 
-    def test_encode_batch_lazily_yields(self):
+    def test_encode_batch_returns_batch_array(self):
         encoder = PoissonEncoder(timesteps=5)
         images = np.random.default_rng(0).random((3, 2, 2))
-        rasters = list(encoder.encode_batch(images, rng=1))
-        assert len(rasters) == 3
-        assert all(r.shape == (5, 4) for r in rasters)
+        rasters = encoder.encode_batch(images, rng=1)
+        assert rasters.shape == (3, 5, 4)
+        assert rasters.dtype == bool
+
+    def test_encode_batch_matches_sequential_stream(self):
+        encoder = PoissonEncoder(timesteps=6)
+        images = np.random.default_rng(0).random((4, 3, 3))
+        sequential_rng = np.random.default_rng(5)
+        reference = np.stack(
+            [encoder.encode(image, rng=sequential_rng) for image in images]
+        )
+        assert np.array_equal(reference, encoder.encode_batch(images, rng=5))
 
     def test_deterministic_with_seed(self):
         encoder = PoissonEncoder(timesteps=20)
