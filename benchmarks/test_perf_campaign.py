@@ -1,0 +1,120 @@
+"""BENCH — campaign throughput: serial executor vs process pool.
+
+Runs the same small Fig. 13-style campaign grid (one experiment, 3 fault
+rates x 3 trials x 2 techniques + the clean reference cell) through the
+serial in-process executor and through a process pool, and records both
+wall clocks in ``benchmarks/results/perf_campaign.json`` so successive PRs
+can track orchestration overhead.
+
+The grid is deliberately small enough for CI, so the pool's fixed costs
+(process start-up, model snapshot save/load, dataset regeneration per
+worker) are a visible fraction of the runtime; the bench therefore asserts
+*correctness* hard (bit-identical per-trial accuracies between the two
+executors — the campaign determinism contract) and the timing softly (the
+pool must not be pathologically slower than serial).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.eval.campaign import CampaignSpec, TechniqueSpec, run_campaign
+from repro.eval.experiment import ExperimentConfig
+from repro.hardware.enhancements import MitigationKind
+
+# At least 2 so the process-pool path is exercised even on one-core CI.
+N_WORKERS = max(2, min(4, os.cpu_count() or 1))
+FAULT_RATES = [1e-3, 1e-2, 1e-1]
+N_TRIALS = 3
+
+RESULTS_PATH = Path(__file__).parent / "results" / "perf_campaign.json"
+
+
+def _spec() -> CampaignSpec:
+    return CampaignSpec(
+        name="perf-campaign",
+        experiments=[
+            ExperimentConfig(
+                workload="mnist",
+                n_neurons=48,
+                n_train=200,
+                n_test=40,
+                timesteps=100,
+                epochs=2,
+                paper_network_size=400,
+            )
+        ],
+        fault_rates=FAULT_RATES,
+        techniques=[
+            TechniqueSpec(MitigationKind.NO_MITIGATION),
+            TechniqueSpec(MitigationKind.BNP3),
+        ],
+        n_trials=N_TRIALS,
+        seed=2022,
+        runner_seed=2022,
+    )
+
+
+def test_campaign_pool_vs_serial(tmp_path):
+    # Train the clean model once up front and share the runner's cache
+    # with both timed runs, so they measure cell execution and
+    # orchestration, not model preparation.
+    from repro.eval.experiment import ExperimentRunner
+
+    runner = ExperimentRunner(root_seed=_spec().runner_seed)
+    runner.prepare(_spec().experiments[0])
+
+    start = time.perf_counter()
+    serial = run_campaign(_spec(), n_workers=1, runner=runner)
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    pooled = run_campaign(
+        _spec(),
+        store_path=tmp_path / "pool.jsonl",
+        n_workers=N_WORKERS,
+        runner=runner,
+    )
+    pool_seconds = time.perf_counter() - start
+
+    # Correctness first: the executors must agree bit-for-bit.
+    key = _spec().experiments[0].label()
+    serial_sweep = serial.sweeps[key]
+    pooled_sweep = pooled.sweeps[key]
+    assert pooled_sweep.clean_accuracy == serial_sweep.clean_accuracy
+    for kind, series in serial_sweep.techniques.items():
+        assert pooled_sweep.techniques[kind].per_trial == series.per_trial
+
+    n_cells = serial.n_cells
+    speedup = serial_seconds / pool_seconds if pool_seconds > 0 else float("inf")
+    summary = {
+        "n_cells": n_cells,
+        "n_workers": N_WORKERS,
+        "fault_rates": FAULT_RATES,
+        "n_trials": N_TRIALS,
+        "serial_seconds": round(serial_seconds, 3),
+        "pool_seconds": round(pool_seconds, 3),
+        "serial_ms_per_cell": round(1000.0 * serial_seconds / n_cells, 1),
+        "pool_ms_per_cell": round(1000.0 * pool_seconds / n_cells, 1),
+        "pool_speedup": round(speedup, 2),
+    }
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(summary, indent=2) + "\n")
+
+    print()
+    print(
+        f"BENCH perf_campaign: {n_cells} cells, serial "
+        f"{summary['serial_seconds']}s, pool({N_WORKERS}) "
+        f"{summary['pool_seconds']}s ({summary['pool_speedup']}x)"
+    )
+
+    # Soft timing floor: startup + snapshot costs are allowed, a pool that
+    # takes more than 2.5x serial on this grid indicates an orchestration
+    # regression (e.g. per-cell model reloads or lost worker caching).
+    assert pool_seconds <= max(2.5 * serial_seconds, serial_seconds + 5.0), (
+        f"process pool took {pool_seconds:.2f}s vs serial "
+        f"{serial_seconds:.2f}s on {n_cells} cells"
+    )

@@ -1,31 +1,55 @@
-"""Evaluation harness: experiments, sweeps and reporting.
+"""Evaluation harness: experiments, campaigns, sweeps and reporting.
 
 This subpackage contains the machinery the examples and the benchmark
 harness share to regenerate the paper's figures:
 
 * :mod:`repro.eval.experiment` — experiment configuration and a runner that
   trains (and caches) the clean models the sweeps need.
+* :mod:`repro.eval.campaign` — campaign orchestration: a declarative spec
+  expands a workload × size × rate × trial grid into independent,
+  deterministically seeded cells executed serially or across a process
+  pool.
+* :mod:`repro.eval.store` — the append-only JSON-lines result store that
+  makes campaigns resumable.
 * :mod:`repro.eval.sweep` — fault-rate sweeps across mitigation techniques
-  (the accuracy figures: Fig. 3a, 10, 13).
+  (the accuracy figures: Fig. 3a, 10, 13), a single-experiment front end
+  over the campaign machinery.
 * :mod:`repro.eval.overheads` — latency / energy / area tables from the
   hardware model (the cost figures: Fig. 3b, 14).
 * :mod:`repro.eval.reporting` — plain-text table rendering used by the
   benches to print the same rows/series the paper reports.
 """
 
+from repro.eval.campaign import (
+    CampaignResult,
+    CampaignSpec,
+    CellResult,
+    SweepCell,
+    TechniqueSpec,
+    run_campaign,
+)
 from repro.eval.experiment import ExperimentConfig, ExperimentRunner
 from repro.eval.overheads import OverheadTable, overhead_tables_for_sizes
 from repro.eval.reporting import format_series, format_table
+from repro.eval.store import ResultStore, StoreMismatchError
 from repro.eval.sweep import FaultRateSweep, SweepResult, TechniqueAccuracy
 
 __all__ = [
+    "CampaignResult",
+    "CampaignSpec",
+    "CellResult",
     "ExperimentConfig",
     "ExperimentRunner",
     "FaultRateSweep",
     "OverheadTable",
+    "ResultStore",
+    "StoreMismatchError",
+    "SweepCell",
     "SweepResult",
     "TechniqueAccuracy",
+    "TechniqueSpec",
     "format_series",
     "format_table",
     "overhead_tables_for_sizes",
+    "run_campaign",
 ]

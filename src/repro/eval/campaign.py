@@ -1,0 +1,848 @@
+"""Parallel campaign orchestration: spec → cells → executors → store.
+
+Every accuracy figure of the paper (Fig. 3a, 10, 13) is a grid of
+independent simulations — workload × network size × fault rate × trial ×
+technique.  This module turns that grid into explicit, schedulable work:
+
+* :class:`CampaignSpec` declares the grid (experiments, fault rates,
+  trials, techniques, injection targets) and expands it into
+  :class:`SweepCell` units — one cell per ``(experiment, fault rate,
+  trial)`` coordinate, plus one fault-free reference cell per experiment.
+* Each cell is deterministically seeded from its grid coordinates
+  (:func:`repro.utils.rng.derive_cell_seed`), so executing cells serially,
+  across a process pool, or in any order produces bit-identical
+  accuracies.  Within a cell the paper's pairing is preserved: one fault
+  map is drawn per trial and replayed across all techniques.
+* :func:`run_campaign` executes the pending cells — serially or via
+  :class:`concurrent.futures.ProcessPoolExecutor` — streaming every
+  finished cell into an append-only :class:`~repro.eval.store.ResultStore`
+  so an interrupted campaign resumes where it stopped, and finally
+  aggregates the records back into per-experiment
+  :class:`~repro.eval.sweep.SweepResult` objects.
+
+Workers never retrain: the orchestrator trains each clean model once,
+snapshots it with :meth:`~repro.snn.training.TrainedModel.save`, and the
+workers load the snapshot and regenerate the (cheap, synthetic) test set
+deterministically from the experiment seeds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import tempfile
+import time
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.mitigation import MitigationTechnique, build_technique
+from repro.data.datasets import Dataset
+from repro.eval.experiment import (
+    ExperimentConfig,
+    ExperimentRunner,
+    prepare_datasets,
+)
+from repro.eval.store import ResultStore
+from repro.eval.sweep import SweepResult, TechniqueAccuracy
+from repro.faults.fault_map import FaultMapGenerator
+from repro.faults.models import ComputeEngineFaultConfig
+from repro.hardware.enhancements import MitigationKind
+from repro.snn.training import TrainedModel
+from repro.utils.logging import get_logger
+from repro.utils.rng import SeedSequenceFactory, derive_cell_seed, derive_clean_seed
+from repro.utils.serialization import numpy_to_native
+
+__all__ = [
+    "TechniqueSpec",
+    "SweepCell",
+    "CellResult",
+    "CampaignSpec",
+    "CampaignResult",
+    "build_experiment_cells",
+    "execute_cell",
+    "collect_sweep_result",
+    "run_campaign",
+]
+
+_LOGGER = get_logger("eval.campaign")
+
+#: Key under which a fault-free reference cell stores its accuracy.
+CLEAN_KEY = "clean"
+
+
+# ---------------------------------------------------------------------- #
+# grid elements
+# ---------------------------------------------------------------------- #
+@dataclass
+class TechniqueSpec:
+    """Declarative identity of one mitigation technique in a campaign.
+
+    Campaign workers rebuild the concrete
+    :class:`~repro.core.mitigation.MitigationTechnique` object from this
+    spec (kind + constructor options) in their own process, so technique
+    instances never travel across the pool pipe.
+    """
+
+    kind: MitigationKind
+    options: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.kind, MitigationKind):
+            self.kind = MitigationKind(self.kind)
+        self.options = dict(self.options)
+
+    def build(self) -> MitigationTechnique:
+        """Instantiate the technique this spec describes."""
+        return build_technique(self.kind, **self.options)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind.value, "options": dict(self.options)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TechniqueSpec":
+        return cls(kind=MitigationKind(data["kind"]), options=dict(data.get("options", {})))
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One independent, deterministically seeded unit of campaign work.
+
+    A cell covers a single ``(experiment, fault rate, trial)`` coordinate
+    and evaluates *every* technique of the campaign against the same fault
+    map, preserving the paper's paired-comparison protocol.  The fault-free
+    reference measurement of an experiment is the special *clean* cell
+    (``rate_index == trial_index == -1``).
+    """
+
+    experiment_key: str
+    fault_rate: Optional[float]
+    rate_index: int
+    trial_index: int
+    seed: int
+    inject_synapses: bool = True
+    inject_neurons: bool = True
+    batch_size: Optional[int] = None
+
+    @property
+    def is_clean(self) -> bool:
+        """True for the fault-free reference cell of an experiment."""
+        return self.fault_rate is None
+
+    @property
+    def cell_id(self) -> str:
+        """Stable identifier used for store-based resume bookkeeping."""
+        if self.is_clean:
+            return f"{self.experiment_key}::clean"
+        return (
+            f"{self.experiment_key}::rate[{self.rate_index}]={self.fault_rate:g}"
+            f"::trial[{self.trial_index}]"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "experiment_key": self.experiment_key,
+            "fault_rate": self.fault_rate,
+            "rate_index": self.rate_index,
+            "trial_index": self.trial_index,
+            "seed": self.seed,
+            "inject_synapses": self.inject_synapses,
+            "inject_neurons": self.inject_neurons,
+            "batch_size": self.batch_size,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SweepCell":
+        return cls(
+            experiment_key=str(data["experiment_key"]),
+            fault_rate=(
+                None if data["fault_rate"] is None else float(data["fault_rate"])
+            ),
+            rate_index=int(data["rate_index"]),
+            trial_index=int(data["trial_index"]),
+            seed=int(data["seed"]),
+            inject_synapses=bool(data["inject_synapses"]),
+            inject_neurons=bool(data["inject_neurons"]),
+            batch_size=(
+                None if data["batch_size"] is None else int(data["batch_size"])
+            ),
+        )
+
+
+@dataclass
+class CellResult:
+    """Outcome of executing one :class:`SweepCell`.
+
+    ``accuracies`` maps technique identity (``MitigationKind.value``) to
+    accuracy percent; a clean cell stores a single entry under
+    :data:`CLEAN_KEY`.
+    """
+
+    cell_id: str
+    experiment_key: str
+    fault_rate: Optional[float]
+    rate_index: int
+    trial_index: int
+    accuracies: Dict[str, float]
+    n_faults: int = 0
+    duration_seconds: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "cell_id": self.cell_id,
+            "experiment_key": self.experiment_key,
+            "fault_rate": self.fault_rate,
+            "rate_index": self.rate_index,
+            "trial_index": self.trial_index,
+            "accuracies": {k: float(v) for k, v in self.accuracies.items()},
+            "n_faults": int(self.n_faults),
+            "duration_seconds": float(self.duration_seconds),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CellResult":
+        return cls(
+            cell_id=str(data["cell_id"]),
+            experiment_key=str(data["experiment_key"]),
+            fault_rate=(
+                None if data["fault_rate"] is None else float(data["fault_rate"])
+            ),
+            rate_index=int(data["rate_index"]),
+            trial_index=int(data["trial_index"]),
+            accuracies={str(k): float(v) for k, v in data["accuracies"].items()},
+            n_faults=int(data.get("n_faults", 0)),
+            duration_seconds=float(data.get("duration_seconds", 0.0)),
+        )
+
+
+# ---------------------------------------------------------------------- #
+# cell construction and execution
+# ---------------------------------------------------------------------- #
+def build_experiment_cells(
+    experiment_key: str,
+    fault_rates: Sequence[float],
+    n_trials: int,
+    root_seed: int,
+    inject_synapses: bool = True,
+    inject_neurons: bool = True,
+    batch_size: Optional[int] = None,
+    include_clean: bool = True,
+) -> List[SweepCell]:
+    """Expand one experiment's sweep into its independent cells.
+
+    The cell seeds depend only on ``(root_seed, experiment_key, rate index,
+    trial index)``, never on construction or execution order, which is what
+    makes serial and parallel campaign runs bit-identical.
+    """
+    if n_trials <= 0:
+        raise ValueError(f"n_trials must be positive, got {n_trials}")
+    if not fault_rates:
+        raise ValueError("at least one fault rate is required")
+    cells: List[SweepCell] = []
+    if include_clean:
+        cells.append(
+            SweepCell(
+                experiment_key=experiment_key,
+                fault_rate=None,
+                rate_index=-1,
+                trial_index=-1,
+                seed=derive_clean_seed(root_seed, experiment_key),
+                inject_synapses=inject_synapses,
+                inject_neurons=inject_neurons,
+                batch_size=batch_size,
+            )
+        )
+    for rate_index, fault_rate in enumerate(fault_rates):
+        for trial_index in range(n_trials):
+            cells.append(
+                SweepCell(
+                    experiment_key=experiment_key,
+                    fault_rate=float(fault_rate),
+                    rate_index=rate_index,
+                    trial_index=trial_index,
+                    seed=derive_cell_seed(
+                        root_seed, experiment_key, rate_index, trial_index
+                    ),
+                    inject_synapses=inject_synapses,
+                    inject_neurons=inject_neurons,
+                    batch_size=batch_size,
+                )
+            )
+    return cells
+
+
+def execute_cell(
+    cell: SweepCell,
+    model: TrainedModel,
+    dataset: Dataset,
+    techniques: Sequence[MitigationTechnique],
+) -> CellResult:
+    """Run one cell: draw its fault map, evaluate every technique against it.
+
+    All randomness flows from ``cell.seed``: the fault map is drawn first,
+    then the techniques consume the same generator in their listed order
+    (exactly the within-trial semantics of the original serial sweep loop).
+    The clean cell evaluates the first technique with no fault scenario.
+    """
+    if not techniques:
+        raise ValueError("at least one technique is required")
+    started = time.perf_counter()
+    generator = np.random.default_rng(cell.seed)
+
+    if cell.is_clean:
+        accuracy = (
+            techniques[0]
+            .evaluate(
+                model,
+                dataset,
+                fault_config=None,
+                rng=generator,
+                batch_size=cell.batch_size,
+            )
+            .accuracy_percent
+        )
+        return CellResult(
+            cell_id=cell.cell_id,
+            experiment_key=cell.experiment_key,
+            fault_rate=None,
+            rate_index=cell.rate_index,
+            trial_index=cell.trial_index,
+            accuracies={CLEAN_KEY: accuracy},
+            n_faults=0,
+            duration_seconds=time.perf_counter() - started,
+        )
+
+    config = ComputeEngineFaultConfig(
+        fault_rate=cell.fault_rate,
+        inject_synapses=cell.inject_synapses,
+        inject_neurons=cell.inject_neurons,
+    )
+    map_generator = FaultMapGenerator(
+        crossbar_shape=(model.network_config.n_inputs, model.n_neurons),
+        quantizer=model.network_config.make_quantizer(model.clean_max_weight),
+    )
+    fault_map = map_generator.generate(config, rng=generator)
+
+    accuracies: Dict[str, float] = {}
+    for technique in techniques:
+        outcome = technique.evaluate(
+            model,
+            dataset,
+            fault_config=config,
+            rng=generator,
+            fault_map=fault_map,
+            batch_size=cell.batch_size,
+        )
+        accuracies[technique.kind.value] = outcome.accuracy_percent
+    return CellResult(
+        cell_id=cell.cell_id,
+        experiment_key=cell.experiment_key,
+        fault_rate=cell.fault_rate,
+        rate_index=cell.rate_index,
+        trial_index=cell.trial_index,
+        accuracies=accuracies,
+        n_faults=fault_map.n_faults,
+        duration_seconds=time.perf_counter() - started,
+    )
+
+
+def collect_sweep_result(
+    label: str,
+    fault_rates: Sequence[float],
+    technique_kinds: Sequence[MitigationKind],
+    n_trials: int,
+    records: Dict[str, CellResult],
+    experiment_key: Optional[str] = None,
+) -> SweepResult:
+    """Aggregate an experiment's cell records back into a :class:`SweepResult`.
+
+    Raises ``KeyError`` naming the first missing cell when the record set is
+    incomplete (i.e. the campaign has not finished).
+    """
+    key = experiment_key if experiment_key is not None else label
+    cells = build_experiment_cells(
+        key, fault_rates, n_trials, root_seed=0  # seeds unused, ids only
+    )
+    missing = [cell.cell_id for cell in cells if cell.cell_id not in records]
+    if missing:
+        raise KeyError(
+            f"campaign records for {key!r} are incomplete: missing "
+            f"{len(missing)} cell(s), first {missing[0]!r}"
+        )
+
+    clean_record = records[f"{key}::clean"]
+    result = SweepResult(
+        label=label,
+        clean_accuracy=clean_record.accuracies[CLEAN_KEY],
+        fault_rates=[float(rate) for rate in fault_rates],
+        techniques={
+            kind: TechniqueAccuracy(kind=kind) for kind in technique_kinds
+        },
+    )
+    for rate_index, fault_rate in enumerate(fault_rates):
+        per_kind_trials: Dict[MitigationKind, List[float]] = {
+            kind: [] for kind in technique_kinds
+        }
+        for trial_index in range(n_trials):
+            cell_id = (
+                f"{key}::rate[{rate_index}]={float(fault_rate):g}"
+                f"::trial[{trial_index}]"
+            )
+            record = records[cell_id]
+            for kind in technique_kinds:
+                per_kind_trials[kind].append(record.accuracies[kind.value])
+        for kind in technique_kinds:
+            trials = per_kind_trials[kind]
+            series = result.techniques[kind]
+            series.fault_rates.append(float(fault_rate))
+            series.per_trial.append(trials)
+            series.accuracies.append(sum(trials) / len(trials))
+    return result
+
+
+# ---------------------------------------------------------------------- #
+# campaign specification
+# ---------------------------------------------------------------------- #
+@dataclass
+class CampaignSpec:
+    """Declarative description of one evaluation campaign.
+
+    Attributes
+    ----------
+    name:
+        Campaign identifier (store metadata, report titles).
+    experiments:
+        The experiment grid, one :class:`ExperimentConfig` per (workload,
+        network size) point; labels must be unique, they key everything.
+    fault_rates:
+        Fault rates swept for every experiment, in report order.
+    techniques:
+        Techniques compared at every grid point (paired per trial).
+    n_trials:
+        Independent fault maps per fault rate.
+    inject_synapses / inject_neurons:
+        Which compute-engine parts receive faults (Fig. 3a: synapses only,
+        Fig. 10: neurons only / both, Fig. 13: both).
+    seed:
+        Root seed of the per-cell seed derivation.
+    runner_seed:
+        Root seed of the :class:`ExperimentRunner` that trains (and of the
+        workers that regenerate) each experiment's data and model.
+    """
+
+    name: str
+    experiments: List[ExperimentConfig]
+    fault_rates: List[float]
+    techniques: List[TechniqueSpec]
+    n_trials: int = 1
+    inject_synapses: bool = True
+    inject_neurons: bool = True
+    seed: int = 0
+    runner_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("campaign name must be non-empty")
+        if not self.experiments:
+            raise ValueError("at least one experiment is required")
+        if not self.fault_rates:
+            raise ValueError("at least one fault rate is required")
+        if not self.techniques:
+            raise ValueError("at least one technique is required")
+        if self.n_trials <= 0:
+            raise ValueError(f"n_trials must be positive, got {self.n_trials}")
+        if not self.inject_synapses and not self.inject_neurons:
+            raise ValueError(
+                "at least one of inject_synapses / inject_neurons must be True"
+            )
+        keys = [config.label() for config in self.experiments]
+        duplicates = {key for key in keys if keys.count(key) > 1}
+        if duplicates:
+            raise ValueError(
+                f"experiment labels must be unique, duplicated: {sorted(duplicates)}"
+            )
+        kinds = [spec.kind for spec in self.techniques]
+        if len(set(kinds)) != len(kinds):
+            raise ValueError("technique kinds must be unique within a campaign")
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def grid(
+        cls,
+        name: str,
+        workloads: Sequence[str],
+        network_sizes: Sequence[int],
+        fault_rates: Sequence[float],
+        technique_kinds: Sequence[MitigationKind],
+        base: Optional[ExperimentConfig] = None,
+        paper_sizes: Optional[Dict[int, int]] = None,
+        **campaign_kwargs: object,
+    ) -> "CampaignSpec":
+        """Build a spec from a workload × network-size grid.
+
+        *base* supplies the shared experiment settings (sample counts,
+        timesteps, epochs…); *paper_sizes* optionally maps a scaled size to
+        the paper network size it stands in for.
+        """
+        template = base if base is not None else ExperimentConfig()
+        experiments = []
+        for workload in workloads:
+            for n_neurons in network_sizes:
+                experiments.append(
+                    replace(
+                        template,
+                        workload=workload,
+                        n_neurons=int(n_neurons),
+                        paper_network_size=(
+                            paper_sizes.get(int(n_neurons)) if paper_sizes else None
+                        ),
+                    )
+                )
+        return cls(
+            name=name,
+            experiments=experiments,
+            fault_rates=[float(rate) for rate in fault_rates],
+            techniques=[TechniqueSpec(kind) for kind in technique_kinds],
+            **campaign_kwargs,
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def experiment_keys(self) -> List[str]:
+        """Unique per-experiment keys, in grid order."""
+        return [config.label() for config in self.experiments]
+
+    @property
+    def technique_kinds(self) -> List[MitigationKind]:
+        return [spec.kind for spec in self.techniques]
+
+    def experiment_by_key(self, key: str) -> ExperimentConfig:
+        for config in self.experiments:
+            if config.label() == key:
+                return config
+        raise KeyError(f"no experiment with key {key!r} in campaign {self.name!r}")
+
+    def expand(self) -> List[SweepCell]:
+        """Expand the full grid into independent cells (clean cells first)."""
+        cells: List[SweepCell] = []
+        for config in self.experiments:
+            cells.extend(
+                build_experiment_cells(
+                    config.label(),
+                    self.fault_rates,
+                    self.n_trials,
+                    root_seed=self.seed,
+                    inject_synapses=self.inject_synapses,
+                    inject_neurons=self.inject_neurons,
+                    batch_size=config.eval_batch_size,
+                )
+            )
+        return cells
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "experiments": [config.to_dict() for config in self.experiments],
+            "fault_rates": [float(rate) for rate in self.fault_rates],
+            "techniques": [spec.to_dict() for spec in self.techniques],
+            "n_trials": self.n_trials,
+            "inject_synapses": self.inject_synapses,
+            "inject_neurons": self.inject_neurons,
+            "seed": self.seed,
+            "runner_seed": self.runner_seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CampaignSpec":
+        return cls(
+            name=str(data["name"]),
+            experiments=[
+                ExperimentConfig.from_dict(item) for item in data["experiments"]
+            ],
+            fault_rates=[float(rate) for rate in data["fault_rates"]],
+            techniques=[TechniqueSpec.from_dict(item) for item in data["techniques"]],
+            n_trials=int(data["n_trials"]),
+            inject_synapses=bool(data["inject_synapses"]),
+            inject_neurons=bool(data["inject_neurons"]),
+            seed=int(data["seed"]),
+            runner_seed=int(data["runner_seed"]),
+        )
+
+    def fingerprint(self) -> str:
+        """Content hash used to guard store resume against spec drift."""
+        canonical = json.dumps(
+            numpy_to_native(self.to_dict()), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------- #
+# campaign execution
+# ---------------------------------------------------------------------- #
+@dataclass
+class CampaignResult:
+    """Aggregated outcome of one (possibly resumed) campaign run."""
+
+    spec: CampaignSpec
+    sweeps: Dict[str, SweepResult]
+    n_cells: int
+    n_executed: int
+    n_skipped: int
+    duration_seconds: float
+    store_path: Optional[Path] = None
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-friendly summary (full per-trial data retained)."""
+        return {
+            "campaign": self.spec.name,
+            "n_cells": self.n_cells,
+            "n_executed": self.n_executed,
+            "n_skipped": self.n_skipped,
+            "duration_seconds": self.duration_seconds,
+            "experiments": {
+                key: sweep.summary() for key, sweep in self.sweeps.items()
+            },
+        }
+
+    def render_tables(self) -> str:
+        """Plain-text accuracy tables, one per experiment."""
+        from repro.eval.reporting import format_table
+
+        blocks = []
+        for key, sweep in self.sweeps.items():
+            headers = ["technique"] + [f"{rate:g}" for rate in sweep.fault_rates]
+            blocks.append(
+                format_table(
+                    headers,
+                    sweep.accuracy_table(),
+                    title=(
+                        f"{self.spec.name} — {key} — accuracy [%], "
+                        f"clean {sweep.clean_accuracy:.1f}%"
+                    ),
+                )
+            )
+        return "\n\n".join(blocks)
+
+
+# Per-process cache of worker assets, keyed by experiment key.  Populated
+# lazily in each pool worker so a worker handling many cells of the same
+# experiment loads the model snapshot and regenerates the datasets once.
+_WORKER_ASSETS: Dict[str, Tuple[TrainedModel, Dataset, List[MitigationTechnique]]] = {}
+
+
+def _pool_execute_cell(
+    context: Dict[str, object], cell_data: Dict[str, object]
+) -> Dict[str, object]:
+    """Pool entry point: rebuild assets (cached per process), run one cell.
+
+    Only plain dictionaries cross the process boundary; the heavy assets
+    (model, dataset) are reconstructed inside the worker from the snapshot
+    path and the deterministic dataset seeds.
+    """
+    cell = SweepCell.from_dict(cell_data)
+    key = cell.experiment_key
+    if key not in _WORKER_ASSETS:
+        config = ExperimentConfig.from_dict(context["experiment"])
+        model = TrainedModel.load(context["model_path"])
+        seeds = SeedSequenceFactory(root_seed=int(context["runner_seed"]))
+        _, test_set = prepare_datasets(config, seeds)
+        techniques = [
+            TechniqueSpec.from_dict(item).build() for item in context["techniques"]
+        ]
+        _WORKER_ASSETS[key] = (model, test_set, techniques)
+    model, test_set, techniques = _WORKER_ASSETS[key]
+    return execute_cell(cell, model, test_set, techniques).to_dict()
+
+
+def _execute_serial(
+    cells: Sequence[SweepCell],
+    assets: Dict[str, Tuple[TrainedModel, Dataset, List[MitigationTechnique]]],
+    on_result: Callable[[CellResult], None],
+) -> None:
+    for cell in cells:
+        model, dataset, techniques = assets[cell.experiment_key]
+        on_result(execute_cell(cell, model, dataset, techniques))
+
+
+def _execute_pool(
+    cells: Sequence[SweepCell],
+    contexts: Dict[str, Dict[str, object]],
+    n_workers: int,
+    on_result: Callable[[CellResult], None],
+) -> None:
+    from concurrent.futures import ProcessPoolExecutor, as_completed
+
+    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        futures = {
+            pool.submit(
+                _pool_execute_cell, contexts[cell.experiment_key], cell.to_dict()
+            ): cell
+            for cell in cells
+        }
+        for future in as_completed(futures):
+            on_result(CellResult.from_dict(future.result()))
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    store_path: Optional[Union[str, Path]] = None,
+    n_workers: int = 1,
+    resume: bool = True,
+    workdir: Optional[Union[str, Path]] = None,
+    runner: Optional[ExperimentRunner] = None,
+) -> CampaignResult:
+    """Run (or resume) a campaign and return the aggregated results.
+
+    Parameters
+    ----------
+    spec:
+        The campaign grid to execute.
+    store_path:
+        JSON-lines result store.  When given, finished cells are appended
+        as they complete and cells already present are skipped, making the
+        run resumable; when ``None`` results live only in memory.
+    n_workers:
+        ``1`` executes cells serially in-process; ``>1`` distributes them
+        over a :class:`~concurrent.futures.ProcessPoolExecutor`, falling
+        back to the serial executor if the platform cannot spawn processes.
+    resume:
+        When false an existing store is truncated instead of resumed.
+    workdir:
+        Directory for trained-model snapshots handed to pool workers.
+        Defaults to a sibling of the store (or a temporary directory).
+    runner:
+        Experiment runner to prepare (train) the clean models with.  Pass
+        one to share its model cache across several campaign runs; its
+        root seed must equal ``spec.runner_seed``, otherwise the workers'
+        regenerated datasets would not match the orchestrator's.
+    """
+    if n_workers <= 0:
+        raise ValueError(f"n_workers must be positive, got {n_workers}")
+    started = time.perf_counter()
+
+    store: Optional[ResultStore] = None
+    if store_path is not None:
+        store = ResultStore(store_path)
+        store.initialize(spec, reset=not resume)
+
+    cells = spec.expand()
+    completed: Dict[str, CellResult] = dict(store.cell_records()) if store else {}
+    pending = [cell for cell in cells if cell.cell_id not in completed]
+    n_skipped = len(cells) - len(pending)
+    if n_skipped:
+        _LOGGER.info(
+            "campaign %s: resuming, %d/%d cells already in store",
+            spec.name,
+            n_skipped,
+            len(cells),
+        )
+
+    # Train (or fetch cached) clean models once, in the orchestrator.
+    if runner is None:
+        runner = ExperimentRunner(root_seed=spec.runner_seed)
+    elif runner.seeds.root_seed != spec.runner_seed:
+        raise ValueError(
+            f"runner root seed {runner.seeds.root_seed} does not match "
+            f"spec.runner_seed {spec.runner_seed}; workers would regenerate "
+            "different datasets than the orchestrator prepared"
+        )
+    needed_keys = {cell.experiment_key for cell in pending}
+    assets: Dict[str, Tuple[TrainedModel, Dataset, List[MitigationTechnique]]] = {}
+    for config in spec.experiments:
+        key = config.label()
+        if key not in needed_keys:
+            continue
+        prepared = runner.prepare(config)
+        assets[key] = (
+            prepared.model,
+            prepared.test_set,
+            [tspec.build() for tspec in spec.techniques],
+        )
+
+    def record(result: CellResult) -> None:
+        completed[result.cell_id] = result
+        if store is not None:
+            store.append_cell(result)
+        _LOGGER.info(
+            "campaign %s: cell %s done in %.2fs (%s)",
+            spec.name,
+            result.cell_id,
+            result.duration_seconds,
+            ", ".join(f"{k}={v:.1f}%" for k, v in result.accuracies.items()),
+        )
+
+    if pending:
+        if n_workers == 1:
+            _execute_serial(pending, assets, record)
+        else:
+            # Snapshots are consumed only while the pool is alive, so they
+            # live in a temporary directory (cleaned up below) unless the
+            # caller pins an explicit workdir.
+            temp_dir: Optional[tempfile.TemporaryDirectory] = None
+            try:
+                if workdir is not None:
+                    models_dir = Path(workdir)
+                else:
+                    temp_dir = tempfile.TemporaryDirectory(prefix="softsnn-campaign-")
+                    models_dir = Path(temp_dir.name)
+                models_dir.mkdir(parents=True, exist_ok=True)
+
+                contexts: Dict[str, Dict[str, object]] = {}
+                for config in spec.experiments:
+                    key = config.label()
+                    if key not in assets:
+                        continue
+                    safe = key.replace("/", "_").replace(" ", "_")
+                    model_path = assets[key][0].save(models_dir / safe)
+                    contexts[key] = {
+                        "experiment": config.to_dict(),
+                        "model_path": str(model_path),
+                        "runner_seed": spec.runner_seed,
+                        "techniques": [t.to_dict() for t in spec.techniques],
+                    }
+                try:
+                    _execute_pool(pending, contexts, n_workers, record)
+                except (OSError, ImportError, BrokenProcessPool) as error:
+                    # Sandboxed or exotic platforms may not allow process
+                    # pools at all; the grid still completes serially.
+                    _LOGGER.warning(
+                        "campaign %s: process pool unavailable (%s), "
+                        "falling back to serial execution",
+                        spec.name,
+                        error,
+                    )
+                    remaining = [
+                        cell for cell in pending if cell.cell_id not in completed
+                    ]
+                    _execute_serial(remaining, assets, record)
+            finally:
+                if temp_dir is not None:
+                    temp_dir.cleanup()
+
+    # `completed` already holds every store record plus everything executed
+    # this run, so aggregation needs no second pass over the store file.
+    records = completed
+    sweeps: Dict[str, SweepResult] = {}
+    for config in spec.experiments:
+        key = config.label()
+        sweeps[key] = collect_sweep_result(
+            label=key,
+            fault_rates=spec.fault_rates,
+            technique_kinds=spec.technique_kinds,
+            n_trials=spec.n_trials,
+            records=records,
+            experiment_key=key,
+        )
+
+    return CampaignResult(
+        spec=spec,
+        sweeps=sweeps,
+        n_cells=len(cells),
+        n_executed=len(pending),
+        n_skipped=n_skipped,
+        duration_seconds=time.perf_counter() - started,
+        store_path=store.path if store else None,
+    )

@@ -14,7 +14,7 @@ size is configurable for users who want to run closer to the paper's scale.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, Optional, Tuple
 
 from repro.data.datasets import Dataset, load_workload, train_test_split
@@ -24,7 +24,12 @@ from repro.snn.training import STDPTrainer, TrainedModel, TrainingConfig
 from repro.utils.logging import get_logger
 from repro.utils.rng import SeedSequenceFactory
 
-__all__ = ["ExperimentConfig", "ExperimentRunner", "PreparedExperiment"]
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentRunner",
+    "PreparedExperiment",
+    "prepare_datasets",
+]
 
 _LOGGER = get_logger("eval.experiment")
 
@@ -124,20 +129,65 @@ class ExperimentConfig:
         )
         return f"{self.workload}/{size}"
 
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly representation (nested parameter dataclasses included)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ExperimentConfig":
+        """Rebuild a configuration from :meth:`to_dict` output.
+
+        This is the hand-over format between a campaign orchestrator and
+        its worker processes, which regenerate the (cheap, synthetic)
+        datasets locally instead of receiving them over the pipe.
+        """
+        payload = dict(data)
+        payload["neuron_params"] = LIFParameters(**payload["neuron_params"])
+        return cls(**payload)
+
+
+def prepare_datasets(
+    config: ExperimentConfig, seeds: SeedSequenceFactory
+) -> Tuple[Dataset, Dataset]:
+    """Generate and split the datasets of *config*, deterministically.
+
+    The generation and split streams are keyed by the experiment label and
+    seed through *seeds*, so any process holding the same root seed — the
+    runner that trains the model, or a campaign worker that only evaluates
+    it — reconstructs bit-identical train and test sets.
+    """
+    data_rng = seeds.rng_for(f"data/{config.label()}/{config.seed}")
+    dataset = load_workload(
+        config.workload, n_samples=config.n_train + config.n_test, rng=data_rng
+    )
+    split_rng = seeds.rng_for(f"split/{config.label()}/{config.seed}")
+    return train_test_split(
+        dataset,
+        test_fraction=config.n_test / (config.n_train + config.n_test),
+        rng=split_rng,
+    )
+
 
 @dataclass
 class PreparedExperiment:
-    """A trained model plus the datasets it was trained and evaluated on."""
+    """A trained model plus the datasets it was trained and evaluated on.
+
+    ``clean_accuracy`` starts out ``None`` and is filled in by
+    :meth:`ExperimentRunner.clean_accuracy` the first time the fault-free
+    reference accuracy is measured.
+    """
 
     config: ExperimentConfig
     model: TrainedModel
     train_set: Dataset
     test_set: Dataset
+    clean_accuracy: Optional[float] = None
 
     @property
     def clean_accuracy_hint(self) -> Optional[float]:
         """Clean accuracy if it has been measured and attached by the runner."""
-        return getattr(self, "_clean_accuracy", None)
+        return self.clean_accuracy
 
 
 class ExperimentRunner:
@@ -151,35 +201,23 @@ class ExperimentRunner:
 
     def __init__(self, root_seed: int = 0) -> None:
         self.seeds = SeedSequenceFactory(root_seed=root_seed)
-        self._cache: Dict[Tuple, PreparedExperiment] = {}
+        self._cache: Dict[ExperimentConfig, PreparedExperiment] = {}
 
     # ------------------------------------------------------------------ #
     def prepare(self, config: ExperimentConfig) -> PreparedExperiment:
-        """Generate data and train the clean model for *config* (cached)."""
-        key = (
-            config.workload,
-            config.n_neurons,
-            config.n_train,
-            config.n_test,
-            config.timesteps,
-            config.epochs,
-            config.learning_mode,
-            config.label_assignment_mode,
-            config.seed,
-        )
+        """Generate data and train the clean model for *config* (cached).
+
+        The frozen configuration itself is the cache key: every field —
+        including ``paper_network_size``, which participates in the
+        seed-stream label, and the neuron parameters — distinguishes the
+        prepared assets, so two configurations that differ anywhere never
+        alias each other's model or datasets.
+        """
+        key = config
         if key in self._cache:
             return self._cache[key]
 
-        data_rng = self.seeds.rng_for(f"data/{config.label()}/{config.seed}")
-        dataset = load_workload(
-            config.workload, n_samples=config.n_train + config.n_test, rng=data_rng
-        )
-        split_rng = self.seeds.rng_for(f"split/{config.label()}/{config.seed}")
-        train_set, test_set = train_test_split(
-            dataset,
-            test_fraction=config.n_test / (config.n_train + config.n_test),
-            rng=split_rng,
-        )
+        train_set, test_set = prepare_datasets(config, self.seeds)
 
         _LOGGER.info(
             "training clean model for %s (%d train / %d test samples)",
@@ -219,7 +257,7 @@ class ExperimentRunner:
             rng=self.seeds.rng_for(f"clean-eval-enc/{config.label()}/{config.seed}"),
             batch_size=config.eval_batch_size,
         )
-        prepared._clean_accuracy = result.accuracy_percent
+        prepared.clean_accuracy = result.accuracy_percent
         return result.accuracy_percent
 
     def clear_cache(self) -> None:

@@ -1,0 +1,213 @@
+"""Append-only, resumable on-disk store for campaign cell results.
+
+The store is a JSON-lines file: the first record describes the campaign
+(spec snapshot + content fingerprint), every following record is one
+finished :class:`~repro.eval.campaign.CellResult`.  Appends are flushed and
+fsynced per record, so a campaign killed at any point leaves a store whose
+intact lines are exactly the cells that finished; re-running the same
+campaign against the same store skips those cells and computes only the
+remainder — the resume protocol of :func:`repro.eval.campaign.run_campaign`.
+
+A truncated final line (writer killed mid-append) is tolerated on read and
+simply re-executed on resume.  Resuming with a *different* spec is refused
+via the fingerprint check, because mixing records of two grids would
+corrupt the aggregation silently.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Union
+
+from repro.utils.logging import get_logger
+from repro.utils.serialization import append_jsonl, read_jsonl
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.eval.campaign import CampaignSpec, CellResult
+
+__all__ = ["ResultStore", "StoreMismatchError"]
+
+_LOGGER = get_logger("eval.store")
+
+
+class StoreMismatchError(RuntimeError):
+    """Raised when a store belongs to a different campaign spec."""
+
+
+class ResultStore:
+    """JSON-lines persistence of campaign cell results with resume support.
+
+    Parameters
+    ----------
+    path:
+        Location of the store file; parent directories are created on the
+        first write.  The conventional suffix is ``.jsonl``.
+    """
+
+    #: Format marker written into the meta record.
+    FORMAT = "softsnn-campaign-store"
+    VERSION = 1
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def exists(self) -> bool:
+        """True when the store file is present on disk."""
+        return self.path.exists()
+
+    def initialize(self, spec: "CampaignSpec", reset: bool = False) -> None:
+        """Bind the store to *spec*, creating or validating the meta record.
+
+        A fresh (or ``reset``) store gets a meta record carrying the spec
+        snapshot and fingerprint.  An existing store is validated: its
+        fingerprint must match *spec*, otherwise :class:`StoreMismatchError`
+        is raised — resuming a campaign into another campaign's store would
+        silently mix incompatible records.
+        """
+        if reset and self.exists():
+            self.path.unlink()
+        self._repair_tail()
+        if not self.exists() or self.path.stat().st_size == 0:
+            append_jsonl(
+                {
+                    "type": "meta",
+                    "format": self.FORMAT,
+                    "version": self.VERSION,
+                    "campaign": spec.name,
+                    "fingerprint": spec.fingerprint(),
+                    "spec": spec.to_dict(),
+                },
+                self.path,
+            )
+            return
+        meta = self._meta_record()
+        if meta.get("fingerprint") != spec.fingerprint():
+            raise StoreMismatchError(
+                f"store {self.path} belongs to campaign "
+                f"{meta.get('campaign')!r} with fingerprint "
+                f"{meta.get('fingerprint')!r}; refusing to resume campaign "
+                f"{spec.name!r} ({spec.fingerprint()!r}) into it"
+            )
+
+    def _repair_tail(self) -> None:
+        """Truncate a torn final record left by a writer killed mid-append.
+
+        Appending after a line that lacks its trailing newline would merge
+        the two records into one corrupt line, so before the store accepts
+        new appends the file is cut back to its longest prefix of complete,
+        parseable lines.  The dropped cell (if any) is simply re-executed.
+        An unparseable line *before* the tail is real corruption and raises.
+        """
+        if not self.exists():
+            return
+        raw = self.path.read_bytes()
+        if not raw:
+            return
+        segments = raw.splitlines(keepends=True)
+        valid_bytes = 0
+        for index, segment in enumerate(segments):
+            stripped = segment.strip()
+            parseable = True
+            if stripped:
+                try:
+                    json.loads(stripped)
+                except json.JSONDecodeError:
+                    parseable = False
+            if parseable and segment.endswith(b"\n"):
+                valid_bytes += len(segment)
+                continue
+            if not parseable and index != len(segments) - 1:
+                raise ValueError(
+                    f"corrupt store record at {self.path}:{index + 1}"
+                )
+            break
+        if valid_bytes < len(raw):
+            _LOGGER.warning(
+                "store %s: dropping torn final record (%d bytes)",
+                self.path,
+                len(raw) - valid_bytes,
+            )
+            with self.path.open("r+b") as handle:
+                handle.truncate(valid_bytes)
+
+    def _meta_record(self) -> Dict[str, object]:
+        # Only the first line is needed; avoid parsing the whole store.
+        first_line = ""
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                first_line = line.strip()
+                if first_line:
+                    break
+        if not first_line:
+            raise ValueError(f"store {self.path} is empty")
+        try:
+            meta = json.loads(first_line)
+        except json.JSONDecodeError:
+            raise ValueError(f"store {self.path} has a corrupt meta record")
+        if not isinstance(meta, dict) or meta.get("type") != "meta":
+            raise ValueError(f"store {self.path} does not start with a meta record")
+        if meta.get("format") != self.FORMAT or meta.get("version") != self.VERSION:
+            raise ValueError(
+                f"store {self.path} has unsupported format "
+                f"{meta.get('format')!r} v{meta.get('version')!r}"
+            )
+        return meta
+
+    # ------------------------------------------------------------------ #
+    # reads
+    # ------------------------------------------------------------------ #
+    def meta(self) -> Dict[str, object]:
+        """The campaign meta record (spec snapshot + fingerprint)."""
+        return self._meta_record()
+
+    def spec_dict(self) -> Dict[str, object]:
+        """The stored campaign spec as a plain dictionary."""
+        return dict(self._meta_record()["spec"])
+
+    def cell_records(self) -> "Dict[str, CellResult]":
+        """All cell results keyed by cell id (first record of an id wins).
+
+        Duplicate ids — possible only if two runs raced the same store —
+        are logged and ignored beyond the first occurrence, so the resume
+        invariant "each cell exactly once" holds for consumers.
+        """
+        from repro.eval.campaign import CellResult
+
+        if not self.exists():
+            return {}
+        results: Dict[str, CellResult] = {}
+        for record in read_jsonl(self.path):
+            if not isinstance(record, dict) or record.get("type") != "cell":
+                continue
+            result = CellResult.from_dict(record)
+            if result.cell_id in results:
+                _LOGGER.warning(
+                    "store %s: duplicate record for cell %s ignored",
+                    self.path,
+                    result.cell_id,
+                )
+                continue
+            results[result.cell_id] = result
+        return results
+
+    def completed_cell_ids(self) -> List[str]:
+        """Ids of every cell present in the store, in append order."""
+        return list(self.cell_records())
+
+    def __len__(self) -> int:
+        return len(self.cell_records())
+
+    # ------------------------------------------------------------------ #
+    # writes
+    # ------------------------------------------------------------------ #
+    def append_cell(self, result: "CellResult") -> None:
+        """Durably append one finished cell result."""
+        record = {"type": "cell", **result.to_dict()}
+        append_jsonl(record, self.path)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultStore(path={str(self.path)!r})"

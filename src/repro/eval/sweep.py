@@ -4,7 +4,11 @@ The accuracy figures of the paper (Fig. 3a, Fig. 10, Fig. 13) are all
 sweeps of the same form: fix a trained model and a test set, vary the fault
 rate, and measure the accuracy of one or more mitigation techniques, with
 every technique seeing the *same* fault map at each rate so the comparison
-is paired.  :class:`FaultRateSweep` implements that loop once.
+is paired.  :class:`FaultRateSweep` exposes that loop as a single-experiment
+front end over the campaign machinery of :mod:`repro.eval.campaign`: the
+sweep grid is expanded into independent, deterministically seeded cells and
+executed serially in-process, so the results are bit-identical to the same
+grid distributed over a campaign's process pool.
 """
 
 from __future__ import annotations
@@ -15,12 +19,10 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.mitigation import MitigationTechnique
 from repro.data.datasets import Dataset
-from repro.faults.fault_map import FaultMapGenerator
-from repro.faults.models import ComputeEngineFaultConfig
 from repro.hardware.enhancements import MitigationKind
 from repro.snn.training import TrainedModel
 from repro.utils.logging import get_logger
-from repro.utils.rng import RNGLike, resolve_rng, spawn_rngs
+from repro.utils.rng import RNGLike, derive_root_seed
 
 __all__ = ["TechniqueAccuracy", "SweepResult", "FaultRateSweep"]
 
@@ -109,21 +111,74 @@ class SweepResult:
         ]
         return max(gains) if gains else 0.0
 
+    @property
+    def n_trials(self) -> int:
+        """Number of trials per fault rate (0 when no series is populated)."""
+        for series in self.techniques.values():
+            if series.per_trial:
+                return len(series.per_trial[0])
+        return 0
+
     def summary(self) -> Dict[str, object]:
-        """JSON-friendly summary of the sweep."""
+        """JSON-friendly summary of the sweep, raw per-trial data included.
+
+        The ``techniques`` entries keep the legacy mean-accuracy list under
+        ``accuracies`` and add ``per_trial`` (one list per fault rate) plus
+        ``n_trials`` so persisted campaign results can be rehydrated
+        losslessly via :meth:`from_summary`.
+        """
         return {
             "label": self.label,
             "clean_accuracy": self.clean_accuracy,
             "fault_rates": list(self.fault_rates),
+            "n_trials": self.n_trials,
             "techniques": {
-                kind.value: list(series.accuracies)
+                kind.value: {
+                    "accuracies": list(series.accuracies),
+                    "per_trial": [list(trials) for trials in series.per_trial],
+                }
                 for kind, series in self.techniques.items()
             },
         }
 
+    @classmethod
+    def from_summary(cls, data: Dict[str, object]) -> "SweepResult":
+        """Rebuild a sweep result from :meth:`summary` output.
+
+        This is the round trip the campaign store and the CLI's summary
+        files rely on; ``summary(from_summary(x)) == x`` for any summary
+        produced by this class.
+        """
+        fault_rates = [float(rate) for rate in data["fault_rates"]]
+        techniques: Dict[MitigationKind, TechniqueAccuracy] = {}
+        for kind_value, series_data in dict(data["techniques"]).items():
+            kind = MitigationKind(kind_value)
+            techniques[kind] = TechniqueAccuracy(
+                kind=kind,
+                fault_rates=list(fault_rates),
+                accuracies=[float(a) for a in series_data["accuracies"]],
+                per_trial=[
+                    [float(a) for a in trials]
+                    for trials in series_data.get("per_trial", [])
+                ],
+            )
+        return cls(
+            label=str(data["label"]),
+            clean_accuracy=float(data["clean_accuracy"]),
+            fault_rates=fault_rates,
+            techniques=techniques,
+        )
+
 
 class FaultRateSweep:
     """Runs paired fault-rate sweeps over a set of mitigation techniques.
+
+    This is the single-experiment front end of the campaign subsystem: the
+    sweep is expanded into independent cells (one per fault rate × trial,
+    plus the fault-free reference) and executed on the in-process serial
+    path.  Because every cell is seeded from its grid coordinates, the
+    results are bit-identical to running the same grid as a parallel
+    campaign with the same seed and experiment key.
 
     Parameters
     ----------
@@ -175,77 +230,58 @@ class FaultRateSweep:
         rng: RNGLike = None,
         label: str = "sweep",
     ) -> SweepResult:
-        """Run the sweep and return the per-technique accuracy series."""
+        """Run the sweep and return the per-technique accuracy series.
+
+        ``rng`` collapses to a single root seed (an ``int`` is used as-is;
+        ``None``/a generator draws one) from which every cell derives its
+        own seed, so a campaign sharing the root seed and using *label* as
+        its experiment key reproduces these exact accuracies.
+        """
+        from repro.eval.campaign import (
+            build_experiment_cells,
+            collect_sweep_result,
+            execute_cell,
+        )
+
         if fault_rates is None:
             fault_rates = PAPER_FAULT_RATES
-        generator = resolve_rng(rng)
+        fault_rates = [float(rate) for rate in fault_rates]
+        root_seed = derive_root_seed(rng)
 
-        # Clean reference accuracy (no faults, no mitigation).
-        clean_accuracy = (
-            self.techniques[0]
-            .evaluate(
-                self.model,
-                self.dataset,
-                fault_config=None,
-                rng=generator,
-                batch_size=self.batch_size,
-            )
-            .accuracy_percent
+        cells = build_experiment_cells(
+            label,
+            fault_rates,
+            self.n_trials,
+            root_seed=root_seed,
+            inject_synapses=self.inject_synapses,
+            inject_neurons=self.inject_neurons,
+            batch_size=self.batch_size,
         )
+        records = {}
+        rate_trials: Dict[int, List[Dict[str, float]]] = {}
+        for cell in cells:
+            result = execute_cell(cell, self.model, self.dataset, self.techniques)
+            records[result.cell_id] = result
+            if cell.is_clean:
+                continue
+            rate_trials.setdefault(cell.rate_index, []).append(result.accuracies)
+            if cell.trial_index == self.n_trials - 1:
+                trials = rate_trials[cell.rate_index]
+                means = {
+                    kind: sum(t[kind] for t in trials) / len(trials)
+                    for kind in result.accuracies
+                }
+                _LOGGER.info(
+                    "%s: fault rate %.0e done (%s)",
+                    label,
+                    cell.fault_rate,
+                    ", ".join(f"{kind}={acc:.1f}%" for kind, acc in means.items()),
+                )
 
-        network = self.model.build_network(rng=generator)
-        map_generator = FaultMapGenerator(
-            crossbar_shape=network.synapses.shape,
-            quantizer=network.synapses.quantizer,
-        )
-
-        result = SweepResult(
+        return collect_sweep_result(
             label=label,
-            clean_accuracy=clean_accuracy,
-            fault_rates=list(fault_rates),
-            techniques={
-                technique.kind: TechniqueAccuracy(kind=technique.kind)
-                for technique in self.techniques
-            },
+            fault_rates=fault_rates,
+            technique_kinds=[technique.kind for technique in self.techniques],
+            n_trials=self.n_trials,
+            records=records,
         )
-
-        for fault_rate in fault_rates:
-            config = ComputeEngineFaultConfig(
-                fault_rate=fault_rate,
-                inject_synapses=self.inject_synapses,
-                inject_neurons=self.inject_neurons,
-            )
-            trial_rngs = spawn_rngs(generator, self.n_trials)
-            per_technique_trials: Dict[MitigationKind, List[float]] = {
-                technique.kind: [] for technique in self.techniques
-            }
-            for trial_rng in trial_rngs:
-                fault_map = map_generator.generate(config, rng=trial_rng)
-                for technique in self.techniques:
-                    outcome = technique.evaluate(
-                        self.model,
-                        self.dataset,
-                        fault_config=config,
-                        rng=trial_rng,
-                        fault_map=fault_map,
-                        batch_size=self.batch_size,
-                    )
-                    per_technique_trials[technique.kind].append(
-                        outcome.accuracy_percent
-                    )
-            for technique in self.techniques:
-                trials = per_technique_trials[technique.kind]
-                series = result.techniques[technique.kind]
-                series.fault_rates.append(fault_rate)
-                series.per_trial.append(trials)
-                series.accuracies.append(sum(trials) / len(trials))
-            _LOGGER.info(
-                "%s: fault rate %.0e done (%s)",
-                label,
-                fault_rate,
-                ", ".join(
-                    f"{kind.value}={series.accuracies[-1]:.1f}%"
-                    for kind, series in result.techniques.items()
-                ),
-            )
-        return result

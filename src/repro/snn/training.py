@@ -36,15 +36,19 @@ the fault models — it only determines the quality of the clean weights.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Union
 
 import numpy as np
 
 from repro.data.datasets import Dataset
 from repro.snn.network import DiehlCookNetwork, NetworkConfig
+from repro.snn.neuron import LIFParameters
+from repro.snn.stdp import STDPConfig
 from repro.utils.logging import get_logger
 from repro.utils.rng import RNGLike, resolve_rng
+from repro.utils.serialization import load_json, load_npz, save_json, save_npz
 from repro.utils.validation import check_in_choices
 
 __all__ = ["TrainingConfig", "TrainedModel", "STDPTrainer"]
@@ -238,6 +242,77 @@ class TrainedModel:
             "theta": self.theta.tolist(),
             "weights": self.weights.tolist(),
         }
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    #: Snapshot format version written into the metadata sidecar.
+    SNAPSHOT_FORMAT = 1
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Persist the model as an ``.npz`` archive plus a ``.json`` sidecar.
+
+        The arrays (weights, theta, neuron labels) go into ``<base>.npz``;
+        everything JSON-friendly (network configuration, clean weight
+        statistics, training history) into ``<base>.json``.  Campaign
+        workers load this snapshot instead of retraining the clean model in
+        every process.  Returns the path of the ``.npz`` archive.
+        """
+        base = Path(path)
+        if base.suffix == ".npz":
+            base = base.with_suffix("")
+        npz_path = save_npz(
+            {
+                "weights": self.weights,
+                "theta": self.theta,
+                "neuron_labels": self.neuron_labels,
+            },
+            base.with_suffix(".npz"),
+        )
+        save_json(
+            {
+                "format": self.SNAPSHOT_FORMAT,
+                "network_config": asdict(self.network_config),
+                "clean_max_weight": self.clean_max_weight,
+                "clean_most_probable_weight": self.clean_most_probable_weight,
+                "training_history": self.training_history,
+            },
+            base.with_suffix(".json"),
+        )
+        return npz_path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "TrainedModel":
+        """Load a model previously written by :meth:`save`.
+
+        *path* may point at the ``.npz`` archive, the ``.json`` sidecar or
+        the common base path.
+        """
+        base = Path(path)
+        if base.suffix in (".npz", ".json"):
+            base = base.with_suffix("")
+        metadata = load_json(base.with_suffix(".json"))
+        fmt = metadata.get("format")
+        if fmt != cls.SNAPSHOT_FORMAT:
+            raise ValueError(
+                f"unsupported trained-model snapshot format {fmt!r} "
+                f"(expected {cls.SNAPSHOT_FORMAT})"
+            )
+        config_data = dict(metadata["network_config"])
+        config_data["neuron_params"] = LIFParameters(**config_data["neuron_params"])
+        config_data["stdp"] = STDPConfig(**config_data["stdp"])
+        arrays = load_npz(base.with_suffix(".npz"))
+        return cls(
+            network_config=NetworkConfig(**config_data),
+            weights=arrays["weights"],
+            theta=arrays["theta"],
+            neuron_labels=arrays["neuron_labels"],
+            clean_max_weight=float(metadata["clean_max_weight"]),
+            clean_most_probable_weight=float(
+                metadata["clean_most_probable_weight"]
+            ),
+            training_history=dict(metadata.get("training_history", {})),
+        )
 
 
 class STDPTrainer:

@@ -26,7 +26,15 @@ import numpy as np
 
 RNGLike = Union[None, int, np.random.Generator]
 
-__all__ = ["RNGLike", "SeedSequenceFactory", "resolve_rng", "spawn_rngs"]
+__all__ = [
+    "RNGLike",
+    "SeedSequenceFactory",
+    "derive_cell_seed",
+    "derive_clean_seed",
+    "derive_root_seed",
+    "resolve_rng",
+    "spawn_rngs",
+]
 
 
 def resolve_rng(rng: RNGLike = None) -> np.random.Generator:
@@ -77,6 +85,51 @@ def spawn_rngs(rng: RNGLike, count: int) -> List[np.random.Generator]:
     parent = resolve_rng(rng)
     seeds = parent.integers(0, 2**63 - 1, size=count, dtype=np.int64)
     return [np.random.default_rng(int(seed)) for seed in seeds]
+
+
+def derive_root_seed(rng: RNGLike = None) -> int:
+    """Collapse a flexible rng specifier into a single 63-bit root seed.
+
+    Campaign execution needs one integer to anchor per-cell seed derivation
+    (see :func:`derive_cell_seed`), independent of execution order.  An
+    ``int`` specifier is used as-is; ``None`` or a generator draw one value
+    from the (fresh or given) generator so repeated calls with the same
+    generator state are reproducible.
+    """
+    if isinstance(rng, (int, np.integer)) and not isinstance(rng, bool):
+        if rng < 0:
+            raise ValueError(f"seed must be non-negative, got {rng}")
+        return int(rng)
+    generator = resolve_rng(rng)
+    return int(generator.integers(0, 2**63 - 1, dtype=np.int64))
+
+
+def derive_cell_seed(
+    root_seed: int, experiment_key: str, rate_index: int, trial_index: int
+) -> int:
+    """Deterministic seed of one sweep cell, independent of execution order.
+
+    A *cell* is one ``(experiment, fault rate, trial)`` coordinate of a
+    campaign grid.  Deriving its seed from the grid coordinates (rather than
+    from a shared generator's mutable state, as the pre-campaign serial loop
+    did) makes the cell a self-contained unit of work: serial and
+    process-pool execution draw bit-identical fault maps and encoder
+    streams, and any single cell can be re-run in isolation.
+
+    Rate and trial are identified by their *indices* in the spec so that
+    float formatting of the rate can never change the seed.
+    """
+    factory = SeedSequenceFactory(root_seed=root_seed)
+    return factory.seed_for(
+        f"campaign/cell/{experiment_key}/rate[{int(rate_index)}]"
+        f"/trial[{int(trial_index)}]"
+    )
+
+
+def derive_clean_seed(root_seed: int, experiment_key: str) -> int:
+    """Deterministic seed of an experiment's fault-free reference cell."""
+    factory = SeedSequenceFactory(root_seed=root_seed)
+    return factory.seed_for(f"campaign/clean/{experiment_key}")
 
 
 class SeedSequenceFactory:

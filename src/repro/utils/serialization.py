@@ -1,20 +1,39 @@
-"""Lightweight JSON persistence for experiment results and model snapshots.
+"""Lightweight persistence for experiment results and model snapshots.
 
-The benchmark harness (one bench per paper figure) and the examples write
-their outputs as plain JSON so the regenerated series can be inspected,
-diffed and committed without any binary tooling.  NumPy scalars and arrays
-are converted to native Python types on the way out.
+Three formats cover every artefact the library writes:
+
+* plain JSON (:func:`save_json` / :func:`load_json`) — benchmark outputs
+  and model metadata, inspectable and diffable without binary tooling;
+* NumPy ``.npz`` archives (:func:`save_npz` / :func:`load_npz`) — the
+  array payload of trained-model snapshots that campaign workers load
+  instead of retraining;
+* append-only JSON lines (:func:`append_jsonl` / :func:`read_jsonl`) —
+  the campaign result store, where each finished sweep cell is streamed
+  out as one self-contained record so a killed run loses at most the
+  line being written.
+
+NumPy scalars and arrays are converted to native Python types on the way
+out of the JSON writers.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
-from typing import Any, Union
+from typing import Any, Dict, List, Mapping, Union
 
 import numpy as np
 
-__all__ = ["numpy_to_native", "save_json", "load_json"]
+__all__ = [
+    "numpy_to_native",
+    "save_json",
+    "load_json",
+    "save_npz",
+    "load_npz",
+    "append_jsonl",
+    "read_jsonl",
+]
 
 PathLike = Union[str, Path]
 
@@ -68,3 +87,77 @@ def load_json(path: PathLike) -> Any:
         raise FileNotFoundError(f"no such results file: {path}")
     with path.open("r", encoding="utf-8") as handle:
         return json.load(handle)
+
+
+def save_npz(arrays: Mapping[str, np.ndarray], path: PathLike) -> Path:
+    """Write named arrays to a compressed ``.npz`` archive at *path*.
+
+    Parent directories are created as needed; the resolved path (with the
+    ``.npz`` suffix NumPy enforces) is returned.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **{str(k): np.asarray(v) for k, v in arrays.items()})
+    return path
+
+
+def load_npz(path: PathLike) -> Dict[str, np.ndarray]:
+    """Load a ``.npz`` archive written by :func:`save_npz` into a dict."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no such array archive: {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        return {name: archive[name].copy() for name in archive.files}
+
+
+def append_jsonl(record: Any, path: PathLike) -> Path:
+    """Append one JSON record as a single line to *path* (created if absent).
+
+    The line is flushed and fsynced before returning so that a process
+    killed right after the call leaves a complete, replayable record on
+    disk — the property the campaign store's resume logic relies on.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    line = json.dumps(numpy_to_native(record), sort_keys=False)
+    if "\n" in line:  # pragma: no cover - json.dumps never emits newlines
+        raise ValueError("JSONL records must serialise to a single line")
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(line + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    return path
+
+
+def read_jsonl(path: PathLike, tolerate_truncated_tail: bool = True) -> List[Any]:
+    """Read every record of a JSON-lines file written by :func:`append_jsonl`.
+
+    Parameters
+    ----------
+    path:
+        File to read; a missing file raises :class:`FileNotFoundError`.
+    tolerate_truncated_tail:
+        When true (default) a final line that does not parse — the footprint
+        of a writer killed mid-append — is silently dropped.  A malformed
+        line anywhere *before* the tail always raises ``ValueError``, since
+        that indicates real corruption rather than an interrupted append.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no such JSONL file: {path}")
+    records: List[Any] = []
+    with path.open("r", encoding="utf-8") as handle:
+        lines = handle.readlines()
+    for index, line in enumerate(lines):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            records.append(json.loads(stripped))
+        except json.JSONDecodeError:
+            if tolerate_truncated_tail and index == len(lines) - 1:
+                break
+            raise ValueError(f"corrupt JSONL record at {path}:{index + 1}")
+    return records

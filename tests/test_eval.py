@@ -60,6 +60,17 @@ class TestExperimentRunner:
         runner.clear_cache()
         assert runner.prepare(a.config) is not a
 
+    def test_paper_size_proxy_not_aliased_in_cache(self):
+        # paper_network_size participates in the seed-stream label, so a
+        # proxy config must not reuse the plain config's cached assets.
+        runner = ExperimentRunner(root_seed=1)
+        plain = ExperimentConfig(n_neurons=10, n_train=24, n_test=8, timesteps=40)
+        proxy = plain.with_network_size(10, paper_network_size=400)
+        a = runner.prepare(plain)
+        b = runner.prepare(proxy)
+        assert a is not b
+        assert not np.array_equal(a.test_set.images, b.test_set.images)
+
     def test_same_root_seed_reproducible(self):
         config = ExperimentConfig(n_neurons=10, n_train=24, n_test=8, timesteps=40)
         model_a = ExperimentRunner(root_seed=5).prepare(config).model
@@ -72,9 +83,13 @@ class TestExperimentRunner:
         )
         runner = ExperimentRunner(root_seed=5)
         prepared = runner.prepare(config)
+        assert prepared.clean_accuracy is None
         assert prepared.clean_accuracy_hint is None
         accuracy = runner.clean_accuracy(prepared)
         assert 0.0 <= accuracy <= 100.0
+        # The measurement lands in the declared dataclass field (the hint
+        # property is the backwards-compatible read path).
+        assert prepared.clean_accuracy == accuracy
         assert prepared.clean_accuracy_hint == accuracy
         assert runner.clean_accuracy(prepared) == accuracy
 
@@ -131,11 +146,19 @@ class TestFaultRateSweep:
     def test_summary_is_json_friendly(self, trained_model, small_split):
         _, test_set = small_split
         subset = test_set.subset(np.arange(5))
-        result = FaultRateSweep(trained_model, subset, [NoMitigation()]).run(
-            fault_rates=[1e-2], rng=11
-        )
+        result = FaultRateSweep(
+            trained_model, subset, [NoMitigation()], n_trials=2
+        ).run(fault_rates=[1e-2], rng=11)
         summary = result.summary()
-        assert summary["techniques"]["no_mitigation"]
+        series = summary["techniques"]["no_mitigation"]
+        # Raw per-trial accuracies survive serialisation (campaign store
+        # requirement) alongside the per-rate means.
+        assert summary["n_trials"] == 2
+        assert len(series["per_trial"]) == 1 and len(series["per_trial"][0]) == 2
+        assert series["accuracies"][0] == sum(series["per_trial"][0]) / 2
+        from repro.eval.sweep import SweepResult
+
+        assert SweepResult.from_summary(summary).summary() == summary
 
     def test_validation(self, trained_model, small_split):
         _, test_set = small_split
