@@ -1,0 +1,142 @@
+"""BENCH — serving throughput: adaptive micro-batching vs batch-size-1.
+
+Drives the online service with the closed-loop load generator
+(`repro/serve/loadgen.py`) in two configurations that differ only in the
+scheduler policy:
+
+* **batch-1 baseline** — ``max_batch_size=1``: every request becomes its
+  own engine call, the one-request-one-call serving shape;
+* **micro-batched** — ``max_batch_size=32`` with a 10 ms latency budget:
+  concurrent requests coalesce into engine batches.
+
+Both runs classify the same 400 requests (N400-proxy network, 48 neurons,
+100 timesteps) with the same per-request seeds, so the bench first asserts
+the predictions are bit-identical — serving must not trade exactness for
+throughput — and then asserts the micro-batched configuration clears at
+least 2x the baseline throughput.  The summary lands in
+``benchmarks/results/perf_serving.json`` so successive PRs can track the
+serving path.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.eval.experiment import ExperimentConfig, ExperimentRunner
+from repro.serve.loadgen import run_closed_loop
+from repro.serve.registry import ModelRegistry
+from repro.serve.service import InProcessClient, ServiceConfig, SoftSNNService
+
+N_REQUESTS = 400
+CONCURRENCY = 16
+MICRO_BATCH_SIZE = 32
+MICRO_DELAY_MS = 10.0
+MODEL_NAME = "bench-mnist-n400"
+
+RESULTS_PATH = Path(__file__).parent / "results" / "perf_serving.json"
+
+#: N400-proxy serving model (same scaling as the campaign benches).
+BENCH_CONFIG = ExperimentConfig(
+    workload="mnist",
+    n_neurons=48,
+    n_train=200,
+    n_test=40,
+    timesteps=100,
+    epochs=2,
+    paper_network_size=400,
+)
+
+
+def _make_service(
+    root: Path, model, max_batch_size: int, max_delay_ms: float
+) -> SoftSNNService:
+    registry = ModelRegistry(root, max_warm_sessions=4)
+    registry.register(model, MODEL_NAME, workload="mnist")
+    return SoftSNNService(
+        ServiceConfig(
+            models_dir=root,
+            max_batch_size=max_batch_size,
+            max_delay_ms=max_delay_ms,
+        ),
+        registry=registry,
+    )
+
+
+def test_microbatch_vs_single_request_serving(tmp_path):
+    prepared = ExperimentRunner(root_seed=2022).prepare(BENCH_CONFIG)
+    images = [image.reshape(-1) for image in prepared.test_set.images]
+    seeds = list(range(10_000, 10_000 + N_REQUESTS))
+    warmup_seeds = list(range(20_000, 20_016))
+
+    reports = {}
+    for label, max_batch, delay_ms in (
+        ("batch1", 1, 0.0),
+        ("microbatch", MICRO_BATCH_SIZE, MICRO_DELAY_MS),
+    ):
+        with _make_service(
+            tmp_path / label, prepared.model, max_batch, delay_ms
+        ) as service:
+            client = InProcessClient(service)
+            # Warm the session (fault-free network build, BLAS paths) so
+            # the timed run measures steady-state serving.
+            run_closed_loop(
+                client,
+                images,
+                warmup_seeds,
+                model=MODEL_NAME,
+                mode="clean",
+                concurrency=CONCURRENCY,
+                label=f"{label}-warmup",
+            )
+            reports[label] = run_closed_loop(
+                client,
+                images,
+                seeds,
+                model=MODEL_NAME,
+                mode="clean",
+                concurrency=CONCURRENCY,
+                label=label,
+                metrics_source=service.metrics_snapshot,
+            )
+
+    baseline = reports["batch1"]
+    micro = reports["microbatch"]
+
+    # Correctness first: micro-batching must not change a single answer.
+    assert baseline.errors == 0 and micro.errors == 0
+    assert micro.predictions == baseline.predictions
+
+    speedup = micro.throughput_rps / baseline.throughput_rps
+    summary = {
+        "n_requests": N_REQUESTS,
+        "concurrency": CONCURRENCY,
+        "n_neurons": BENCH_CONFIG.n_neurons,
+        "paper_network_size": BENCH_CONFIG.paper_network_size,
+        "timesteps": BENCH_CONFIG.timesteps,
+        "baseline_batch1": baseline.to_dict(),
+        "microbatch": micro.to_dict(),
+        "max_batch_size": MICRO_BATCH_SIZE,
+        "max_delay_ms": MICRO_DELAY_MS,
+        "speedup": round(speedup, 2),
+    }
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(summary, indent=2) + "\n")
+
+    print()
+    print(
+        f"BENCH perf_serving: {N_REQUESTS} requests x {CONCURRENCY} clients, "
+        f"batch1 {baseline.throughput_rps:.0f} rps "
+        f"(p99 {baseline.latency_percentiles()['p99']:.1f}ms) vs "
+        f"microbatch {micro.throughput_rps:.0f} rps "
+        f"(p99 {micro.latency_percentiles()['p99']:.1f}ms, "
+        f"mean occupancy {micro.mean_batch_size}) -> {speedup:.2f}x"
+    )
+
+    # The acceptance floor: micro-batching must at least double throughput
+    # over one-request-one-call serving at this size.
+    assert speedup >= 2.0, (
+        f"micro-batched serving reached only {speedup:.2f}x the batch-1 "
+        f"baseline ({micro.throughput_rps:.0f} vs "
+        f"{baseline.throughput_rps:.0f} rps)"
+    )

@@ -17,7 +17,10 @@ Tolerance for Spiking Neural Network Accelerators under Soft Errors"*
   analysis, the BnP1/BnP2/BnP3 weight bounding, neuron protection, and the
   re-execution (TMR) baseline;
 * ``repro.eval`` — the experiment harness that regenerates every figure of
-  the paper's evaluation.
+  the paper's evaluation;
+* ``repro.serve`` — the online serving layer: model registry, adaptive
+  micro-batching scheduler, fault-aware serving modes and the stdlib HTTP
+  service (CLI: ``softsnn-serve`` in ``repro.server``).
 """
 
 from repro.core.bound_and_protect import BnPVariant, NeuronProtection, WeightBounding

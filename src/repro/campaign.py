@@ -27,6 +27,7 @@ import sys
 from pathlib import Path
 from typing import Dict, Optional, Sequence
 
+import repro
 from repro.eval.campaign import CampaignSpec, TechniqueSpec, run_campaign
 from repro.eval.experiment import ExperimentConfig
 from repro.eval.sweep import PAPER_FAULT_RATES
@@ -119,6 +120,9 @@ def build_parser() -> argparse.ArgumentParser:
         description=__doc__,
         epilog=f"presets:\n{preset_lines}",
         formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {repro.__version__}"
     )
     parser.add_argument(
         "preset",

@@ -1,0 +1,177 @@
+"""Closed-loop multi-threaded load generation for the serving layer.
+
+A *closed loop* means each generator thread issues its next request only
+after the previous one completed — the standard way to measure a serving
+stack without coordinated-omission artefacts from an open-loop arrival
+process.  ``concurrency`` threads share one global request counter; every
+request carries exactly one image and one deterministic seed, so the
+predictions a load run produces are comparable bit-for-bit across serving
+configurations (the perf bench uses this to assert that the micro-batched
+and batch-size-1 configurations classify identically before comparing
+their throughput).
+
+The generator drives anything with the client interface of
+:mod:`repro.serve.service` (``classify(images=…, model=…, mode=…,
+seeds=…)``) — the in-process client for clean scheduler measurements, or
+the HTTP client to include the socket path.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["LoadReport", "run_closed_loop"]
+
+
+@dataclass
+class LoadReport:
+    """Summary of one closed-loop load run.
+
+    ``predictions`` is indexed by request number (request *i* classified
+    ``images[i % len(images)]`` with ``seeds[i]``), so two runs over the
+    same inputs can be compared prediction-for-prediction.
+    ``mean_batch_size`` is filled from the service metrics snapshot when
+    one is provided to :func:`run_closed_loop`.
+    """
+
+    label: str
+    n_requests: int
+    concurrency: int
+    duration_seconds: float
+    errors: int
+    latencies_ms: List[float] = field(default_factory=list)
+    predictions: List[Optional[int]] = field(default_factory=list)
+    mean_batch_size: Optional[float] = None
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per second of wall-clock."""
+        completed = self.n_requests - self.errors
+        if self.duration_seconds <= 0:
+            return 0.0
+        return completed / self.duration_seconds
+
+    def latency_percentiles(self) -> Dict[str, float]:
+        """Mean / p50 / p90 / p99 / max of the per-request latencies (ms)."""
+        if not self.latencies_ms:
+            return {"mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0}
+        values = np.asarray(self.latencies_ms, dtype=np.float64)
+        return {
+            "mean": round(float(values.mean()), 3),
+            "p50": round(float(np.percentile(values, 50)), 3),
+            "p90": round(float(np.percentile(values, 90)), 3),
+            "p99": round(float(np.percentile(values, 99)), 3),
+            "max": round(float(values.max()), 3),
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON summary (throughput, latency percentiles, batch occupancy)."""
+        return {
+            "label": self.label,
+            "n_requests": self.n_requests,
+            "concurrency": self.concurrency,
+            "errors": self.errors,
+            "duration_seconds": round(self.duration_seconds, 3),
+            "throughput_rps": round(self.throughput_rps, 2),
+            "latency_ms": self.latency_percentiles(),
+            "mean_batch_size": self.mean_batch_size,
+        }
+
+
+def run_closed_loop(
+    client: Any,
+    images: Sequence[Any],
+    seeds: Sequence[int],
+    model: Optional[str] = None,
+    mode: Any = None,
+    concurrency: int = 8,
+    label: str = "load",
+    metrics_source: Optional[Callable[[], Dict[str, Any]]] = None,
+) -> LoadReport:
+    """Issue ``len(seeds)`` single-image requests from *concurrency* threads.
+
+    Parameters
+    ----------
+    client:
+        Anything with the serving client interface (``classify`` returning
+        a dict with ``predictions``).
+    images:
+        Pool of images cycled through round-robin (request *i* sends
+        ``images[i % len(images)]``).
+    seeds:
+        One deterministic encoding seed per request; the request count is
+        ``len(seeds)``.
+    model / mode:
+        Forwarded to every classify call.
+    concurrency:
+        Number of closed-loop generator threads.
+    label:
+        Name recorded in the report.
+    metrics_source:
+        Optional callable returning a service metrics snapshot; when given,
+        the report's ``mean_batch_size`` is read from it after the run.
+    """
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be at least 1, got {concurrency}")
+    if not images:
+        raise ValueError("images must not be empty")
+    n_requests = len(seeds)
+    if n_requests == 0:
+        raise ValueError("seeds must not be empty")
+
+    counter_lock = threading.Lock()
+    next_request = [0]
+    latencies: List[Optional[float]] = [None] * n_requests
+    predictions: List[Optional[int]] = [None] * n_requests
+    errors = [0]
+
+    def worker() -> None:
+        while True:
+            with counter_lock:
+                index = next_request[0]
+                if index >= n_requests:
+                    return
+                next_request[0] = index + 1
+            image = images[index % len(images)]
+            started = time.monotonic()
+            try:
+                response = client.classify(
+                    [image], model=model, mode=mode, seeds=[int(seeds[index])]
+                )
+                predictions[index] = int(response["predictions"][0])
+                latencies[index] = 1000.0 * (time.monotonic() - started)
+            except Exception:  # noqa: BLE001 - counted, run continues
+                with counter_lock:
+                    errors[0] += 1
+
+    threads = [
+        threading.Thread(target=worker, name=f"loadgen-{index}", daemon=True)
+        for index in range(min(concurrency, n_requests))
+    ]
+    run_started = time.monotonic()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    duration = time.monotonic() - run_started
+
+    report = LoadReport(
+        label=label,
+        n_requests=n_requests,
+        concurrency=concurrency,
+        duration_seconds=duration,
+        errors=errors[0],
+        latencies_ms=[value for value in latencies if value is not None],
+        predictions=predictions,
+    )
+    if metrics_source is not None:
+        try:
+            report.mean_batch_size = float(metrics_source().get("mean_batch_size", 0.0))
+        except Exception:  # noqa: BLE001 - metrics are best-effort
+            report.mean_batch_size = None
+    return report

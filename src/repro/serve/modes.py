@@ -1,0 +1,363 @@
+"""Fault-aware serving modes: clean, faulty, protected.
+
+The paper's story is a *live* contrast: the same accelerator delivers full
+accuracy when healthy, degrades badly under soft errors, and recovers almost
+completely once Bound-and-Protect is switched on.  The serving layer makes
+that contrast observable from a single running service — every registered
+model can be queried in three modes:
+
+``clean``
+    The trained network exactly as deployed; no faults, no mitigation.
+``faulty``
+    A fault map drawn at a configurable rate (reusing the
+    :mod:`repro.faults` model, weight-register bit flips and/or faulty
+    neuron operations) is injected into the serving network.  The map is
+    drawn from a fixed seed so the served "damaged accelerator" is a
+    reproducible object, exactly like a campaign trial.
+``protected``
+    The same fault injection, but served through SoftSNN's mitigation: BnP
+    weight bounding as the crossbar's effective-weight rule plus the neuron
+    protection monitor gating faulty-reset bursts
+    (:mod:`repro.core.bound_and_protect`).
+
+A :class:`ServingSession` is the executable form of one ``(model, mode)``
+pair: the fault-injected network, its batched engine, and the mitigation
+hooks.  Serving is **stateless per request**: every request is classified as
+if presented to the freshly loaded accelerator (the faulty-reset latch is
+cleared between requests, and requests coalesced into one micro-batch are
+simulated independently via ``carry_reset_latch=False``), and every request
+carries its own Poisson-encoding seed.  Both properties together make the
+served prediction a pure function of ``(model, mode, image, seed)`` — the
+contract the scheduler-parity tests pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.bound_and_protect import BnPVariant, NeuronProtection, WeightBounding
+from repro.faults.injector import FaultInjectionReport, FaultInjector
+from repro.faults.models import ComputeEngineFaultConfig
+from repro.snn.engine import BatchedInferenceEngine, BatchResult
+from repro.snn.inference import InferenceEngine
+from repro.snn.network import DiehlCookNetwork
+from repro.snn.training import TrainedModel
+from repro.utils.validation import check_probability
+
+__all__ = ["MODE_KINDS", "ServingMode", "ServingSession", "build_session"]
+
+#: The three serving modes, in degraded-vs-mitigated story order.
+MODE_KINDS = ("clean", "faulty", "protected")
+
+
+@dataclass(frozen=True)
+class ServingMode:
+    """Declarative description of how a model is served.
+
+    Attributes
+    ----------
+    kind:
+        ``"clean"``, ``"faulty"`` or ``"protected"``.
+    fault_rate:
+        Probability that any potential fault location of the compute engine
+        is struck (ignored for ``clean``, which forces it to 0).
+    fault_seed:
+        Seed of the fault-map draw — the served fault pattern is a
+        reproducible object, so restarting the service (or building a
+        reference session in a test) recreates the identical damage.
+    inject_synapses / inject_neurons:
+        Which parts of the compute engine the fault map may strike.
+    variant:
+        BnP variant used by ``protected`` mode.
+    protection_trigger_cycles:
+        Consecutive above-threshold cycles that flag a faulty reset (2 in
+        the paper).
+    build_seed:
+        Seed of the network construction RNG.
+    """
+
+    kind: str
+    fault_rate: float = 0.0
+    fault_seed: int = 2022
+    inject_synapses: bool = True
+    inject_neurons: bool = True
+    variant: BnPVariant = BnPVariant.BNP3
+    protection_trigger_cycles: int = 2
+    build_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in MODE_KINDS:
+            raise ValueError(
+                f"mode kind must be one of {MODE_KINDS}, got {self.kind!r}"
+            )
+        check_probability(self.fault_rate, "fault_rate")
+        if self.kind == "clean" and self.fault_rate != 0.0:
+            raise ValueError("clean mode must not carry a fault rate")
+        if self.kind != "clean" and self.fault_rate == 0.0:
+            raise ValueError(
+                f"{self.kind} mode needs a positive fault_rate "
+                "(otherwise it serves the clean network)"
+            )
+        if not isinstance(self.variant, BnPVariant):
+            raise TypeError(
+                f"variant must be a BnPVariant, got {type(self.variant).__name__}"
+            )
+        if self.protection_trigger_cycles < 1:
+            raise ValueError("protection_trigger_cycles must be at least 1")
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def clean(cls) -> "ServingMode":
+        """The unfaulted, unmitigated serving mode."""
+        return cls(kind="clean")
+
+    @classmethod
+    def faulty(cls, fault_rate: float, fault_seed: int = 2022) -> "ServingMode":
+        """Fault injection at *fault_rate* with no mitigation."""
+        return cls(kind="faulty", fault_rate=fault_rate, fault_seed=fault_seed)
+
+    @classmethod
+    def protected(
+        cls,
+        fault_rate: float,
+        fault_seed: int = 2022,
+        variant: BnPVariant = BnPVariant.BNP3,
+    ) -> "ServingMode":
+        """Fault injection at *fault_rate* served through BnP mitigation."""
+        return cls(
+            kind="protected",
+            fault_rate=fault_rate,
+            fault_seed=fault_seed,
+            variant=variant,
+        )
+
+    @classmethod
+    def from_request(
+        cls,
+        spec: Any,
+        default_fault_rate: float = 0.05,
+        default_fault_seed: int = 2022,
+    ) -> "ServingMode":
+        """Build a mode from a request payload (a kind string or a dict).
+
+        Accepted forms::
+
+            "faulty"
+            {"kind": "protected", "fault_rate": 0.1, "variant": "bnp1"}
+
+        Missing fault parameters fall back to the service defaults, so a
+        client can simply ask for ``"faulty"`` and get the service's
+        configured damage level.
+        """
+        if spec is None:
+            spec = "clean"
+        if isinstance(spec, ServingMode):
+            return spec
+        if isinstance(spec, str):
+            spec = {"kind": spec}
+        if not isinstance(spec, dict):
+            raise ValueError(
+                f"mode must be a string, dict or ServingMode, got {type(spec).__name__}"
+            )
+        payload = dict(spec)
+        kind = str(payload.pop("kind", "clean")).strip().lower()
+        kwargs: Dict[str, Any] = {"kind": kind}
+        if kind != "clean":
+            kwargs["fault_rate"] = float(
+                payload.pop("fault_rate", default_fault_rate)
+            )
+            kwargs["fault_seed"] = int(payload.pop("fault_seed", default_fault_seed))
+        else:
+            payload.pop("fault_rate", None)
+            payload.pop("fault_seed", None)
+        if "variant" in payload:
+            variant = payload.pop("variant")
+            kwargs["variant"] = (
+                variant
+                if isinstance(variant, BnPVariant)
+                else BnPVariant(str(variant).strip().lower())
+            )
+        for key in ("inject_synapses", "inject_neurons"):
+            if key in payload:
+                kwargs[key] = bool(payload.pop(key))
+        if "protection_trigger_cycles" in payload:
+            kwargs["protection_trigger_cycles"] = int(
+                payload.pop("protection_trigger_cycles")
+            )
+        if "build_seed" in payload:
+            kwargs["build_seed"] = int(payload.pop("build_seed"))
+        if payload:
+            raise ValueError(f"unknown mode fields: {sorted(payload)}")
+        return cls(**kwargs)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def cache_key(self) -> Tuple:
+        """Hashable identity used by the registry's warm-session LRU."""
+        return (
+            self.kind,
+            self.fault_rate,
+            self.fault_seed,
+            self.inject_synapses,
+            self.inject_neurons,
+            self.variant.value,
+            self.protection_trigger_cycles,
+            self.build_seed,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly description echoed back in service responses."""
+        payload: Dict[str, Any] = {"kind": self.kind}
+        if self.kind != "clean":
+            payload["fault_rate"] = self.fault_rate
+            payload["fault_seed"] = self.fault_seed
+            payload["inject_synapses"] = self.inject_synapses
+            payload["inject_neurons"] = self.inject_neurons
+        if self.kind == "protected":
+            payload["variant"] = self.variant.value
+            payload["protection_trigger_cycles"] = self.protection_trigger_cycles
+        return payload
+
+    def fault_config(self) -> Optional[ComputeEngineFaultConfig]:
+        """The fault-injection configuration of this mode (``None`` for clean)."""
+        if self.kind == "clean":
+            return None
+        return ComputeEngineFaultConfig(
+            fault_rate=self.fault_rate,
+            inject_synapses=self.inject_synapses,
+            inject_neurons=self.inject_neurons,
+        )
+
+
+@dataclass
+class ServingSession:
+    """One ``(model, mode)`` pair, ready to classify micro-batches.
+
+    Sessions are built by :func:`build_session`, cached warm by the model
+    registry, and driven by exactly one scheduler worker thread — the
+    session itself performs no locking.  The underlying network is never
+    mutated after construction (the batched engine keeps all per-run state
+    in :class:`~repro.snn.engine.BatchedLIFState`), so rebuilding a session
+    from the same model and mode always reproduces it exactly.
+    """
+
+    model: TrainedModel
+    mode: ServingMode
+    network: DiehlCookNetwork
+    inference: InferenceEngine
+    batched: BatchedInferenceEngine
+    effective_weights: Optional[object] = None
+    protection: Optional[NeuronProtection] = None
+    fault_report: Optional[FaultInjectionReport] = None
+    _entry_latch: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        # Serving is stateless: every request enters at the freshly loaded
+        # accelerator state, so the entry latch is pinned at session build.
+        self._entry_latch = np.asarray(
+            self.network.neurons.reset_fault_latched, dtype=bool
+        ).copy()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_inputs(self) -> int:
+        """Flattened input dimension of the served network."""
+        return self.network.n_inputs
+
+    def encode(self, image: np.ndarray, seed: int) -> np.ndarray:
+        """Poisson-encode one request's image from its own seed.
+
+        Per-request generators (rather than one shared stream) are what
+        make the prediction independent of how requests are batched: the
+        raster of request *i* is the same whether it is flushed alone or
+        coalesced with thirty-one strangers.
+        """
+        return self.network.encoder.encode(
+            np.asarray(image, dtype=np.float64).reshape(-1), rng=int(seed)
+        )
+
+    def classify_batch(
+        self, images: Sequence[np.ndarray], seeds: Sequence[int]
+    ) -> Tuple[np.ndarray, BatchResult]:
+        """Classify one micro-batch of independent requests.
+
+        Each ``(image, seed)`` pair is encoded from its own generator, the
+        rasters are stacked and advanced together through the batched
+        engine in stateless mode, and the spike counts are turned into
+        class votes.  Returns ``(predictions, BatchResult)``.
+        """
+        if len(images) != len(seeds):
+            raise ValueError("images and seeds must have the same length")
+        if not images:
+            raise ValueError("micro-batch must not be empty")
+        rasters = np.stack(
+            [self.encode(image, seed) for image, seed in zip(images, seeds)]
+        )
+        result = self.batched.run_encoded(
+            rasters,
+            effective_weights=self.effective_weights,
+            step_monitor=self.protection,
+            initial_reset_latch=self._entry_latch,
+            carry_reset_latch=False,
+        )
+        predictions = self.inference.classify_batch(result.spike_counts)
+        return predictions, result
+
+    def classify_one(self, image: np.ndarray, seed: int) -> int:
+        """Classify a single request (a micro-batch of one)."""
+        predictions, _ = self.classify_batch([image], [seed])
+        return int(predictions[0])
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-friendly session summary for ``GET /models``."""
+        info: Dict[str, Any] = {
+            "mode": self.mode.to_dict(),
+            "n_neurons": self.network.n_neurons,
+        }
+        if self.fault_report is not None:
+            info["n_synapse_faults"] = self.fault_report.n_synapse_faults
+            info["n_neuron_faults"] = self.fault_report.n_neuron_faults
+        if self.protection is not None:
+            info["protection"] = self.protection.statistics()
+        return info
+
+
+def build_session(model: TrainedModel, mode: ServingMode) -> ServingSession:
+    """Materialise the serving network and hooks for ``(model, mode)``.
+
+    Construction is deterministic: the network build and the fault-map draw
+    are seeded from the mode, so two sessions built from the same arguments
+    serve bit-identical predictions — the property the parity tests and the
+    CI smoke check rely on.
+    """
+    network = model.build_network(rng=mode.build_seed)
+    fault_report: Optional[FaultInjectionReport] = None
+    config = mode.fault_config()
+    if config is not None:
+        injector = FaultInjector(network)
+        fault_report = injector.inject(config, rng=mode.fault_seed)
+
+    effective_weights = None
+    protection: Optional[NeuronProtection] = None
+    if mode.kind == "protected":
+        bounding = WeightBounding.for_variant(
+            mode.variant,
+            clean_max_weight=model.clean_max_weight,
+            most_probable_weight=model.clean_most_probable_weight,
+        )
+        effective_weights = bounding.as_weight_rule()
+        protection = NeuronProtection(trigger_cycles=mode.protection_trigger_cycles)
+
+    return ServingSession(
+        model=model,
+        mode=mode,
+        network=network,
+        inference=InferenceEngine(network, model.neuron_labels),
+        batched=BatchedInferenceEngine(network),
+        effective_weights=effective_weights,
+        protection=protection,
+        fault_report=fault_report,
+    )

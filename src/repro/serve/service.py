@@ -1,0 +1,703 @@
+"""The online classifier service: registry + schedulers + HTTP front end.
+
+:class:`SoftSNNService` is the programmatic service object: it resolves a
+request to a registered model, materialises a warm
+:class:`~repro.serve.modes.ServingSession` for the requested fault mode, and
+pushes every sample through that session's
+:class:`~repro.serve.scheduler.MicroBatchScheduler` (one scheduler per warm
+``(model, mode)`` pair, created lazily).  The HTTP layer on top is pure
+stdlib (:class:`http.server.ThreadingHTTPServer`):
+
+* ``POST /classify`` — classify one or many images, in any mode;
+* ``GET  /models``   — registry listing with warm-cache state;
+* ``GET  /healthz``  — liveness probe;
+* ``GET  /metrics``  — request counts, batch-size histogram, latency
+  percentiles, live queue depths.
+
+:class:`ServiceClient` speaks that HTTP API over :mod:`urllib`;
+:class:`InProcessClient` exposes the same interface directly on a service
+object so tests and the load generator can exercise the scheduler without
+socket overhead.
+
+Requests are deterministic: each sample is encoded from its own seed
+(client-provided, or derived from a service counter), so a served
+prediction is reproducible as ``(model, mode, image, seed)`` regardless of
+how the scheduler happened to batch it — see :mod:`repro.serve.modes`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from collections import OrderedDict
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.serve.modes import ServingMode, ServingSession
+from repro.serve.registry import ModelNotFoundError, ModelRegistry, RegistryError
+from repro.serve.scheduler import MicroBatchScheduler
+from repro.snn.training import TrainedModel
+from repro.utils.logging import get_logger
+from repro.utils.rng import SeedSequenceFactory
+
+__all__ = [
+    "ServiceConfig",
+    "ClassifyResult",
+    "SoftSNNService",
+    "ServiceServer",
+    "ServiceClient",
+    "InProcessClient",
+]
+
+_LOGGER = get_logger("serve.service")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one service instance.
+
+    ``max_delay_ms`` is the micro-batching latency budget: a request waits
+    at most this long for co-batched company before its batch is flushed.
+    ``default_fault_rate`` / ``default_fault_seed`` parameterise ``faulty``
+    and ``protected`` requests that do not spell out their own scenario.
+    """
+
+    models_dir: Union[str, Path] = "models"
+    max_batch_size: int = 32
+    max_delay_ms: float = 5.0
+    idle_grace_ms: Optional[float] = None
+    default_mode: str = "clean"
+    default_fault_rate: float = 0.05
+    default_fault_seed: int = 2022
+    max_warm_models: int = 4
+    max_warm_sessions: int = 8
+    latency_window: int = 4096
+    request_seed_root: int = 2022
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be at least 1")
+        if self.max_delay_ms < 0:
+            raise ValueError("max_delay_ms must be non-negative")
+        if self.latency_window < 1:
+            raise ValueError("latency_window must be at least 1")
+
+
+@dataclass
+class ClassifyResult:
+    """Outcome of one classify call (possibly covering several samples)."""
+
+    model: str
+    mode: Dict[str, Any]
+    predictions: List[int]
+    seeds: List[int]
+    latencies_ms: List[float]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON body ``POST /classify`` returns."""
+        return {
+            "model": self.model,
+            "mode": self.mode,
+            "predictions": list(self.predictions),
+            "seeds": list(self.seeds),
+            "latencies_ms": [round(value, 3) for value in self.latencies_ms],
+        }
+
+
+class _ServiceMetrics:
+    """Thread-safe request counters and a bounded latency reservoir."""
+
+    def __init__(self, window: int) -> None:
+        self._lock = threading.Lock()
+        self._window = int(window)
+        self._latencies: List[float] = []
+        self.requests_total = 0
+        self.errors_total = 0
+        self.requests_by_mode: Dict[str, int] = {}
+
+    def record(self, mode_kind: str, latencies_ms: Sequence[float]) -> None:
+        with self._lock:
+            self.requests_total += len(latencies_ms)
+            self.requests_by_mode[mode_kind] = self.requests_by_mode.get(
+                mode_kind, 0
+            ) + len(latencies_ms)
+            self._latencies.extend(latencies_ms)
+            if len(self._latencies) > self._window:
+                del self._latencies[: len(self._latencies) - self._window]
+
+    def record_error(self) -> None:
+        with self._lock:
+            self.errors_total += 1
+
+    def latency_summary(self) -> Dict[str, float]:
+        with self._lock:
+            window = list(self._latencies)
+        if not window:
+            return {
+                "count": 0,
+                "mean_ms": 0.0,
+                "p50_ms": 0.0,
+                "p90_ms": 0.0,
+                "p99_ms": 0.0,
+                "max_ms": 0.0,
+            }
+        # np.percentile matches the load generator's report, so /metrics
+        # and perf_serving.json percentiles are directly comparable.
+        values = np.asarray(window, dtype=np.float64)
+        return {
+            "count": len(window),
+            "mean_ms": round(float(values.mean()), 3),
+            "p50_ms": round(float(np.percentile(values, 50)), 3),
+            "p90_ms": round(float(np.percentile(values, 90)), 3),
+            "p99_ms": round(float(np.percentile(values, 99)), 3),
+            "max_ms": round(float(values.max()), 3),
+        }
+
+
+class SoftSNNService:
+    """Serve registered SoftSNN models through adaptive micro-batching.
+
+    Parameters
+    ----------
+    config:
+        Service tunables; ``config.models_dir`` is scanned for snapshots.
+    registry:
+        Optional pre-built registry (the config's directory settings are
+        ignored when given) — used by tests to share a registry.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        registry: Optional[ModelRegistry] = None,
+    ) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        self.registry = (
+            registry
+            if registry is not None
+            else ModelRegistry(
+                self.config.models_dir,
+                max_warm_models=self.config.max_warm_models,
+                max_warm_sessions=self.config.max_warm_sessions,
+            )
+        )
+        self.metrics = _ServiceMetrics(self.config.latency_window)
+        self._pipelines: "OrderedDict[Tuple[str, Tuple], Tuple[ServingSession, MicroBatchScheduler]]" = (
+            OrderedDict()
+        )
+        self._pipeline_lock = threading.Lock()
+        self._seed_lock = threading.Lock()
+        self._seed_factory = SeedSequenceFactory(
+            root_seed=self.config.request_seed_root
+        )
+        self._seed_counter = 0
+        self._started_at = time.monotonic()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # model management
+    # ------------------------------------------------------------------ #
+    def register_model(
+        self, model: TrainedModel, name: str, workload: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """Snapshot *model* into the registry and return its entry."""
+        return self.registry.register(model, name, workload=workload).to_dict()
+
+    def resolve_mode(self, mode: Any) -> ServingMode:
+        """Normalise a request's mode spec against the service defaults."""
+        if mode is None:
+            mode = self.config.default_mode
+        return ServingMode.from_request(
+            mode,
+            default_fault_rate=self.config.default_fault_rate,
+            default_fault_seed=self.config.default_fault_seed,
+        )
+
+    def _pipeline(
+        self, name: str, mode: ServingMode
+    ) -> Tuple[ServingSession, MicroBatchScheduler]:
+        session = self.registry.session(name, mode)
+        key = (name, mode.cache_key)
+        retired: List[MicroBatchScheduler] = []
+        try:
+            with self._pipeline_lock:
+                if self._closed:
+                    raise RuntimeError("service is closed")
+                cached = self._pipelines.get(key)
+                if cached is not None:
+                    cached_session, scheduler = cached
+                    if cached_session is session:
+                        self._pipelines.move_to_end(key)
+                        return session, scheduler
+                    # The registry rebuilt the session (model re-registered
+                    # or cache-evicted): the old scheduler's run_batch is
+                    # bound to the stale session, so retire and replace it.
+                    del self._pipelines[key]
+                    retired.append(scheduler)
+
+                def run_batch(
+                    payloads: List[Tuple[np.ndarray, int]],
+                    _session: ServingSession = session,
+                ) -> List[int]:
+                    predictions, _ = _session.classify_batch(
+                        [payload[0] for payload in payloads],
+                        [payload[1] for payload in payloads],
+                    )
+                    return [int(value) for value in predictions]
+
+                scheduler = MicroBatchScheduler(
+                    run_batch,
+                    max_batch_size=self.config.max_batch_size,
+                    max_delay=self.config.max_delay_ms / 1000.0,
+                    idle_grace=(
+                        None
+                        if self.config.idle_grace_ms is None
+                        else self.config.idle_grace_ms / 1000.0
+                    ),
+                    name=f"{name}:{mode.kind}",
+                )
+                self._pipelines[key] = scheduler_entry = (session, scheduler)
+                # Bound the pipeline cache like the registry's session LRU,
+                # so (model, mode) pairs served once long ago do not pin
+                # their network + engine in memory forever.
+                while len(self._pipelines) > self.config.max_warm_sessions:
+                    _, (_, evicted) = self._pipelines.popitem(last=False)
+                    if evicted is not scheduler:
+                        retired.append(evicted)
+            return scheduler_entry
+        finally:
+            # Draining a retired scheduler can take as long as its queued
+            # batches; do it outside the lock so other models keep serving.
+            for old in retired:
+                old.close()
+
+    def _derive_seeds(self, name: str, count: int) -> List[int]:
+        with self._seed_lock:
+            start = self._seed_counter
+            self._seed_counter += count
+        return [
+            self._seed_factory.seed_for(f"serve/{name}/request/{start + offset}")
+            for offset in range(count)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # request path
+    # ------------------------------------------------------------------ #
+    def classify(
+        self,
+        images: Any,
+        model: Optional[str] = None,
+        workload: Optional[str] = None,
+        n_neurons: Optional[int] = None,
+        mode: Any = None,
+        seeds: Optional[Sequence[int]] = None,
+        timeout: float = 60.0,
+    ) -> ClassifyResult:
+        """Classify one or many images through the micro-batching path.
+
+        *images* may be a single image (1-D of ``n_inputs`` pixels or 2-D
+        ``height x width``) or a batch (list/array of such images).  Each
+        sample becomes one independent scheduler request, so a multi-image
+        call simply pre-fills the micro-batch.  Per-sample *seeds* make the
+        predictions reproducible; omitted seeds are derived from the
+        service's request counter.
+        """
+        try:
+            entry = self.registry.resolve(
+                name=model, workload=workload, n_neurons=n_neurons
+            )
+        except ModelNotFoundError:
+            # Maybe the snapshot was dropped into the directory after the
+            # last scan — re-discover once before giving up.
+            self.registry.refresh()
+            entry = self.registry.resolve(
+                name=model, workload=workload, n_neurons=n_neurons
+            )
+        serving_mode = self.resolve_mode(mode)
+        session, scheduler = self._pipeline(entry.name, serving_mode)
+        flats = self._as_flat_images(images, session.n_inputs)
+        if seeds is None:
+            request_seeds = self._derive_seeds(entry.name, len(flats))
+        else:
+            request_seeds = [int(seed) for seed in seeds]
+            if len(request_seeds) != len(flats):
+                raise ValueError(
+                    f"got {len(request_seeds)} seeds for {len(flats)} images"
+                )
+
+        submitted = time.monotonic()
+        try:
+            futures = [
+                scheduler.submit((flat, seed))
+                for flat, seed in zip(flats, request_seeds)
+            ]
+            predictions: List[int] = []
+            latencies: List[float] = []
+            for future in futures:
+                predictions.append(int(future.result(timeout=timeout)))
+                latencies.append(1000.0 * (time.monotonic() - submitted))
+        except Exception:
+            self.metrics.record_error()
+            raise
+        self.metrics.record(serving_mode.kind, latencies)
+        return ClassifyResult(
+            model=entry.name,
+            mode=serving_mode.to_dict(),
+            predictions=predictions,
+            seeds=request_seeds,
+            latencies_ms=latencies,
+        )
+
+    @staticmethod
+    def _as_flat_images(images: Any, n_inputs: int) -> List[np.ndarray]:
+        array = np.asarray(images, dtype=np.float64)
+        if array.ndim == 1:
+            array = array[np.newaxis, :]
+        elif array.ndim == 2 and array.shape != (1, n_inputs):
+            # A single height x width image, not a batch of flat rows.
+            if array.size == n_inputs:
+                array = array.reshape(1, n_inputs)
+        if array.ndim == 3:
+            array = array.reshape(array.shape[0], -1)
+        if array.ndim != 2 or array.shape[1] != n_inputs:
+            raise ValueError(
+                f"images must flatten to (n, {n_inputs}), got input of shape "
+                f"{np.asarray(images).shape}"
+            )
+        return [row for row in array]
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def models(self) -> List[Dict[str, Any]]:
+        """Registry listing (the body of ``GET /models``).
+
+        Re-scans the snapshot directory first, so models dropped in (or
+        atomically re-trained in place) while the service runs become
+        visible — and their stale warm caches invalidated — without a
+        restart.
+        """
+        self.registry.refresh()
+        return self.registry.describe()
+
+    def health(self) -> Dict[str, Any]:
+        """Liveness summary (the body of ``GET /healthz``)."""
+        return {
+            "status": "ok",
+            "models": self.registry.names(),
+            "uptime_seconds": round(time.monotonic() - self._started_at, 1),
+        }
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """Counters, latency percentiles, batching behaviour, queue depths."""
+        with self._pipeline_lock:
+            schedulers = [scheduler for _, scheduler in self._pipelines.values()]
+        scheduler_stats = {
+            scheduler.name: scheduler.stats_snapshot().to_dict()
+            for scheduler in schedulers
+        }
+        queue_depths = {
+            scheduler.name: scheduler.queue_depth for scheduler in schedulers
+        }
+        merged_histogram: Dict[str, int] = {}
+        occupancy_total = 0
+        batch_total = 0
+        for stats in scheduler_stats.values():
+            for size, count in stats["batch_size_histogram"].items():
+                merged_histogram[size] = merged_histogram.get(size, 0) + count
+                occupancy_total += int(size) * count
+                batch_total += count
+        return {
+            "requests_total": self.metrics.requests_total,
+            "requests_by_mode": dict(self.metrics.requests_by_mode),
+            "errors_total": self.metrics.errors_total,
+            "latency": self.metrics.latency_summary(),
+            "batch_size_histogram": {
+                size: merged_histogram[size]
+                for size in sorted(merged_histogram, key=int)
+            },
+            "mean_batch_size": round(
+                occupancy_total / batch_total if batch_total else 0.0, 3
+            ),
+            "queue_depth": queue_depths,
+            "schedulers": scheduler_stats,
+            "registry": {
+                "models": len(self.registry),
+                "warm_models": self.registry.warm_model_count,
+                "warm_sessions": self.registry.warm_session_count,
+            },
+        }
+
+    def close(self) -> None:
+        """Drain and stop every scheduler; further classifies are refused."""
+        with self._pipeline_lock:
+            self._closed = True
+            schedulers = [scheduler for _, scheduler in self._pipelines.values()]
+            self._pipelines.clear()
+        for scheduler in schedulers:
+            scheduler.close()
+
+    def __enter__(self) -> "SoftSNNService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------- #
+# HTTP front end
+# ---------------------------------------------------------------------- #
+class _RequestHandler(BaseHTTPRequestHandler):
+    """Routes the four endpoints onto the service object."""
+
+    server: "_ServiceHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        service = self.server.service
+        if self.path == "/healthz":
+            self._send_json(200, service.health())
+        elif self.path == "/models":
+            self._send_json(200, {"models": service.models()})
+        elif self.path == "/metrics":
+            self._send_json(200, service.metrics_snapshot())
+        else:
+            self._send_json(404, {"error": f"no such endpoint: {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.path != "/classify":
+            self._send_json(404, {"error": f"no such endpoint: {self.path}"})
+            return
+        service = self.server.service
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            payload = json.loads(self.rfile.read(length) or b"{}")
+            if not isinstance(payload, dict):
+                raise ValueError("request body must be a JSON object")
+            images = payload.get("images", payload.get("image"))
+            if images is None:
+                raise ValueError("request must carry 'images' (or 'image')")
+            seeds = payload.get("seeds")
+            if seeds is None and "seed" in payload:
+                seeds = [payload["seed"]]
+            result = service.classify(
+                images,
+                model=payload.get("model"),
+                workload=payload.get("workload"),
+                n_neurons=payload.get("n_neurons"),
+                mode=payload.get("mode"),
+                seeds=seeds,
+            )
+        except ModelNotFoundError as exc:
+            self._send_json(404, {"error": str(exc)})
+        except (ValueError, TypeError, RegistryError) as exc:
+            self._send_json(400, {"error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 - boundary of the HTTP layer
+            _LOGGER.exception("unhandled error in /classify")
+            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+        else:
+            self._send_json(200, result.to_dict())
+
+    # ------------------------------------------------------------------ #
+    def _send_json(self, status: int, body: Dict[str, Any]) -> None:
+        encoded = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(encoded)))
+        self.end_headers()
+        self.wfile.write(encoded)
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        _LOGGER.debug("%s - %s", self.address_string(), format % args)
+
+
+class _ServiceHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int], service: SoftSNNService) -> None:
+        super().__init__(address, _RequestHandler)
+        self.service = service
+
+
+class ServiceServer:
+    """Run a :class:`SoftSNNService` behind the stdlib HTTP server.
+
+    ``port=0`` binds an ephemeral port; the resolved address is available
+    as :attr:`url` once :meth:`start` returns, which is what the CI smoke
+    check and the tests use to avoid port collisions.
+    """
+
+    def __init__(
+        self,
+        service: SoftSNNService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self._httpd = _ServiceHTTPServer((host, port), service)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        """Bound host name."""
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """Bound (possibly ephemeral) port."""
+        return int(self._httpd.server_address[1])
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running service."""
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ServiceServer":
+        """Start serving on a daemon thread and return self."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="softsnn-serve-http", daemon=True
+        )
+        self._thread.start()
+        _LOGGER.info("serving on %s", self.url)
+        return self
+
+    def stop(self) -> None:
+        """Stop the HTTP loop and drain the service's schedulers."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self.service.close()
+
+    def serve_forever(self) -> None:
+        """Blocking variant used by the CLI foreground mode."""
+        _LOGGER.info("serving on %s", self.url)
+        try:
+            self._httpd.serve_forever()
+        finally:
+            self._httpd.server_close()
+            self.service.close()
+
+    def __enter__(self) -> "ServiceServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+# ---------------------------------------------------------------------- #
+# clients
+# ---------------------------------------------------------------------- #
+class ServiceClient:
+    """Minimal HTTP client for the serving API (stdlib ``urllib`` only)."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------------ #
+    def _request(
+        self, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        url = self.base_url + path
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                detail = json.loads(exc.read().decode("utf-8")).get("error", "")
+            except Exception:  # noqa: BLE001 - best-effort error detail
+                detail = ""
+            raise RuntimeError(
+                f"{url} failed with HTTP {exc.code}: {detail or exc.reason}"
+            ) from exc
+
+    # ------------------------------------------------------------------ #
+    def healthz(self) -> Dict[str, Any]:
+        """``GET /healthz``."""
+        return self._request("/healthz")
+
+    def models(self) -> List[Dict[str, Any]]:
+        """``GET /models``."""
+        return self._request("/models")["models"]
+
+    def metrics(self) -> Dict[str, Any]:
+        """``GET /metrics``."""
+        return self._request("/metrics")
+
+    def classify(
+        self,
+        images: Any,
+        model: Optional[str] = None,
+        workload: Optional[str] = None,
+        mode: Any = None,
+        seeds: Optional[Sequence[int]] = None,
+    ) -> Dict[str, Any]:
+        """``POST /classify`` for one or many images."""
+        if isinstance(images, np.ndarray):
+            images = images.tolist()
+        payload: Dict[str, Any] = {"images": images}
+        if model is not None:
+            payload["model"] = model
+        if workload is not None:
+            payload["workload"] = workload
+        if mode is not None:
+            payload["mode"] = mode.to_dict() if isinstance(mode, ServingMode) else mode
+        if seeds is not None:
+            payload["seeds"] = [int(seed) for seed in seeds]
+        return self._request("/classify", payload)
+
+
+class InProcessClient:
+    """The :class:`ServiceClient` interface bound directly to a service.
+
+    Bypasses HTTP entirely — requests still flow through the registry,
+    sessions and micro-batch schedulers, so the load generator and the perf
+    bench measure the serving data path without socket noise.
+    """
+
+    def __init__(self, service: SoftSNNService) -> None:
+        self.service = service
+
+    def healthz(self) -> Dict[str, Any]:
+        """See :meth:`ServiceClient.healthz`."""
+        return self.service.health()
+
+    def models(self) -> List[Dict[str, Any]]:
+        """See :meth:`ServiceClient.models`."""
+        return self.service.models()
+
+    def metrics(self) -> Dict[str, Any]:
+        """See :meth:`ServiceClient.metrics`."""
+        return self.service.metrics_snapshot()
+
+    def classify(
+        self,
+        images: Any,
+        model: Optional[str] = None,
+        workload: Optional[str] = None,
+        mode: Any = None,
+        seeds: Optional[Sequence[int]] = None,
+    ) -> Dict[str, Any]:
+        """See :meth:`ServiceClient.classify`."""
+        return self.service.classify(
+            images, model=model, workload=workload, mode=mode, seeds=seeds
+        ).to_dict()

@@ -268,6 +268,7 @@ class BatchedInferenceEngine:
         step_monitor: Optional[BatchStepMonitor] = None,
         initial_reset_latch: Optional[np.ndarray] = None,
         sample_offset: int = 0,
+        carry_reset_latch: bool = True,
     ) -> BatchResult:
         """Encode and classify a batch of images.
 
@@ -293,6 +294,8 @@ class BatchedInferenceEngine:
         sample_offset:
             Global dataset index of the first batch row (used to label
             rows for batched step monitors).
+        carry_reset_latch:
+            See :meth:`run_encoded`.
         """
         network = self.network
         images = np.asarray(images, dtype=np.float64)
@@ -322,6 +325,7 @@ class BatchedInferenceEngine:
             step_monitor=step_monitor,
             initial_reset_latch=initial_reset_latch,
             sample_offset=sample_offset,
+            carry_reset_latch=carry_reset_latch,
         )
 
     # ------------------------------------------------------------------ #
@@ -332,11 +336,24 @@ class BatchedInferenceEngine:
         step_monitor: Optional[BatchStepMonitor] = None,
         initial_reset_latch: Optional[np.ndarray] = None,
         sample_offset: int = 0,
+        carry_reset_latch: bool = True,
     ) -> BatchResult:
         """Run pre-encoded spike rasters of shape ``(batch, timesteps, n_inputs)``.
 
         Exposed separately so benchmarks and re-executions can reuse
         encodings; see :meth:`run` for the other parameters.
+
+        ``carry_reset_latch`` selects between the two sample-coupling
+        semantics.  ``True`` (default) reproduces the paper's sequential
+        presentation order: a neuron whose faulty ``Vmem reset`` latches
+        during sample ``i`` keeps bursting for samples ``i+1..``, resolved by
+        the optimistic re-simulation fix-up.  ``False`` treats every row as
+        an *independent presentation* that starts from ``initial_reset_latch``
+        — the online-serving semantics, where unrelated requests coalesced
+        into one micro-batch must not influence each other.  In that mode the
+        result is bitwise identical to running each row in its own
+        batch-of-one call, and ``final_reset_latch`` returns the entry latch
+        unchanged.
         """
         network = self.network
         neurons = network.neurons
@@ -367,7 +384,7 @@ class BatchedInferenceEngine:
         if initial_reset_latch is None:
             initial_reset_latch = neurons.reset_fault_latched
         latch = np.asarray(initial_reset_latch, dtype=bool).copy()
-        has_reset_faults = bool((~status.vmem_reset_ok).any())
+        has_reset_faults = bool((~status.vmem_reset_ok).any()) and carry_reset_latch
 
         sample_indices = sample_offset + np.arange(batch, dtype=np.int64)
         output = np.zeros((timesteps, batch, n_neurons), dtype=bool)

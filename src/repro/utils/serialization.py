@@ -20,8 +20,10 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Union
+from typing import Any, Dict, Iterator, List, Mapping, Union
 
 import numpy as np
 
@@ -36,6 +38,13 @@ __all__ = [
 ]
 
 PathLike = Union[str, Path]
+
+# mkstemp creates temp files 0600; atomically replaced files must instead get
+# the permissions a plain open() would have produced.  The umask is read once
+# at import (reading requires a set/restore round trip, which is process-global
+# and would race concurrent writers if done per call).
+_UMASK = os.umask(0)
+os.umask(_UMASK)
 
 
 def numpy_to_native(obj: Any) -> Any:
@@ -67,14 +76,46 @@ def _native_key(key: Any) -> Any:
     return key
 
 
+@contextmanager
+def _atomic_write(path: Path, mode: str) -> Iterator[Any]:
+    """Write to a temp file in *path*'s directory, then ``os.replace`` it in.
+
+    Readers — the model registry, campaign pool workers — either see the
+    previous complete file or the new complete file, never a torn mixture: a
+    writer killed mid-write leaves only an orphaned ``*.tmp`` file behind.
+    The payload is flushed and fsynced before the rename so the replacement
+    is durable, not merely atomic.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    descriptor, tmp_name = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=".tmp", dir=path.parent
+    )
+    try:
+        if hasattr(os, "fchmod"):  # absent on Windows; 0600 is acceptable there
+            os.fchmod(descriptor, 0o666 & ~_UMASK)
+        encoding = None if "b" in mode else "utf-8"
+        with os.fdopen(descriptor, mode, encoding=encoding) as handle:
+            yield handle
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:  # pragma: no cover - already replaced or removed
+            pass
+        raise
+
+
 def save_json(data: Any, path: PathLike, indent: int = 2) -> Path:
     """Serialise *data* to JSON at *path*, creating parent directories.
 
-    Returns the resolved :class:`~pathlib.Path` the data was written to.
+    The write is atomic (temp file + rename), so a killed process can never
+    leave a torn JSON document for a later reader to choke on.  Returns the
+    resolved :class:`~pathlib.Path` the data was written to.
     """
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w", encoding="utf-8") as handle:
+    with _atomic_write(path, "w") as handle:
         json.dump(numpy_to_native(data), handle, indent=indent, sort_keys=False)
         handle.write("\n")
     return path
@@ -93,13 +134,20 @@ def save_npz(arrays: Mapping[str, np.ndarray], path: PathLike) -> Path:
     """Write named arrays to a compressed ``.npz`` archive at *path*.
 
     Parent directories are created as needed; the resolved path (with the
-    ``.npz`` suffix NumPy enforces) is returned.
+    ``.npz`` suffix NumPy enforces) is returned.  Like :func:`save_json` the
+    write is atomic — the archive is assembled in a temp file and renamed
+    into place — so registry discovery and pool workers can never load a
+    half-written snapshot.
     """
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(path.suffix + ".npz")
-    path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez_compressed(path, **{str(k): np.asarray(v) for k, v in arrays.items()})
+    with _atomic_write(path, "wb") as handle:
+        # Writing through the handle (not the path) stops numpy from
+        # appending another .npz suffix to the temp file name.
+        np.savez_compressed(
+            handle, **{str(k): np.asarray(v) for k, v in arrays.items()}
+        )
     return path
 
 

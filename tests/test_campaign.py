@@ -275,6 +275,37 @@ class TestResultStore:
         with pytest.raises(ValueError):
             store.cell_records()
 
+    def test_corrupt_middle_record_blocks_resume(self, tmp_path):
+        """Mid-file corruption is refused at initialize time, not repaired.
+
+        Only a *torn tail* is the footprint of an interrupted append; a
+        malformed record with complete records after it means the store
+        itself is damaged, and resuming into it would silently drop
+        finished cells — so ``initialize`` raises instead of truncating.
+        """
+        path = tmp_path / "s.jsonl"
+        store = ResultStore(path)
+        store.initialize(tiny_spec())
+        store.append_cell(CellResult("a", "x", 0.1, 0, 0, {"no_mitigation": 1.0}))
+        store.append_cell(CellResult("b", "x", 0.1, 1, 0, {"no_mitigation": 2.0}))
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][:-10]  # corrupt the first cell, keep the second
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="corrupt store record"):
+            ResultStore(path).initialize(tiny_spec())
+
+    def test_corrupt_tail_record_is_repaired_on_resume(self, tmp_path):
+        """A torn *final* record (no trailing newline) is cut back silently."""
+        path = tmp_path / "s.jsonl"
+        store = ResultStore(path)
+        store.initialize(tiny_spec())
+        store.append_cell(CellResult("a", "x", 0.1, 0, 0, {"no_mitigation": 1.0}))
+        raw = path.read_bytes()
+        path.write_bytes(raw + b'{"type": "cell", "cell_id": "torn')
+        fresh = ResultStore(path)
+        fresh.initialize(tiny_spec())
+        assert fresh.completed_cell_ids() == ["a"]
+
 
 class TestTrainedModelSnapshot:
     def test_save_load_round_trip(self, tmp_path):

@@ -1,0 +1,572 @@
+"""Tests of the online serving layer (``repro.serve``).
+
+The load-bearing assertion is the scheduler parity suite: a prediction
+served through the adaptive micro-batching path must be bit-identical to
+direct :meth:`repro.snn.inference.InferenceEngine.evaluate` of the same
+``(image, seed)`` pair on an identically built network, in all three
+serving modes — so the online service inherits the engine's spike-exactness
+guarantee instead of trading it for throughput.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import Dataset
+from repro.serve.loadgen import run_closed_loop
+from repro.serve.modes import ServingMode, build_session
+from repro.serve.registry import (
+    ModelNotFoundError,
+    ModelRegistry,
+    SnapshotIntegrityError,
+)
+from repro.serve.scheduler import MicroBatchScheduler
+from repro.serve.service import (
+    InProcessClient,
+    ServiceClient,
+    ServiceConfig,
+    ServiceServer,
+    SoftSNNService,
+)
+from repro.snn.training import TrainedModel
+
+
+# --------------------------------------------------------------------- #
+# shared fixtures
+# --------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def serve_model(trained_model) -> TrainedModel:
+    """Alias fixture making the serving tests' dependency explicit."""
+    return trained_model
+
+
+@pytest.fixture()
+def registry(tmp_path, serve_model) -> ModelRegistry:
+    registry = ModelRegistry(tmp_path / "models")
+    registry.register(serve_model, "tiny-mnist", workload="mnist")
+    return registry
+
+
+@pytest.fixture()
+def service(registry) -> SoftSNNService:
+    svc = SoftSNNService(
+        ServiceConfig(
+            models_dir=registry.root,
+            max_batch_size=4,
+            max_delay_ms=4.0,
+            default_fault_rate=0.2,
+        ),
+        registry=registry,
+    )
+    yield svc
+    svc.close()
+
+
+def _test_images(small_split, count: int):
+    _, test_set = small_split
+    return [test_set.images[index].reshape(-1) for index in range(count)]
+
+
+def _direct_predictions(model, mode, images, seeds):
+    """Reference: per-sample InferenceEngine.evaluate on a fresh session."""
+    predictions = []
+    for image, seed in zip(images, seeds):
+        session = build_session(model, mode)
+        sample_set = Dataset(
+            images=np.asarray(image).reshape(1, 28, 28),
+            labels=np.zeros(1, dtype=np.int64),
+        )
+        result = session.inference.evaluate(
+            sample_set,
+            rng=int(seed),
+            effective_weights=session.effective_weights,
+            step_monitor=session.protection,
+        )
+        predictions.append(int(result.predictions[0]))
+    return predictions
+
+
+# --------------------------------------------------------------------- #
+# serving modes
+# --------------------------------------------------------------------- #
+class TestServingMode:
+    def test_clean_rejects_fault_rate(self):
+        with pytest.raises(ValueError):
+            ServingMode(kind="clean", fault_rate=0.1)
+
+    def test_faulty_requires_fault_rate(self):
+        with pytest.raises(ValueError):
+            ServingMode(kind="faulty", fault_rate=0.0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            ServingMode(kind="turbo")
+
+    def test_from_request_accepts_string_and_dict(self):
+        assert ServingMode.from_request("clean").kind == "clean"
+        mode = ServingMode.from_request(
+            {"kind": "protected", "fault_rate": 0.1, "variant": "bnp1"},
+        )
+        assert mode.kind == "protected"
+        assert mode.fault_rate == 0.1
+        assert mode.variant.value == "bnp1"
+
+    def test_from_request_applies_defaults(self):
+        mode = ServingMode.from_request("faulty", default_fault_rate=0.07)
+        assert mode.fault_rate == 0.07
+
+    def test_from_request_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown mode fields"):
+            ServingMode.from_request({"kind": "clean", "speed": 11})
+
+    def test_cache_key_distinguishes_scenarios(self):
+        a = ServingMode.faulty(0.1, fault_seed=1)
+        b = ServingMode.faulty(0.1, fault_seed=2)
+        assert a.cache_key != b.cache_key
+        assert a.cache_key == ServingMode.faulty(0.1, fault_seed=1).cache_key
+
+    def test_build_session_is_deterministic(self, serve_model):
+        mode = ServingMode.faulty(0.3, fault_seed=11)
+        first = build_session(serve_model, mode)
+        second = build_session(serve_model, mode)
+        assert np.array_equal(
+            first.network.synapses.registers, second.network.synapses.registers
+        )
+        status_a = first.network.neurons.operation_status
+        status_b = second.network.neurons.operation_status
+        assert np.array_equal(status_a.vmem_reset_ok, status_b.vmem_reset_ok)
+        assert first.fault_report.n_synapse_faults > 0
+
+
+# --------------------------------------------------------------------- #
+# micro-batch scheduler
+# --------------------------------------------------------------------- #
+class TestMicroBatchScheduler:
+    def test_coalesces_up_to_max_batch_size(self):
+        seen = []
+
+        def run_batch(payloads):
+            seen.append(len(payloads))
+            return payloads
+
+        with MicroBatchScheduler(
+            run_batch, max_batch_size=4, max_delay=0.2
+        ) as scheduler:
+            futures = [scheduler.submit(i) for i in range(8)]
+            assert [f.result(timeout=5) for f in futures] == list(range(8))
+        assert sum(seen) == 8
+        assert max(seen) <= 4
+        # Eight back-to-back submits against a 200ms deadline must produce
+        # at least one full batch — the coalescing path, not one-by-one.
+        assert scheduler.stats.flush_full >= 1
+        assert scheduler.stats.mean_batch_size > 1.0
+
+    def test_deadline_flushes_partial_batch(self):
+        def run_batch(payloads):
+            return payloads
+
+        # idle_grace >= max_delay disables the idle heuristic, leaving the
+        # pure max-batch / max-delay policy.
+        with MicroBatchScheduler(
+            run_batch, max_batch_size=64, max_delay=0.02, idle_grace=1.0
+        ) as scheduler:
+            started = time.monotonic()
+            future = scheduler.submit("lonely")
+            assert future.result(timeout=5) == "lonely"
+            elapsed = time.monotonic() - started
+        assert scheduler.stats.flush_deadline == 1
+        assert scheduler.stats.batch_size_histogram == {1: 1}
+        assert elapsed < 1.0  # flushed by deadline, not by a filled batch
+
+    def test_idle_arrival_stream_flushes_early(self):
+        def run_batch(payloads):
+            return payloads
+
+        # A long deadline with a short idle grace: the lonely request must
+        # be flushed by the idle heuristic well before the deadline.
+        with MicroBatchScheduler(
+            run_batch, max_batch_size=64, max_delay=5.0, idle_grace=0.01
+        ) as scheduler:
+            started = time.monotonic()
+            future = scheduler.submit("quiet")
+            assert future.result(timeout=5) == "quiet"
+            elapsed = time.monotonic() - started
+        assert elapsed < 1.0  # far below the 5s deadline
+        assert scheduler.stats.flush_idle == 1
+
+    def test_batch_failure_propagates_to_every_future(self):
+        def run_batch(payloads):
+            raise RuntimeError("engine exploded")
+
+        with MicroBatchScheduler(
+            run_batch, max_batch_size=4, max_delay=0.01
+        ) as scheduler:
+            futures = [scheduler.submit(i) for i in range(3)]
+            for future in futures:
+                with pytest.raises(RuntimeError, match="engine exploded"):
+                    future.result(timeout=5)
+        assert scheduler.stats.failed == 3
+
+    def test_wrong_result_count_is_an_error(self):
+        def run_batch(payloads):
+            return payloads[:-1]
+
+        with MicroBatchScheduler(
+            run_batch, max_batch_size=8, max_delay=0.01
+        ) as scheduler:
+            future = scheduler.submit("x")
+            with pytest.raises(RuntimeError, match="returned 0 results"):
+                future.result(timeout=5)
+
+    def test_close_drains_pending_requests(self):
+        release = threading.Event()
+
+        def run_batch(payloads):
+            release.wait(timeout=5)
+            return payloads
+
+        scheduler = MicroBatchScheduler(run_batch, max_batch_size=2, max_delay=10.0)
+        futures = [scheduler.submit(i) for i in range(5)]
+        release.set()
+        scheduler.close()
+        assert [f.result(timeout=1) for f in futures] == list(range(5))
+        with pytest.raises(RuntimeError, match="closed"):
+            scheduler.submit("late")
+
+    def test_concurrent_submitters_all_complete(self):
+        def run_batch(payloads):
+            return [p * 2 for p in payloads]
+
+        results = {}
+        with MicroBatchScheduler(
+            run_batch, max_batch_size=8, max_delay=0.002
+        ) as scheduler:
+
+            def submitter(base):
+                for offset in range(20):
+                    value = base * 100 + offset
+                    results[value] = scheduler.submit(value)
+
+            threads = [
+                threading.Thread(target=submitter, args=(t,)) for t in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            for value, future in results.items():
+                assert future.result(timeout=5) == value * 2
+        assert scheduler.stats.completed == 80
+
+
+# --------------------------------------------------------------------- #
+# model registry
+# --------------------------------------------------------------------- #
+class TestModelRegistry:
+    def test_register_and_load_round_trip(self, registry, serve_model):
+        assert registry.names() == ["tiny-mnist"]
+        loaded = registry.load("tiny-mnist")
+        assert np.array_equal(loaded.weights, serve_model.weights)
+
+    def test_discovers_bare_snapshots(self, tmp_path, serve_model):
+        serve_model.save(tmp_path / "dropped-in")
+        registry = ModelRegistry(tmp_path)
+        assert "dropped-in" in registry.names()
+        entry = registry.entry("dropped-in")
+        assert entry.workload is None  # no sidecar: adopted without a tag
+        assert set(entry.checksums) == {"npz", "json"}
+        assert registry.load("dropped-in").n_neurons == serve_model.n_neurons
+
+    def test_checksum_mismatch_refused(self, registry):
+        entry = registry.entry("tiny-mnist")
+        # Corrupt the array payload behind the registry's back.
+        entry.npz_path.write_bytes(b"PK\x03\x04 not actually a model")
+        registry._models.clear()  # force a cold load
+        with pytest.raises(SnapshotIntegrityError, match="checksum mismatch"):
+            registry.load("tiny-mnist")
+
+    def test_resolve_by_workload_and_size(self, registry, serve_model):
+        registry.register(serve_model, "second-mnist", workload="mnist")
+        entry = registry.resolve(workload="mnist", n_neurons=serve_model.n_neurons)
+        assert entry.name == "second-mnist"  # first in sorted order
+        with pytest.raises(ModelNotFoundError):
+            registry.resolve(workload="fashion-mnist")
+        with pytest.raises(ModelNotFoundError):
+            registry.resolve(name="nope")
+
+    def test_warm_session_lru_eviction(self, tmp_path, serve_model):
+        registry = ModelRegistry(tmp_path, max_warm_sessions=2)
+        registry.register(serve_model, "m", workload="mnist")
+        modes = [
+            ServingMode.clean(),
+            ServingMode.faulty(0.1, fault_seed=1),
+            ServingMode.faulty(0.1, fault_seed=2),
+        ]
+        sessions = [registry.session("m", mode) for mode in modes]
+        assert registry.warm_session_count == 2
+        # The oldest session was evicted; re-requesting it rebuilds an
+        # equivalent one (determinism makes eviction behaviour-invisible).
+        rebuilt = registry.session("m", modes[0])
+        assert rebuilt is not sessions[0]
+        assert rebuilt.mode == modes[0]
+        # The most recent survivor is still the same object.
+        assert registry.session("m", modes[2]) is sessions[2]
+
+    def test_reregister_replaces_warm_model(self, registry, serve_model):
+        registry.load("tiny-mnist")  # warm the cache with the original
+        modified = dataclasses.replace(serve_model, weights=serve_model.weights * 0.5)
+        registry.register(modified, "tiny-mnist", workload="mnist")
+        assert np.array_equal(
+            registry.load("tiny-mnist").weights, modified.weights
+        )
+
+    def test_dotted_names_rejected_and_not_adopted(
+        self, tmp_path, registry, serve_model
+    ):
+        # Path.with_suffix would truncate "model.v2" onto "model.npz",
+        # silently overwriting another model — so dots are refused outright.
+        with pytest.raises(ValueError, match="invalid model name"):
+            registry.register(serve_model, "tiny-mnist.v2")
+        # Dotted bare snapshots are skipped at discovery for the same reason
+        # (TrainedModel.load would resolve "bad.v2.npz" -> "bad.json").
+        serve_model.save(tmp_path / "ok")
+        (tmp_path / "ok.npz").rename(tmp_path / "bad.v2.npz")
+        (tmp_path / "ok.json").rename(tmp_path / "bad.v2.json")
+        assert ModelRegistry(tmp_path).names() == []
+
+
+# --------------------------------------------------------------------- #
+# scheduler parity (the acceptance criterion)
+# --------------------------------------------------------------------- #
+class TestSchedulerParity:
+    @pytest.mark.parametrize(
+        "mode_spec",
+        [
+            "clean",
+            {"kind": "faulty", "fault_rate": 0.25, "fault_seed": 17},
+            {"kind": "protected", "fault_rate": 0.25, "fault_seed": 17},
+        ],
+        ids=["clean", "faulty", "protected"],
+    )
+    def test_served_equals_direct_evaluation(
+        self, service, serve_model, small_split, mode_spec
+    ):
+        images = _test_images(small_split, 10)
+        seeds = [5000 + index for index in range(len(images))]
+        served = service.classify(
+            images, model="tiny-mnist", mode=mode_spec, seeds=seeds
+        )
+        mode = service.resolve_mode(mode_spec)
+        expected = _direct_predictions(serve_model, mode, images, seeds)
+        assert served.predictions == expected
+        # The requests really were micro-batched, not trivially size-1.
+        stats = service.metrics_snapshot()
+        assert stats["mean_batch_size"] > 1.0
+
+    def test_prediction_independent_of_batch_composition(
+        self, service, small_split
+    ):
+        """The same (image, seed) answers identically alone or co-batched."""
+        images = _test_images(small_split, 6)
+        seeds = [7000 + index for index in range(len(images))]
+        mode = {"kind": "faulty", "fault_rate": 0.3, "fault_seed": 3}
+        batched = service.classify(
+            images, model="tiny-mnist", mode=mode, seeds=seeds
+        ).predictions
+        solo = [
+            service.classify(
+                [image], model="tiny-mnist", mode=mode, seeds=[seed]
+            ).predictions[0]
+            for image, seed in zip(images, seeds)
+        ]
+        assert batched == solo
+
+    def test_repeated_request_is_deterministic(self, service, small_split):
+        image = _test_images(small_split, 1)[0]
+        first = service.classify([image], model="tiny-mnist", seeds=[42])
+        second = service.classify([image], model="tiny-mnist", seeds=[42])
+        assert first.predictions == second.predictions
+
+    def test_reregistered_model_serves_new_weights(
+        self, service, serve_model, small_split
+    ):
+        """The scheduler pipeline must not stay bound to a stale session."""
+        images = _test_images(small_split, 4)
+        seeds = [100, 101, 102, 103]
+        before = service.classify(
+            images, model="tiny-mnist", mode="clean", seeds=seeds
+        ).predictions
+        # Re-register in place with visibly different weights (zero out the
+        # crossbar: a silent network deterministically predicts class 0).
+        silenced = dataclasses.replace(
+            serve_model,
+            weights=np.zeros_like(serve_model.weights),
+            clean_max_weight=serve_model.clean_max_weight,
+        )
+        service.register_model(silenced, "tiny-mnist", workload="mnist")
+        after = service.classify(
+            images, model="tiny-mnist", mode="clean", seeds=seeds
+        ).predictions
+        assert after == [0, 0, 0, 0]
+        assert after != before  # the stale session would have repeated these
+
+    def test_dropped_in_snapshot_served_without_restart(
+        self, service, serve_model, small_split
+    ):
+        """An unknown name triggers one re-scan before the request 404s."""
+        serve_model.save(service.registry.root / "late-arrival")
+        image = _test_images(small_split, 1)[0]
+        response = service.classify([image], model="late-arrival", seeds=[5])
+        assert response.model == "late-arrival"
+
+    def test_in_place_rewrite_served_after_models_scan(
+        self, service, serve_model, small_split
+    ):
+        """GET /models re-discovers a snapshot atomically re-trained in place."""
+        images = _test_images(small_split, 2)
+        seeds = [60, 61]
+        before = service.classify(
+            images, model="tiny-mnist", seeds=seeds
+        ).predictions
+        silenced = dataclasses.replace(
+            serve_model, weights=np.zeros_like(serve_model.weights)
+        )
+        # Overwrite the snapshot files directly (atomic writers), leaving
+        # the registration-time sidecar checksums stale.
+        silenced.save(service.registry.root / "tiny-mnist")
+        listing = service.models()  # the GET /models body; triggers refresh
+        assert listing[0]["warm"] is False  # stale warm caches invalidated
+        after = service.classify(
+            images, model="tiny-mnist", seeds=seeds
+        ).predictions
+        assert after == [0, 0]  # a silent network always votes class 0
+        assert after != before
+
+    def test_pipeline_cache_is_bounded(self, registry, small_split):
+        service = SoftSNNService(
+            ServiceConfig(
+                models_dir=registry.root, max_warm_sessions=2, max_delay_ms=1.0
+            ),
+            registry=registry,
+        )
+        try:
+            image = _test_images(small_split, 1)[0]
+            for fault_seed in range(4):
+                service.classify(
+                    [image],
+                    model="tiny-mnist",
+                    mode={"kind": "faulty", "fault_rate": 0.1, "fault_seed": fault_seed},
+                    seeds=[1],
+                )
+            assert len(service._pipelines) <= 2
+        finally:
+            service.close()
+
+
+# --------------------------------------------------------------------- #
+# service + HTTP front end
+# --------------------------------------------------------------------- #
+class TestServiceHTTP:
+    def test_endpoints_round_trip(self, service, small_split):
+        images = _test_images(small_split, 3)
+        with ServiceServer(service, port=0) as server:
+            client = ServiceClient(server.url)
+            health = client.healthz()
+            assert health["status"] == "ok"
+            assert health["models"] == ["tiny-mnist"]
+
+            models = client.models()
+            assert models[0]["name"] == "tiny-mnist"
+            assert models[0]["workload"] == "mnist"
+            assert set(models[0]["checksums"]) == {"npz", "json"}
+
+            response = client.classify(
+                [image.tolist() for image in images],
+                model="tiny-mnist",
+                mode="clean",
+                seeds=[1, 2, 3],
+            )
+            assert response["model"] == "tiny-mnist"
+            assert len(response["predictions"]) == 3
+            assert response["seeds"] == [1, 2, 3]
+
+            metrics = client.metrics()
+            assert metrics["requests_total"] == 3
+            assert metrics["requests_by_mode"] == {"clean": 3}
+            assert metrics["latency"]["count"] == 3
+            assert metrics["latency"]["p99_ms"] >= metrics["latency"]["p50_ms"]
+            assert sum(
+                int(k) * v for k, v in metrics["batch_size_histogram"].items()
+            ) == 3
+
+    def test_http_errors_are_structured(self, service, small_split):
+        image = _test_images(small_split, 1)[0]
+        with ServiceServer(service, port=0) as server:
+            client = ServiceClient(server.url)
+            with pytest.raises(RuntimeError, match="HTTP 404"):
+                client.classify([image.tolist()], model="missing-model")
+            with pytest.raises(RuntimeError, match="HTTP 400"):
+                client.classify([[0.5, 0.5]], model="tiny-mnist")
+            with pytest.raises(RuntimeError, match="HTTP 400"):
+                client._request("/classify", {"model": "tiny-mnist"})
+            with pytest.raises(RuntimeError, match="HTTP 404"):
+                client._request("/nowhere")
+
+    def test_workload_resolution_over_http(self, service, small_split):
+        image = _test_images(small_split, 1)[0]
+        with ServiceServer(service, port=0) as server:
+            client = ServiceClient(server.url)
+            response = client.classify(
+                [image.tolist()], workload="mnist", seeds=[9]
+            )
+            assert response["model"] == "tiny-mnist"
+
+    def test_derived_seeds_are_returned(self, service, small_split):
+        image = _test_images(small_split, 1)[0]
+        response = service.classify([image], model="tiny-mnist")
+        assert len(response.seeds) == 1
+        # Replaying the returned seed reproduces the prediction.
+        replay = service.classify(
+            [image], model="tiny-mnist", seeds=response.seeds
+        )
+        assert replay.predictions == response.predictions
+
+
+# --------------------------------------------------------------------- #
+# load generator
+# --------------------------------------------------------------------- #
+class TestLoadGenerator:
+    def test_closed_loop_report(self, service, small_split):
+        images = _test_images(small_split, 4)
+        seeds = list(range(300, 324))
+        report = run_closed_loop(
+            InProcessClient(service),
+            images,
+            seeds,
+            model="tiny-mnist",
+            mode="clean",
+            concurrency=4,
+            label="unit",
+            metrics_source=service.metrics_snapshot,
+        )
+        assert report.errors == 0
+        assert report.n_requests == len(seeds)
+        assert len(report.latencies_ms) == len(seeds)
+        assert all(pred is not None for pred in report.predictions)
+        assert report.throughput_rps > 0
+        assert report.mean_batch_size >= 1.0
+        summary = report.to_dict()
+        assert summary["latency_ms"]["p99"] >= summary["latency_ms"]["p50"]
+
+    def test_deterministic_predictions_across_runs(self, service, small_split):
+        images = _test_images(small_split, 4)
+        seeds = list(range(400, 412))
+        kwargs = dict(model="tiny-mnist", mode="clean", concurrency=3)
+        first = run_closed_loop(InProcessClient(service), images, seeds, **kwargs)
+        second = run_closed_loop(InProcessClient(service), images, seeds, **kwargs)
+        assert first.predictions == second.predictions

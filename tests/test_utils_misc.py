@@ -9,7 +9,15 @@ import pytest
 
 from repro.utils.logging import configure_logging, get_logger
 from repro.utils.rng import SeedSequenceFactory, resolve_rng, spawn_rngs
-from repro.utils.serialization import load_json, numpy_to_native, save_json
+from repro.utils.serialization import (
+    append_jsonl,
+    load_json,
+    load_npz,
+    numpy_to_native,
+    read_jsonl,
+    save_json,
+    save_npz,
+)
 from repro.utils.validation import (
     check_fraction,
     check_in_choices,
@@ -113,6 +121,85 @@ class TestSerialization:
     def test_load_missing_file_raises(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             load_json(tmp_path / "nope.json")
+
+
+class TestAtomicWrites:
+    """save_json / save_npz must be atomic: temp file + rename, no residue."""
+
+    def test_save_json_leaves_no_temp_files(self, tmp_path):
+        save_json({"a": 1}, tmp_path / "out.json")
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+    def test_save_npz_leaves_no_temp_files(self, tmp_path):
+        path = save_npz({"w": np.arange(4)}, tmp_path / "model")
+        assert path.name == "model.npz"
+        assert [p.name for p in tmp_path.iterdir()] == ["model.npz"]
+        assert np.array_equal(load_npz(path)["w"], np.arange(4))
+
+    def test_failed_json_write_preserves_previous_file(self, tmp_path):
+        target = tmp_path / "snapshot.json"
+        save_json({"version": 1}, target)
+
+        class Unserialisable:
+            pass
+
+        with pytest.raises(TypeError):
+            save_json({"bad": Unserialisable()}, target)
+        # The old complete file survives and no temp residue is left.
+        assert load_json(target) == {"version": 1}
+        assert [p.name for p in tmp_path.iterdir()] == ["snapshot.json"]
+
+    def test_overwrite_is_complete_replacement(self, tmp_path):
+        target = tmp_path / "model"
+        save_npz({"w": np.zeros(1000)}, target)
+        save_npz({"w": np.ones(3)}, target)
+        assert np.array_equal(load_npz(tmp_path / "model.npz")["w"], np.ones(3))
+
+
+class TestReadJsonlCorruption:
+    """Pin down read_jsonl's handling of torn tails vs mid-file corruption."""
+
+    def _write_records(self, path, records):
+        for record in records:
+            append_jsonl(record, path)
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        self._write_records(path, [{"i": 0}, {"i": 1}])
+        assert read_jsonl(path) == [{"i": 0}, {"i": 1}]
+
+    def test_torn_tail_is_dropped(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        self._write_records(path, [{"i": 0}, {"i": 1}])
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"i": 2, "torn')  # writer killed mid-append
+        assert read_jsonl(path) == [{"i": 0}, {"i": 1}]
+
+    def test_torn_tail_raises_when_not_tolerated(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        self._write_records(path, [{"i": 0}])
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"torn')
+        with pytest.raises(ValueError, match="corrupt JSONL record"):
+            read_jsonl(path, tolerate_truncated_tail=False)
+
+    def test_corrupt_mid_file_record_always_raises(self, tmp_path):
+        """Mid-file corruption is never skipped — it raises with the line.
+
+        A malformed line *before* the tail cannot be the footprint of an
+        interrupted append (later appends completed), so it indicates real
+        corruption; read_jsonl refuses to silently drop it even with
+        ``tolerate_truncated_tail=True``.
+        """
+        path = tmp_path / "log.jsonl"
+        self._write_records(path, [{"i": 0}, {"i": 1}, {"i": 2}])
+        lines = path.read_text().splitlines()
+        lines[1] = '{"i": 1, "broken'
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match=r"log\.jsonl:2"):
+            read_jsonl(path)
+        with pytest.raises(ValueError, match=r"log\.jsonl:2"):
+            read_jsonl(path, tolerate_truncated_tail=False)
 
 
 class TestValidation:
