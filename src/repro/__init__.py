@@ -44,7 +44,12 @@ from repro.hardware.compute_engine import ComputeEngineConfig
 from repro.hardware.enhancements import MitigationKind
 from repro.snn.inference import InferenceEngine, InferenceResult
 from repro.snn.network import DiehlCookNetwork, NetworkConfig
-from repro.snn.training import STDPTrainer, TrainedModel, TrainingConfig
+from repro.snn.training import (
+    STDPTrainer,
+    TrainedModel,
+    TrainingConfig,
+    TrainingRunner,
+)
 
 __version__ = "1.0.0"
 
@@ -75,6 +80,7 @@ __all__ = [
     "SyntheticMNIST",
     "TrainedModel",
     "TrainingConfig",
+    "TrainingRunner",
     "WeightBounding",
     "build_technique",
     "load_workload",

@@ -20,7 +20,7 @@ from typing import Dict, Optional, Tuple
 from repro.data.datasets import Dataset, load_workload, train_test_split
 from repro.snn.network import NetworkConfig
 from repro.snn.neuron import LIFParameters
-from repro.snn.training import STDPTrainer, TrainedModel, TrainingConfig
+from repro.snn.training import TrainedModel, TrainingConfig, TrainingRunner
 from repro.utils.logging import get_logger
 from repro.utils.rng import SeedSequenceFactory
 
@@ -197,10 +197,16 @@ class ExperimentRunner:
     ----------
     root_seed:
         Root seed of the deterministic per-experiment seed factory.
+    vectorized_training:
+        Whether :meth:`prepare` trains clean models through the vectorized
+        engine (the default).  Either setting produces bit-identical
+        models — this is an escape hatch for timing comparisons and for
+        distrusting the engine, not a semantic switch.
     """
 
-    def __init__(self, root_seed: int = 0) -> None:
+    def __init__(self, root_seed: int = 0, vectorized_training: bool = True) -> None:
         self.seeds = SeedSequenceFactory(root_seed=root_seed)
+        self.vectorized_training = bool(vectorized_training)
         self._cache: Dict[ExperimentConfig, PreparedExperiment] = {}
 
     # ------------------------------------------------------------------ #
@@ -225,9 +231,11 @@ class ExperimentRunner:
             len(train_set),
             len(test_set),
         )
-        trainer = STDPTrainer(config.network_config(), config.training_config())
+        trainer = TrainingRunner(config.network_config(), config.training_config())
         train_rng = self.seeds.rng_for(f"train/{config.label()}/{config.seed}")
-        model = trainer.train(train_set, rng=train_rng)
+        model = trainer.train(
+            train_set, rng=train_rng, vectorized=self.vectorized_training
+        )
 
         prepared = PreparedExperiment(
             config=config, model=model, train_set=train_set, test_set=test_set

@@ -34,7 +34,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.serve.modes import ServingMode, ServingSession, build_session
-from repro.snn.training import TrainedModel
+from repro.snn.training import TrainedModel, TrainingConfig, TrainingRunner
 from repro.utils.logging import get_logger
 from repro.utils.serialization import load_json, save_json
 
@@ -279,6 +279,75 @@ class ModelRegistry:
             self._models[name] = model
             self._trim_caches()
             return entry
+
+    def retrain(
+        self,
+        name: str,
+        train_set,
+        training_config: TrainingConfig,
+        rng=None,
+        vectorized: bool = True,
+    ) -> SnapshotEntry:
+        """Retrain a registered model in place and republish it atomically.
+
+        The hot-retraining path of a long-running service: the existing
+        snapshot's network configuration is reused (read from the metadata
+        sidecar — the stored model is neither decoded nor warm-cached, as
+        it is about to be replaced), a fresh model is trained on
+        *train_set* (through the vectorized engine by default, which is
+        what makes in-place retrains cheap enough to do live), and the
+        snapshot files are rewritten through the atomic temp-file + rename
+        writers.  Concurrent requests keep being served from the warm
+        caches until the re-registration swaps them out; readers never
+        observe a torn snapshot.
+
+        Parameters
+        ----------
+        name:
+            Registered model to retrain.
+        train_set:
+            Labelled training dataset
+            (:class:`~repro.data.datasets.Dataset`) matching the model's
+            input dimension.
+        training_config:
+            Training hyper-parameters.  Required — snapshots do not record
+            how they were trained, so silently falling back to stock
+            hyper-parameters could swap the model's learning algorithm;
+            the caller must state the rule a refresh uses.
+        rng:
+            Seed or generator for the training run.
+        vectorized:
+            Forwarded to :meth:`~repro.snn.training.TrainingRunner.train`.
+
+        Returns
+        -------
+        SnapshotEntry
+            The freshly registered entry (new checksums, same name and
+            workload tag).
+
+        Raises
+        ------
+        ModelNotFoundError
+            If no model is registered under *name*.
+        SnapshotIntegrityError
+            If the snapshot bytes no longer match the recorded checksums —
+            retraining from a tampered sidecar would launder the
+            corruption into a freshly checksummed snapshot.
+        ValueError
+            If the dataset does not match the model's input dimension.
+        """
+        entry = self.entry(name)
+        entry.verify()
+        network_config = TrainedModel.load_network_config(entry.json_path)
+        runner = TrainingRunner(network_config, training_config)
+        retrained = runner.train(train_set, rng=rng, vectorized=vectorized)
+        _LOGGER.info(
+            "retrained model %r in place (%d samples, vectorized=%s)",
+            name,
+            len(train_set),
+            vectorized,
+        )
+        return self.register(retrained, name, workload=entry.workload)
 
     def _evict(self, name: str) -> None:
         self._models.pop(name, None)

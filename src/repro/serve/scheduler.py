@@ -177,7 +177,25 @@ class MicroBatchScheduler:
 
     # ------------------------------------------------------------------ #
     def submit(self, payload: Any) -> "Future[Any]":
-        """Enqueue one request; the returned future resolves to its result."""
+        """Enqueue one request; the returned future resolves to its result.
+
+        Parameters
+        ----------
+        payload:
+            Opaque request object handed (inside a list, with its
+            co-batched company) to the scheduler's ``run_batch`` callable.
+
+        Returns
+        -------
+        concurrent.futures.Future
+            Resolves to this request's entry of the batch result, or
+            raises the batch's exception.
+
+        Raises
+        ------
+        RuntimeError
+            If the scheduler has been closed.
+        """
         future: "Future[Any]" = Future()
         with self._wakeup:
             if self._closed:
@@ -215,7 +233,14 @@ class MicroBatchScheduler:
             )
 
     def close(self, timeout: float = 10.0) -> None:
-        """Stop accepting requests, drain the queue, and join the worker."""
+        """Stop accepting requests, drain the queue, and join the worker.
+
+        Parameters
+        ----------
+        timeout:
+            Seconds to wait for the worker thread to finish draining;
+            a warning is logged (and the thread abandoned) on expiry.
+        """
         with self._wakeup:
             if self._closed:
                 return
@@ -226,9 +251,11 @@ class MicroBatchScheduler:
             _LOGGER.warning("scheduler %r worker did not drain in time", self.name)
 
     def __enter__(self) -> "MicroBatchScheduler":
+        """Context-manager entry: the scheduler itself."""
         return self
 
     def __exit__(self, *exc_info: object) -> None:
+        """Context-manager exit: drain and close the scheduler."""
         self.close()
 
     # ------------------------------------------------------------------ #

@@ -48,7 +48,7 @@ from repro.serve.service import (
     SoftSNNService,
 )
 from repro.snn.network import NetworkConfig
-from repro.snn.training import STDPTrainer, TrainedModel, TrainingConfig
+from repro.snn.training import TrainedModel, TrainingConfig, TrainingRunner
 from repro.utils.logging import configure_logging, get_logger
 
 __all__ = ["build_parser", "main", "train_demo_model"]
@@ -77,7 +77,7 @@ def train_demo_model(
     train_set, test_set = train_test_split(
         dataset, test_fraction=n_test / (n_train + n_test), rng=seed + 1
     )
-    trainer = STDPTrainer(
+    trainer = TrainingRunner(
         NetworkConfig(n_inputs=784, n_neurons=n_neurons, timesteps=timesteps),
         TrainingConfig(
             epochs=1, learning_mode="fast_wta", label_assignment_mode="fast"

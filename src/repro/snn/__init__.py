@@ -40,7 +40,13 @@ from repro.snn.neuron import LIFNeuronGroup, LIFParameters, NeuronOperationStatu
 from repro.snn.quantization import WeightQuantizer
 from repro.snn.stdp import STDPConfig, STDPRule
 from repro.snn.synapse import SynapseMatrix
-from repro.snn.training import STDPTrainer, TrainedModel, TrainingConfig
+from repro.snn.train_engine import VectorizedTrainingEngine
+from repro.snn.training import (
+    STDPTrainer,
+    TrainedModel,
+    TrainingConfig,
+    TrainingRunner,
+)
 
 __all__ = [
     "DEFAULT_BATCH_SIZE",
@@ -61,5 +67,7 @@ __all__ = [
     "SynapseMatrix",
     "TrainedModel",
     "TrainingConfig",
+    "TrainingRunner",
+    "VectorizedTrainingEngine",
     "WeightQuantizer",
 ]

@@ -1,0 +1,607 @@
+"""Vectorized STDP training engine.
+
+PR 1 removed the per-sample Python loop from *inference*
+(:mod:`repro.snn.engine`); this module removes it from *training*, the last
+big hot path.  Training cannot batch the sample dimension the way inference
+does — STDP updates the weights between timesteps, and winner-take-all
+learning updates them between samples — so the engine attacks the cost that
+actually dominates the sequential trainer instead: the full
+``(n_inputs, n_neurons)`` matrix traffic that
+:meth:`repro.snn.stdp.STDPRule.step` generates on **every** timestep.
+
+Vectorization strategy
+----------------------
+``pairwise_stdp``
+    The sequential rule materialises two dense outer products, a dense
+    add/subtract and a full-matrix clip per timestep — five traversals of
+    the weight matrix (plus their temporaries) even when almost nothing
+    spiked.  The engine advances the same ``(timestep, input, neuron)``
+    trace recursion but applies the updates *sparsely*: potentiation is an
+    outer-product column update restricted to the neurons that spiked this
+    step, depression a row update restricted to the inputs that spiked, and
+    the clip touches only those rows and columns.  The LIF state advance is
+    the same specialised elementwise step the batched inference engine uses.
+    One dense operation per timestep remains — the current-accumulation
+    GEMV, which is identical in both paths.
+
+``spiking_wta`` / ``fast_wta``
+    The per-sample winner-take-all update is already cheap; what the
+    sequential path pays for is presenting every sample through a fresh
+    batch-of-one :class:`~repro.snn.engine.BatchedInferenceEngine` run
+    (state allocation, layout transposes, result assembly).  The engine
+    inlines a lean single-sample presentation over the same exact
+    integer-code GEMM and elementwise LIF expressions.
+
+Label assignment (``"spiking"`` mode)
+    Weights are frozen here, so this *is* an inference workload: the engine
+    presents the labelled training set in true batches through
+    :class:`~repro.snn.engine.BatchedInferenceEngine` instead of one sample
+    at a time.
+
+Parity contract
+---------------
+The engine is **bit-identical** to the sequential trainer
+(:meth:`repro.snn.training.TrainingRunner.train_sequential`) — same weights,
+same spike counts, same neuron labels, same training history — because every
+floating-point operation is either literally the same expression or an
+exactness-preserving restriction of one:
+
+* RNG draws (weight init, epoch shuffles, Poisson encodings) happen in the
+  same order with the same shapes, so both paths consume identical streams.
+* Sparse STDP updates are exact: a non-spiking column receives
+  ``w + lr * (trace * 0.0) = w + 0.0 = w`` in the sequential path (bitwise
+  identity for the non-negative weights this architecture produces), so
+  skipping it changes nothing; a spiking column receives the same
+  multiply-then-add sequence in both paths.
+* The full-matrix clip is the identity on entries already inside
+  ``[w_min, w_max]``.  With ``w_min == 0`` every untouched entry stays in
+  range between timesteps (weights enter each presentation from a quantise
+  round trip or a clipped normalisation), so clipping only the touched rows
+  and columns is exact.  A configuration with ``w_min > 0`` breaks that
+  invariant, which is why :meth:`VectorizedTrainingEngine.unsupported_reason`
+  routes it to the sequential reference instead.
+* Current accumulation during WTA presentations and label assignment uses
+  the register-code GEMM of :mod:`repro.snn.synapse`: the sums are exact
+  integers, hence bitwise independent of batch shape and dtype.
+* Elementwise LIF updates are IEEE operations applied per element; their
+  results do not depend on the array shape they are broadcast over (the
+  same argument :mod:`repro.snn.engine` relies on).
+
+``tests/test_train_engine_parity.py`` locks the contract down across
+learning modes, seeds, dataset sizes and odd label-assignment batch tails.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.snn.engine import BatchedInferenceEngine
+from repro.snn.network import DiehlCookNetwork, NetworkConfig
+from repro.utils.logging import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.data.datasets import Dataset
+    from repro.snn.training import TrainingConfig
+
+__all__ = [
+    "LABEL_ASSIGNMENT_BATCH",
+    "VectorizedTrainingEngine",
+    "wta_sample_update",
+]
+
+_LOGGER = get_logger("snn.train_engine")
+
+#: Samples per :class:`~repro.snn.engine.BatchedInferenceEngine` chunk during
+#: spiking label assignment.  Any value yields bit-identical labels (the
+#: engine is spike-exact for every batch shape); this is purely a
+#: memory/throughput trade-off.
+LABEL_ASSIGNMENT_BATCH = 64
+
+
+def wta_sample_update(
+    weights: np.ndarray,
+    conscience: np.ndarray,
+    wins: np.ndarray,
+    flat: np.ndarray,
+    responses: np.ndarray,
+    config: "TrainingConfig",
+) -> np.ndarray:
+    """One winner-take-all weight update, shared by both training paths.
+
+    Winner selection, the receptive-field blend toward the presented
+    pattern, the conscience (homeostatic bias) bookkeeping, and the
+    Diehl & Cook column normalisation — everything in a WTA training step
+    except the presentation itself.  :meth:`TrainingRunner._train_wta`
+    (sequential) and :meth:`VectorizedTrainingEngine.train_wta` call this
+    single implementation, so the two paths cannot drift apart.
+
+    Parameters
+    ----------
+    weights:
+        Current weight matrix ``(n_inputs, n_neurons)``.
+    conscience:
+        Per-neuron homeostatic bias; mutated in place.
+    wins:
+        Per-neuron win counter; mutated in place.
+    flat:
+        The presented pattern, flattened to ``(n_inputs,)``.
+    responses:
+        Per-neuron responses the winner is selected from.
+    config:
+        The :class:`~repro.snn.training.TrainingConfig` supplying the
+        learning rate, conscience and normalisation hyper-parameters.
+
+    Returns
+    -------
+    numpy.ndarray
+        The updated (column-normalised) weight matrix — a new array.
+    """
+    winner = int(np.argmax(responses))
+    wins[winner] += 1
+
+    pattern_sum = flat.sum()
+    if pattern_sum > 0:
+        target = flat / pattern_sum * config.weight_norm_total
+        weights[:, winner] = (
+            (1.0 - config.wta_learning_rate) * weights[:, winner]
+            + config.wta_learning_rate * target
+        )
+    conscience[winner] += config.conscience_increment
+    conscience *= config.conscience_decay
+    column_sums = weights.sum(axis=0)
+    column_sums[column_sums == 0] = 1.0
+    return weights * (config.weight_norm_total / column_sums)
+
+
+class VectorizedTrainingEngine:
+    """Bit-exact vectorized implementation of the unsupervised trainer.
+
+    The engine mirrors :class:`repro.snn.training.TrainingRunner`'s three
+    learning modes and its spiking label assignment, with the dense
+    per-timestep weight traffic replaced by sparse trace-outer-product
+    updates (see the module docstring for the parity argument).  Instances
+    are cheap; :class:`~repro.snn.training.TrainingRunner.train` constructs
+    one per call.
+
+    Parameters
+    ----------
+    network_config:
+        Architecture of the network to train.
+    training_config:
+        Training-loop hyper-parameters (the
+        :class:`~repro.snn.training.TrainingConfig` of the runner).
+    """
+
+    def __init__(
+        self,
+        network_config: NetworkConfig,
+        training_config: "TrainingConfig",
+    ) -> None:
+        self.network_config = network_config
+        self.training_config = training_config
+
+    # ------------------------------------------------------------------ #
+    # capability probe
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def unsupported_reason(
+        network_config: NetworkConfig, training_config: "TrainingConfig"
+    ) -> Optional[str]:
+        """Why this configuration must use the sequential path, or ``None``.
+
+        The only unsupported corner is pairwise STDP with a strictly
+        positive lower weight bound: the sparse-clip exactness argument
+        needs every untouched weight to already satisfy ``w >= w_min``,
+        which a post-normalisation matrix does not guarantee when
+        ``w_min > 0``.
+
+        Parameters
+        ----------
+        network_config:
+            Candidate network configuration.
+        training_config:
+            Candidate training configuration.
+
+        Returns
+        -------
+        str or None
+            A human-readable reason to fall back, or ``None`` when the
+            vectorized engine reproduces the sequential trainer exactly.
+        """
+        if (
+            training_config.learning_mode == "pairwise_stdp"
+            and network_config.stdp.w_min != 0.0
+        ):
+            return (
+                "pairwise STDP with stdp.w_min > 0 breaks the sparse-clip "
+                "exactness invariant; using the sequential reference"
+            )
+        return None
+
+    # ------------------------------------------------------------------ #
+    # helpers shared with the sequential trainer
+    # ------------------------------------------------------------------ #
+    def _epoch_order(
+        self, n_samples: int, generator: np.random.Generator
+    ) -> np.ndarray:
+        """Sample presentation order for one epoch (same RNG use as the runner)."""
+        if self.training_config.shuffle:
+            return generator.permutation(n_samples)
+        return np.arange(n_samples)
+
+    def _build_network(self, generator: np.random.Generator) -> DiehlCookNetwork:
+        """Fresh high-precision training network (same RNG draws as sequential)."""
+        return DiehlCookNetwork(
+            config=self.network_config,
+            rng=generator,
+            quantizer=self.network_config.make_training_quantizer(),
+        )
+
+    # ------------------------------------------------------------------ #
+    # pairwise STDP
+    # ------------------------------------------------------------------ #
+    def train_pairwise(
+        self, dataset: "Dataset", generator: np.random.Generator
+    ) -> Tuple[np.ndarray, Dict[str, list]]:
+        """Vectorized per-timestep pair STDP over the training set.
+
+        Parameters
+        ----------
+        dataset:
+            Labelled training images.
+        generator:
+            The training RNG; consumed exactly like the sequential path.
+
+        Returns
+        -------
+        tuple
+            ``(weights, history)`` with ``weights`` of shape
+            ``(n_inputs, n_neurons)`` and the per-epoch diagnostic history,
+            both bit-identical to the sequential trainer's.
+        """
+        config = self.training_config
+        network = self._build_network(generator)
+        network.normalize_weights(config.weight_norm_total)
+        quantizer = network.synapses.quantizer
+        encoder = network.encoder
+        stdp = self.network_config.stdp
+        params = self.network_config.neuron_params
+
+        n_inputs = self.network_config.n_inputs
+        n_neurons = self.network_config.n_neurons
+        weights = network.synapses.weights  # float64 copy, within [0, w_max]
+
+        # Hoisted constants of the specialised (healthy-network) LIF step.
+        v_rest = params.v_rest
+        v_reset = params.v_reset
+        v_min = params.v_min
+        v_threshold = params.v_threshold
+        membrane_decay = params.membrane_decay
+        period = params.refractory_period
+        inhibition_strength = params.inhibition_strength
+        theta_plus = params.theta_plus
+        theta_decay = params.theta_decay
+        pre_decay = stdp.pre_decay
+        post_decay = stdp.post_decay
+        lr_pre = stdp.learning_rate_pre
+        lr_post = stdp.learning_rate_post
+        w_min, w_max = stdp.w_min, stdp.w_max
+
+        # Homeostatic threshold persists across samples, as in the
+        # sequential LIFNeuronGroup whose reset_state keeps theta.
+        theta = np.zeros(n_neurons, dtype=np.float64)
+        pre_trace = np.zeros(n_inputs, dtype=np.float64)
+        post_trace = np.zeros(n_neurons, dtype=np.float64)
+
+        history: Dict[str, list] = {"epoch_mean_spikes": []}
+        for epoch in range(config.epochs):
+            order = self._epoch_order(len(dataset), generator)
+            epoch_spikes: List[int] = []
+            for index in order:
+                image, _ = dataset[int(index)]
+                raster = encoder.encode(image.reshape(-1), rng=generator)
+                float_raster = raster.astype(np.float64)
+                timesteps = raster.shape[0]
+
+                # Per-presentation state reset (LIFNeuronGroup.reset_state
+                # plus STDPRule.reset_traces).
+                v = np.full(n_neurons, v_rest, dtype=np.float64)
+                refractory = np.zeros(n_neurons, dtype=np.int64)
+                pre_trace.fill(0.0)
+                post_trace.fill(0.0)
+                sample_spikes = 0
+
+                for t in range(timesteps):
+                    current = float_raster[t] @ weights
+
+                    # Specialised healthy LIF learning step: the exact
+                    # operation sequence of LIFNeuronGroup.step with every
+                    # per-operation fault switch collapsed (training
+                    # networks are always healthy).
+                    v = v_rest + (v - v_rest) * membrane_decay
+                    active = refractory <= 0
+                    v = v + np.where(active, current, 0.0)
+                    v = np.maximum(v, v_min)
+                    spikes = active & (v >= v_threshold + theta)
+                    any_post = spikes.any()
+                    v = np.where(spikes, v_reset, v)
+                    refractory = np.where(
+                        spikes, period, np.maximum(refractory - 1, 0)
+                    )
+                    theta *= theta_decay
+                    theta += theta_plus * spikes.astype(np.float64)
+                    if inhibition_strength > 0 and any_post:
+                        n_spiking = int(spikes.sum())
+                        inhibition = inhibition_strength * (
+                            n_spiking - spikes.astype(np.float64)
+                        )
+                        v = np.maximum(v - inhibition, v_min)
+
+                    # Trace recursion — the same decay-then-set the
+                    # sequential STDPRule.step applies.
+                    pre_spikes = raster[t]
+                    pre_trace *= pre_decay
+                    post_trace *= post_decay
+                    pre_trace[pre_spikes] = 1.0
+                    post_trace[spikes] = 1.0
+
+                    # Sparse outer-product weight updates: potentiation on
+                    # the spiking columns, then depression on the spiking
+                    # rows, then the clip restricted to the touched slices
+                    # (identity everywhere else — see the module
+                    # docstring's exactness argument).
+                    any_pre = pre_spikes.any()
+                    if any_post:
+                        cols = np.flatnonzero(spikes)
+                        weights[:, cols] += (lr_post * pre_trace)[:, np.newaxis]
+                    if any_pre:
+                        rows = np.flatnonzero(pre_spikes)
+                        weights[rows] -= lr_pre * post_trace
+                    if any_post:
+                        weights[:, cols] = np.clip(weights[:, cols], w_min, w_max)
+                    if any_pre:
+                        weights[rows] = np.clip(weights[rows], w_min, w_max)
+
+                    if any_post:
+                        sample_spikes += int(spikes.sum())
+
+                epoch_spikes.append(sample_spikes)
+
+                # End-of-presentation write-back (set_weights quantise
+                # round trip) followed by the trainer's per-sample
+                # Diehl & Cook weight normalisation — both full-matrix,
+                # both once per sample rather than once per timestep.
+                weights = quantizer.dequantize(quantizer.quantize(weights))
+                column_sums = weights.sum(axis=0)
+                column_sums[column_sums == 0] = 1.0
+                weights = weights * (config.weight_norm_total / column_sums)
+                weights = np.clip(weights, 0.0, quantizer.full_scale)
+                weights = quantizer.dequantize(quantizer.quantize(weights))
+
+            mean_spikes = float(np.mean(epoch_spikes))
+            history["epoch_mean_spikes"].append(mean_spikes)
+            _LOGGER.info(
+                "pairwise_stdp (vectorized) epoch %d/%d: "
+                "mean output spikes per sample %.2f",
+                epoch + 1,
+                config.epochs,
+                mean_spikes,
+            )
+        return weights, history
+
+    # ------------------------------------------------------------------ #
+    # winner-take-all
+    # ------------------------------------------------------------------ #
+    def train_wta(
+        self,
+        dataset: "Dataset",
+        generator: np.random.Generator,
+        spiking: bool,
+    ) -> Tuple[np.ndarray, Dict[str, list]]:
+        """Sample-level winner-take-all learning (spiking or linear winner).
+
+        Parameters
+        ----------
+        dataset:
+            Labelled training images.
+        generator:
+            The training RNG; consumed exactly like the sequential path.
+        spiking:
+            ``True`` selects the winner from a full spiking presentation
+            (``"spiking_wta"``), ``False`` from the linear expected-rate
+            response (``"fast_wta"``).
+
+        Returns
+        -------
+        tuple
+            ``(weights, history)``, bit-identical to the sequential
+            trainer's.
+        """
+        config = self.training_config
+        n_inputs = self.network_config.n_inputs
+        n_neurons = self.network_config.n_neurons
+
+        network = self._build_network(generator)
+        network.normalize_weights(config.weight_norm_total)
+        quantizer = network.synapses.quantizer
+        encoder = network.encoder
+        weights = network.synapses.weights
+        conscience = np.zeros(n_neurons, dtype=np.float64)
+        wins = np.zeros(n_neurons, dtype=np.int64)
+
+        history: Dict[str, list] = {"epoch_neurons_used": [], "epoch_mean_spikes": []}
+        for epoch in range(config.epochs):
+            order = self._epoch_order(len(dataset), generator)
+            epoch_spikes: List[int] = []
+            for index in order:
+                image, _ = dataset[int(index)]
+                flat = image.reshape(-1)
+                if spiking:
+                    spike_counts = self._present_wta(
+                        flat, weights, conscience, quantizer, encoder, generator
+                    )
+                    epoch_spikes.append(int(spike_counts.sum()))
+                    responses = spike_counts.astype(np.float64)
+                    if responses.max() <= 0:
+                        # Silent presentation: fall back to the linear
+                        # response so every sample still contributes.
+                        responses = flat @ weights - conscience
+                else:
+                    responses = flat @ weights - conscience
+                    epoch_spikes.append(0)
+                weights = wta_sample_update(
+                    weights, conscience, wins, flat, responses, config
+                )
+
+            neurons_used = int((wins > 0).sum())
+            history["epoch_neurons_used"].append(neurons_used)
+            history["epoch_mean_spikes"].append(
+                float(np.mean(epoch_spikes)) if epoch_spikes else 0.0
+            )
+            _LOGGER.info(
+                "%s (vectorized) epoch %d/%d: %d of %d neurons selected as winners",
+                "spiking_wta" if spiking else "fast_wta",
+                epoch + 1,
+                config.epochs,
+                neurons_used,
+                n_neurons,
+            )
+        weights = np.clip(weights, 0.0, self.network_config.stdp.w_max)
+        return weights.reshape(n_inputs, n_neurons), history
+
+    def _present_wta(
+        self,
+        flat: np.ndarray,
+        weights: np.ndarray,
+        conscience: np.ndarray,
+        quantizer,
+        encoder,
+        generator: np.random.Generator,
+    ) -> np.ndarray:
+        """One lean spiking presentation; returns per-neuron spike counts.
+
+        Replicates exactly what the sequential winner-take-all step
+        observes from ``set_weights`` + ``network.present``: the weights are
+        quantised into register codes (with the same range validation
+        ``set_weights`` performs), the currents come from the identical
+        exact integer-code GEMM, and the LIF state advances through the
+        same elementwise expressions — without building a batch-of-one
+        :class:`~repro.snn.engine.BatchedInferenceEngine` run per sample.
+        """
+        if weights.min() < 0:
+            raise ValueError("weights must be non-negative")
+        if weights.max() > quantizer.full_scale:
+            raise ValueError(
+                "weights exceed the quantizer full-scale range "
+                f"({weights.max():.4f} > {quantizer.full_scale:.4f})"
+            )
+        params = self.network_config.neuron_params
+        n_neurons = self.network_config.n_neurons
+
+        # Same stream shape as the engine's encode_batch on a batch of one.
+        raster = encoder.encode_batch(
+            flat[np.newaxis, np.newaxis, :], rng=generator
+        )[0]
+        timesteps = raster.shape[0]
+
+        # Exact integer-code currents for the whole presentation in one
+        # GEMM, exactly as the batched engine computes them (the code sums
+        # are exact integers, so the float64 evaluation is bitwise
+        # identical to the engine's dtype choice for any operand shape).
+        codes = quantizer.quantize(weights).astype(np.float64)
+        currents = np.multiply(
+            raster.astype(np.float64) @ codes, quantizer.scale, dtype=np.float64
+        )
+
+        v_rest = params.v_rest
+        v_reset = params.v_reset
+        v_min = params.v_min
+        membrane_decay = params.membrane_decay
+        period = params.refractory_period
+        inhibition_strength = params.inhibition_strength
+        threshold = params.v_threshold + conscience
+
+        v = np.full(n_neurons, v_rest, dtype=np.float64)
+        refractory = np.zeros(n_neurons, dtype=np.int64)
+        counts = np.zeros(n_neurons, dtype=np.int64)
+        for t in range(timesteps):
+            v = v_rest + (v - v_rest) * membrane_decay
+            active = refractory <= 0
+            v = v + np.where(active, currents[t], 0.0)
+            v = np.maximum(v, v_min)
+            spikes = active & (v >= threshold)
+            v = np.where(spikes, v_reset, v)
+            refractory = np.where(spikes, period, np.maximum(refractory - 1, 0))
+            if inhibition_strength > 0 and spikes.any():
+                n_spiking = int(spikes.sum())
+                inhibition = inhibition_strength * (
+                    n_spiking - spikes.astype(np.float64)
+                )
+                v = np.maximum(v - inhibition, v_min)
+            counts += spikes
+        return counts
+
+    # ------------------------------------------------------------------ #
+    # label assignment
+    # ------------------------------------------------------------------ #
+    def assign_labels_spiking(
+        self,
+        weights: np.ndarray,
+        dataset: "Dataset",
+        generator: np.random.Generator,
+        batch_size: int = LABEL_ASSIGNMENT_BATCH,
+    ) -> np.ndarray:
+        """Spiking-mode neuron label assignment in true inference batches.
+
+        The trained weights are frozen here, so the labelled training set
+        is a plain inference workload: chunks of ``batch_size`` samples run
+        through one warm :class:`~repro.snn.engine.BatchedInferenceEngine`.
+        Any chunking (including odd tails) yields the labels of the
+        sequential per-sample loop bit for bit — the engine is spike-exact
+        for every batch shape, and the per-class response accumulation
+        happens in dataset order either way.
+
+        Parameters
+        ----------
+        weights:
+            Trained weight matrix ``(n_inputs, n_neurons)``.
+        dataset:
+            Labelled training images, presented in order (no shuffling).
+        generator:
+            RNG for the Poisson encodings; consumed exactly like the
+            sequential path.
+        batch_size:
+            Samples per engine chunk (throughput knob, not semantics).
+
+        Returns
+        -------
+        numpy.ndarray
+            Class label per neuron, shape ``(n_neurons,)``, dtype int64.
+        """
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        config = self.training_config
+        n_classes = dataset.n_classes
+        n_neurons = self.network_config.n_neurons
+        response_sums = np.zeros((n_classes, n_neurons), dtype=np.float64)
+        class_counts = np.zeros(n_classes, dtype=np.float64)
+
+        network = self._build_network(generator)
+        network.synapses.set_weights(weights)
+        engine = BatchedInferenceEngine(network)
+
+        flat_images = dataset.flattened_images()
+        labels = dataset.labels
+        for start in range(0, len(dataset), batch_size):
+            chunk = flat_images[start : start + batch_size]
+            result = engine.run(chunk, rng=generator)
+            for row, label in enumerate(labels[start : start + len(chunk)]):
+                response_sums[label] += result.spike_counts[row]
+                class_counts[label] += 1
+
+        class_counts[class_counts == 0] = 1.0
+        mean_responses = response_sums / class_counts[:, np.newaxis]
+        mean_responses += config.label_smoothing
+        return np.argmax(mean_responses, axis=0).astype(np.int64)

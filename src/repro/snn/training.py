@@ -3,10 +3,18 @@
 The paper trains its network with unsupervised STDP (Fig. 1a) and then
 assigns a class label to every excitatory neuron from its responses to the
 labelled training data; at inference time the predicted class is the label
-group with the highest spike count.  :class:`STDPTrainer` implements that
+group with the highest spike count.  :class:`TrainingRunner` (historically
+exported as :class:`STDPTrainer`, which remains an alias) implements that
 pipeline and produces a :class:`TrainedModel` — the "clean SNN" whose weight
 statistics (``wgh_max``, ``wgh_hp``) the Bound-and-Protect techniques use as
 their safe range.
+
+Training runs through the vectorized engine of
+:mod:`repro.snn.train_engine` by default, which is bit-identical to the
+per-timestep reference loop kept available as
+:meth:`TrainingRunner.train_sequential` (mirroring how inference keeps
+``present_sequential`` next to the batched engine); pass
+``vectorized=False`` — or call ``train_sequential`` — to opt out.
 
 Three learning modes are provided (``TrainingConfig.learning_mode``):
 
@@ -46,12 +54,13 @@ from repro.data.datasets import Dataset
 from repro.snn.network import DiehlCookNetwork, NetworkConfig
 from repro.snn.neuron import LIFParameters
 from repro.snn.stdp import STDPConfig
+from repro.snn.train_engine import VectorizedTrainingEngine, wta_sample_update
 from repro.utils.logging import get_logger
 from repro.utils.rng import RNGLike, resolve_rng
 from repro.utils.serialization import load_json, load_npz, save_json, save_npz
 from repro.utils.validation import check_in_choices
 
-__all__ = ["TrainingConfig", "TrainedModel", "STDPTrainer"]
+__all__ = ["TrainingConfig", "TrainedModel", "TrainingRunner", "STDPTrainer"]
 
 _LOGGER = get_logger("snn.training")
 
@@ -282,6 +291,51 @@ class TrainedModel:
         return npz_path
 
     @classmethod
+    def load_network_config(cls, path: Union[str, Path]) -> NetworkConfig:
+        """Read just the network configuration from a snapshot's sidecar.
+
+        Cheap metadata access for callers that need the architecture but
+        not the arrays — e.g. the serving registry's in-place retrain,
+        which rebuilds a model of the same shape without decoding (or
+        warm-caching) the one it is about to replace.
+
+        Parameters
+        ----------
+        path:
+            The ``.npz`` archive, the ``.json`` sidecar or the common base
+            path of a snapshot written by :meth:`save`.
+
+        Returns
+        -------
+        NetworkConfig
+            The configuration the snapshot's model was trained with.
+
+        Raises
+        ------
+        ValueError
+            If the sidecar's snapshot format is unsupported.
+        """
+        base = Path(path)
+        if base.suffix in (".npz", ".json"):
+            base = base.with_suffix("")
+        metadata = load_json(base.with_suffix(".json"))
+        return cls._network_config_from_metadata(metadata)
+
+    @classmethod
+    def _network_config_from_metadata(cls, metadata: Dict) -> NetworkConfig:
+        """Validate a snapshot sidecar dict and rebuild its network config."""
+        fmt = metadata.get("format")
+        if fmt != cls.SNAPSHOT_FORMAT:
+            raise ValueError(
+                f"unsupported trained-model snapshot format {fmt!r} "
+                f"(expected {cls.SNAPSHOT_FORMAT})"
+            )
+        config_data = dict(metadata["network_config"])
+        config_data["neuron_params"] = LIFParameters(**config_data["neuron_params"])
+        config_data["stdp"] = STDPConfig(**config_data["stdp"])
+        return NetworkConfig(**config_data)
+
+    @classmethod
     def load(cls, path: Union[str, Path]) -> "TrainedModel":
         """Load a model previously written by :meth:`save`.
 
@@ -292,18 +346,10 @@ class TrainedModel:
         if base.suffix in (".npz", ".json"):
             base = base.with_suffix("")
         metadata = load_json(base.with_suffix(".json"))
-        fmt = metadata.get("format")
-        if fmt != cls.SNAPSHOT_FORMAT:
-            raise ValueError(
-                f"unsupported trained-model snapshot format {fmt!r} "
-                f"(expected {cls.SNAPSHOT_FORMAT})"
-            )
-        config_data = dict(metadata["network_config"])
-        config_data["neuron_params"] = LIFParameters(**config_data["neuron_params"])
-        config_data["stdp"] = STDPConfig(**config_data["stdp"])
+        network_config = cls._network_config_from_metadata(metadata)
         arrays = load_npz(base.with_suffix(".npz"))
         return cls(
-            network_config=NetworkConfig(**config_data),
+            network_config=network_config,
             weights=arrays["weights"],
             theta=arrays["theta"],
             neuron_labels=arrays["neuron_labels"],
@@ -315,8 +361,16 @@ class TrainedModel:
         )
 
 
-class STDPTrainer:
+class TrainingRunner:
     """Unsupervised trainer producing a :class:`TrainedModel`.
+
+    The runner owns the full training pipeline: unsupervised weight
+    learning in one of the three modes of :class:`TrainingConfig`, neuron
+    label assignment, and clean-weight statistics extraction.  By default
+    the weight learning and the spiking label assignment execute through
+    the bit-exact :class:`~repro.snn.train_engine.VectorizedTrainingEngine`;
+    the original per-timestep loop remains available via
+    :meth:`train_sequential` and serves as the parity reference.
 
     Parameters
     ----------
@@ -341,8 +395,44 @@ class STDPTrainer:
     # ------------------------------------------------------------------ #
     # public API
     # ------------------------------------------------------------------ #
-    def train(self, dataset: Dataset, rng: RNGLike = None) -> TrainedModel:
-        """Run unsupervised training followed by neuron label assignment."""
+    def train(
+        self,
+        dataset: Dataset,
+        rng: RNGLike = None,
+        vectorized: bool = True,
+    ) -> TrainedModel:
+        """Run unsupervised training followed by neuron label assignment.
+
+        Parameters
+        ----------
+        dataset:
+            Labelled training images whose pixel count matches the
+            network's input dimension.
+        rng:
+            Seed or generator driving every random choice of the run
+            (weight initialisation, epoch shuffles, Poisson encodings).
+        vectorized:
+            When True (default) the weight learning and the spiking label
+            assignment execute through the
+            :class:`~repro.snn.train_engine.VectorizedTrainingEngine`,
+            which is bit-identical to the sequential reference but several
+            times faster; pass False to force the original per-timestep
+            loop.  Configurations the engine cannot reproduce exactly
+            (currently: pairwise STDP with ``stdp.w_min > 0``) fall back
+            to the sequential path automatically.
+
+        Returns
+        -------
+        TrainedModel
+            The trained clean model, including neuron labels, clean-weight
+            statistics, and the per-epoch training history.
+
+        Raises
+        ------
+        ValueError
+            If the dataset is empty or its pixel count does not match the
+            network's input dimension.
+        """
         if len(dataset) == 0:
             raise ValueError("training dataset must not be empty")
         if dataset.n_pixels != self.network_config.n_inputs:
@@ -352,14 +442,41 @@ class STDPTrainer:
             )
         generator = resolve_rng(rng)
         mode = self.training_config.learning_mode
-        if mode == "pairwise_stdp":
-            weights, history = self._train_pairwise_stdp(dataset, generator)
-        else:
-            weights, history = self._train_wta(
-                dataset, generator, spiking=(mode == "spiking_wta")
-            )
 
-        neuron_labels = self._assign_labels(weights, dataset, generator)
+        engine: Optional[VectorizedTrainingEngine] = None
+        if vectorized:
+            reason = VectorizedTrainingEngine.unsupported_reason(
+                self.network_config, self.training_config
+            )
+            if reason is None:
+                engine = VectorizedTrainingEngine(
+                    self.network_config, self.training_config
+                )
+            else:
+                _LOGGER.info("vectorized training unavailable: %s", reason)
+
+        if engine is not None:
+            if mode == "pairwise_stdp":
+                weights, history = engine.train_pairwise(dataset, generator)
+            else:
+                weights, history = engine.train_wta(
+                    dataset, generator, spiking=(mode == "spiking_wta")
+                )
+            if self.training_config.label_assignment_mode == "spiking":
+                neuron_labels = engine.assign_labels_spiking(
+                    weights, dataset, generator
+                )
+            else:
+                neuron_labels = self._assign_labels(weights, dataset, generator)
+        else:
+            if mode == "pairwise_stdp":
+                weights, history = self._train_pairwise_stdp(dataset, generator)
+            else:
+                weights, history = self._train_wta(
+                    dataset, generator, spiking=(mode == "spiking_wta")
+                )
+            neuron_labels = self._assign_labels(weights, dataset, generator)
+
         clean_max = float(weights.max())
         most_probable = self._most_probable_weight(weights)
         return TrainedModel(
@@ -375,8 +492,33 @@ class STDPTrainer:
             training_history=history,
         )
 
+    def train_sequential(self, dataset: Dataset, rng: RNGLike = None) -> TrainedModel:
+        """Train through the per-timestep reference loop.
+
+        This is the original implementation the vectorized engine is
+        verified against, kept callable for parity tests and as the
+        fallback for configurations the engine does not support —
+        mirroring ``present_sequential`` next to the batched inference
+        engine.  Under a fixed *rng* it returns a model whose weights,
+        neuron labels and training history are bit-identical to
+        :meth:`train`'s.
+
+        Parameters
+        ----------
+        dataset:
+            Labelled training images.
+        rng:
+            Seed or generator; consumed exactly as :meth:`train` does.
+
+        Returns
+        -------
+        TrainedModel
+            The trained clean model.
+        """
+        return self.train(dataset, rng=rng, vectorized=False)
+
     # ------------------------------------------------------------------ #
-    # learning modes
+    # learning modes (sequential reference implementations)
     # ------------------------------------------------------------------ #
     def _train_pairwise_stdp(
         self, dataset: Dataset, generator: np.random.Generator
@@ -414,7 +556,13 @@ class STDPTrainer:
         generator: np.random.Generator,
         spiking: bool,
     ) -> tuple:
-        """Sample-level winner-take-all Hebbian learning."""
+        """Sample-level winner-take-all Hebbian learning.
+
+        The per-sample update is the shared
+        :func:`~repro.snn.train_engine.wta_sample_update`, so this path
+        and ``VectorizedTrainingEngine.train_wta`` differ only in how a
+        sample is presented.
+        """
         config = self.training_config
         n_inputs = self.network_config.n_inputs
         n_neurons = self.network_config.n_neurons
@@ -449,19 +597,9 @@ class STDPTrainer:
                 else:
                     responses = flat @ weights - conscience
                     epoch_spikes.append(0)
-                winner = int(np.argmax(responses))
-                wins[winner] += 1
-
-                pattern_sum = flat.sum()
-                if pattern_sum > 0:
-                    target = flat / pattern_sum * config.weight_norm_total
-                    weights[:, winner] = (
-                        (1.0 - config.wta_learning_rate) * weights[:, winner]
-                        + config.wta_learning_rate * target
-                    )
-                conscience[winner] += config.conscience_increment
-                conscience *= config.conscience_decay
-                weights = self._normalize_columns(weights)
+                weights = wta_sample_update(
+                    weights, conscience, wins, flat, responses, config
+                )
 
             neurons_used = int((wins > 0).sum())
             history["epoch_neurons_used"].append(neurons_used)
@@ -532,12 +670,6 @@ class STDPTrainer:
             return generator.permutation(n_samples)
         return np.arange(n_samples)
 
-    def _normalize_columns(self, weights: np.ndarray) -> np.ndarray:
-        """Rescale every neuron's incoming weights to the configured sum."""
-        column_sums = weights.sum(axis=0)
-        column_sums[column_sums == 0] = 1.0
-        return weights * (self.training_config.weight_norm_total / column_sums)
-
     def _most_probable_weight(self, weights: np.ndarray, bins: int = 64) -> float:
         """Mode of the non-zero clean weight distribution (``wgh_hp``)."""
         max_weight = float(weights.max())
@@ -551,3 +683,8 @@ class STDPTrainer:
             return 0.0
         index = int(np.argmax(counts))
         return float(min(0.5 * (edges[index] + edges[index + 1]), max_weight))
+
+
+#: Backward-compatible alias: the trainer predates the vectorized engine
+#: and was exported as ``STDPTrainer``; existing imports keep working.
+STDPTrainer = TrainingRunner

@@ -339,6 +339,59 @@ class TestModelRegistry:
         (tmp_path / "ok.json").rename(tmp_path / "bad.v2.json")
         assert ModelRegistry(tmp_path).names() == []
 
+    def test_retrain_in_place(self, registry, small_split):
+        train_set, _ = small_split
+        from repro.snn.training import TrainingConfig
+
+        before = registry.entry("tiny-mnist")
+        entry = registry.retrain(
+            "tiny-mnist",
+            train_set,
+            rng=5,
+            training_config=TrainingConfig(
+                epochs=1, learning_mode="fast_wta", label_assignment_mode="fast"
+            ),
+        )
+        # Same identity, fresh bytes, workload tag preserved, and the
+        # republished snapshot loads cleanly (checksums re-recorded).
+        assert entry.name == "tiny-mnist"
+        assert entry.workload == "mnist"
+        assert entry.checksums != before.checksums
+        reloaded = registry.load("tiny-mnist")
+        assert reloaded.n_neurons == before.n_neurons
+        entry.verify()
+
+        # The retrain is deterministic and engine-backed: an offline
+        # sequential retrain from the same seed yields the same weights.
+        from repro.snn.training import TrainingRunner
+
+        offline = TrainingRunner(
+            reloaded.network_config,
+            TrainingConfig(
+                epochs=1, learning_mode="fast_wta", label_assignment_mode="fast"
+            ),
+        ).train_sequential(train_set, rng=5)
+        assert np.array_equal(offline.weights, reloaded.weights)
+
+    def test_retrain_refuses_tampered_snapshot(self, registry, small_split):
+        """A modified sidecar must not be laundered into fresh checksums."""
+        train_set, _ = small_split
+        from repro.snn.training import TrainingConfig
+
+        json_path = registry.entry("tiny-mnist").json_path
+        json_path.write_text(
+            json_path.read_text().replace('"n_neurons": 20', '"n_neurons": 10')
+        )
+        with pytest.raises(SnapshotIntegrityError):
+            registry.retrain("tiny-mnist", train_set, TrainingConfig(), rng=1)
+
+    def test_retrain_unknown_name(self, registry, small_split):
+        train_set, _ = small_split
+        from repro.snn.training import TrainingConfig
+
+        with pytest.raises(ModelNotFoundError):
+            registry.retrain("nope", train_set, TrainingConfig(), rng=1)
+
 
 # --------------------------------------------------------------------- #
 # scheduler parity (the acceptance criterion)

@@ -1,0 +1,215 @@
+"""Bit-exact parity of the vectorized training engine vs the sequential loop.
+
+The contract (see :mod:`repro.snn.train_engine`) is *bitwise* equality of
+everything a :class:`~repro.snn.training.TrainedModel` carries — weights,
+neuron labels, theta, clean-weight statistics, training history — between
+``TrainingRunner.train`` (vectorized default) and
+``TrainingRunner.train_sequential`` (the per-timestep reference), for every
+learning mode, label-assignment mode, seed, dataset size and
+label-assignment batch shape (including odd tails).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic_mnist import SyntheticMNIST
+from repro.snn.network import NetworkConfig
+from repro.snn.stdp import STDPConfig
+from repro.snn.train_engine import VectorizedTrainingEngine
+from repro.snn.training import STDPTrainer, TrainingConfig, TrainingRunner
+from repro.utils.rng import resolve_rng
+
+
+def _dataset(n_samples: int, seed: int = 41):
+    return SyntheticMNIST().generate(n_samples=n_samples, rng=seed)
+
+
+def _config(timesteps: int = 40, n_neurons: int = 16) -> NetworkConfig:
+    return NetworkConfig(n_inputs=784, n_neurons=n_neurons, timesteps=timesteps)
+
+
+def _assert_models_identical(sequential, vectorized) -> None:
+    """Bitwise equality of every trained-model field."""
+    assert np.array_equal(sequential.weights, vectorized.weights)
+    assert sequential.weights.dtype == vectorized.weights.dtype
+    assert np.array_equal(sequential.neuron_labels, vectorized.neuron_labels)
+    assert np.array_equal(sequential.theta, vectorized.theta)
+    assert sequential.clean_max_weight == vectorized.clean_max_weight
+    assert (
+        sequential.clean_most_probable_weight
+        == vectorized.clean_most_probable_weight
+    )
+    assert sequential.training_history == vectorized.training_history
+
+
+class TestTrainParity:
+    @pytest.mark.parametrize(
+        "learning_mode,label_mode",
+        [
+            ("pairwise_stdp", "spiking"),
+            ("pairwise_stdp", "fast"),
+            ("spiking_wta", "spiking"),
+            ("spiking_wta", "fast"),
+            ("fast_wta", "spiking"),
+            ("fast_wta", "fast"),
+        ],
+    )
+    def test_all_mode_combinations(self, learning_mode, label_mode):
+        dataset = _dataset(18)
+        runner = TrainingRunner(
+            _config(),
+            TrainingConfig(
+                epochs=2,
+                learning_mode=learning_mode,
+                label_assignment_mode=label_mode,
+            ),
+        )
+        _assert_models_identical(
+            runner.train_sequential(dataset, rng=3), runner.train(dataset, rng=3)
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 17, 2022])
+    def test_pairwise_across_seeds(self, seed):
+        dataset = _dataset(10, seed=seed + 100)
+        runner = TrainingRunner(
+            _config(timesteps=30),
+            TrainingConfig(
+                epochs=1,
+                learning_mode="pairwise_stdp",
+                label_assignment_mode="spiking",
+            ),
+        )
+        _assert_models_identical(
+            runner.train_sequential(dataset, rng=seed),
+            runner.train(dataset, rng=seed),
+        )
+
+    def test_no_shuffle_and_multiple_epochs(self):
+        dataset = _dataset(8)
+        runner = TrainingRunner(
+            _config(timesteps=25),
+            TrainingConfig(
+                epochs=3,
+                learning_mode="pairwise_stdp",
+                label_assignment_mode="spiking",
+                shuffle=False,
+            ),
+        )
+        _assert_models_identical(
+            runner.train_sequential(dataset, rng=11), runner.train(dataset, rng=11)
+        )
+
+    def test_custom_stdp_rates(self):
+        config = NetworkConfig(
+            n_inputs=784,
+            n_neurons=12,
+            timesteps=30,
+            stdp=STDPConfig(
+                learning_rate_pre=0.01, learning_rate_post=0.05, tau_pre=8.0
+            ),
+        )
+        runner = TrainingRunner(
+            config,
+            TrainingConfig(
+                epochs=2,
+                learning_mode="pairwise_stdp",
+                label_assignment_mode="spiking",
+            ),
+        )
+        dataset = _dataset(10)
+        _assert_models_identical(
+            runner.train_sequential(dataset, rng=5), runner.train(dataset, rng=5)
+        )
+
+    def test_consumes_rng_identically(self):
+        """After training, both paths leave a shared seed stream in the
+        same state — proof that every draw happened with the same shape."""
+        dataset = _dataset(8)
+        runner = TrainingRunner(
+            _config(timesteps=20),
+            TrainingConfig(
+                epochs=1,
+                learning_mode="pairwise_stdp",
+                label_assignment_mode="spiking",
+            ),
+        )
+        gen_a = resolve_rng(7)
+        gen_b = resolve_rng(7)
+        runner.train_sequential(dataset, rng=gen_a)
+        runner.train(dataset, rng=gen_b)
+        assert gen_a.integers(1 << 30) == gen_b.integers(1 << 30)
+
+
+class TestLabelAssignmentBatching:
+    @pytest.mark.parametrize("batch_size", [1, 3, 7, 64, 1000])
+    def test_odd_batch_tails(self, batch_size):
+        """Any chunking of spiking label assignment gives identical labels —
+        including batch 1, tails shorter than the batch, and one big batch."""
+        dataset = _dataset(13)
+        network_config = _config(timesteps=25)
+        training_config = TrainingConfig(
+            epochs=1, learning_mode="fast_wta", label_assignment_mode="spiking"
+        )
+        runner = TrainingRunner(network_config, training_config)
+        engine = VectorizedTrainingEngine(network_config, training_config)
+
+        weights, _ = engine.train_wta(dataset, resolve_rng(9), spiking=False)
+        reference = runner._assign_labels(weights, dataset, resolve_rng(1234))
+        batched = engine.assign_labels_spiking(
+            weights, dataset, resolve_rng(1234), batch_size=batch_size
+        )
+        assert np.array_equal(reference, batched)
+
+    def test_rejects_nonpositive_batch(self):
+        dataset = _dataset(4)
+        engine = VectorizedTrainingEngine(
+            _config(timesteps=10),
+            TrainingConfig(learning_mode="fast_wta"),
+        )
+        weights, _ = engine.train_wta(dataset, resolve_rng(0), spiking=False)
+        with pytest.raises(ValueError, match="batch_size"):
+            engine.assign_labels_spiking(
+                weights, dataset, resolve_rng(0), batch_size=0
+            )
+
+
+class TestFallbacksAndAliases:
+    def test_w_min_gt_zero_falls_back_to_sequential(self):
+        """A positive lower weight bound routes pairwise training to the
+        sequential reference (the sparse clip would not be exact), and the
+        result equals an explicit sequential run."""
+        config = NetworkConfig(
+            n_inputs=784,
+            n_neurons=10,
+            timesteps=20,
+            stdp=STDPConfig(w_min=0.01, w_max=1.0),
+        )
+        assert VectorizedTrainingEngine.unsupported_reason(
+            config, TrainingConfig(learning_mode="pairwise_stdp")
+        ) is not None
+        runner = TrainingRunner(
+            config,
+            TrainingConfig(
+                epochs=1,
+                learning_mode="pairwise_stdp",
+                label_assignment_mode="fast",
+            ),
+        )
+        dataset = _dataset(6)
+        _assert_models_identical(
+            runner.train_sequential(dataset, rng=2), runner.train(dataset, rng=2)
+        )
+
+    def test_wta_supported_regardless_of_w_min(self):
+        config = NetworkConfig(
+            n_inputs=784, n_neurons=10, stdp=STDPConfig(w_min=0.01, w_max=1.0)
+        )
+        assert VectorizedTrainingEngine.unsupported_reason(
+            config, TrainingConfig(learning_mode="spiking_wta")
+        ) is None
+
+    def test_stdp_trainer_alias(self):
+        """The historical export name keeps working and is the same class."""
+        assert STDPTrainer is TrainingRunner
