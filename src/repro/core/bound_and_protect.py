@@ -172,6 +172,12 @@ class NeuronProtection:
     samples — the engine may re-simulate suffixes of a batch to resolve
     cross-sample faulty-reset latches, and only accepted passes count.
 
+    The map-parallel engine (:class:`~repro.snn.engine.MapParallelEngine`)
+    applies the identical ``counter >= trigger_cycles`` gate inline per row
+    (a :class:`~repro.snn.engine.MapRow` carries the trigger as
+    ``protection_trigger_cycles``), so no monitor object — and no
+    protection statistics bookkeeping — exists on that path.
+
     Parameters
     ----------
     trigger_cycles:

@@ -19,23 +19,39 @@ the paper's comparison partners:
 The fault map can be drawn inside ``evaluate`` or passed in explicitly; the
 experiment harness passes the same map to every technique so comparisons at
 a given fault rate are paired.
+
+Besides the one-at-a-time :meth:`MitigationTechnique.evaluate` interface,
+techniques participate in *map-parallel* evaluation: given many fault maps,
+each technique plans its per-map compute-engine rows — stacked faulty or
+bounded registers, per-map operation status, protection triggers — via
+:meth:`MitigationTechnique.plan_rows`, and
+:func:`evaluate_techniques_mapped` advances all rows of all techniques
+through the :class:`~repro.snn.engine.MapParallelEngine` in one fused pass.
+Per (technique, map) pair the result is bit-identical to a stand-alone
+evaluation of that pair over the same rasters.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.bound_and_protect import BnPVariant, NeuronProtection, WeightBounding
 from repro.data.datasets import Dataset
-from repro.faults.fault_map import FaultMap
+from repro.faults.fault_map import FaultMap, FaultMapGenerator
 from repro.faults.injector import FaultInjector
 from repro.faults.models import ComputeEngineFaultConfig
+from repro.faults.neuron_faults import NeuronFaultInjector
 from repro.hardware.enhancements import MitigationKind
-from repro.snn.inference import InferenceEngine, InferenceResult
+from repro.snn.engine import MapRow
+from repro.snn.inference import InferenceEngine, InferenceResult, evaluate_rows
+from repro.snn.neuron import NeuronOperationStatus
+from repro.snn.synapse import SynapseMatrix
 from repro.snn.training import TrainedModel
+from repro.utils.bits import flip_bits_in_array
 from repro.utils.rng import RNGLike, resolve_rng
 
 __all__ = [
@@ -43,8 +59,231 @@ __all__ = [
     "NoMitigation",
     "ReExecutionTMR",
     "BnPTechnique",
+    "MapAssets",
+    "TechniqueRowPlan",
+    "prepare_map_assets",
+    "evaluate_techniques_mapped",
     "build_technique",
 ]
+
+
+# ---------------------------------------------------------------------- #
+# map-parallel planning
+# ---------------------------------------------------------------------- #
+@dataclass
+class MapAssets:
+    """Per-fault-map compute-engine state shared by every technique.
+
+    One instance describes the deployed engine after one fault map struck
+    it: the corrupted weight registers and the per-neuron operation health.
+    ``clean_registers`` is the *same array object* for every map of a unit,
+    and ``faulty_registers`` aliases it when the map contains no synapse
+    faults — the map-parallel engine deduplicates base current GEMMs by
+    array identity, so aliasing is meaningful, not just an optimisation.
+    """
+
+    raster_index: int
+    clean_registers: np.ndarray
+    faulty_registers: np.ndarray
+    status: NeuronOperationStatus
+    healthy_status: NeuronOperationStatus
+
+
+@dataclass
+class TechniqueRowPlan:
+    """The rows one technique contributes to a map-parallel unit.
+
+    ``rows`` is cell-major: ``rows_per_cell`` consecutive rows per fault
+    map, in map order.  The owning technique interprets the per-row results
+    back into one :class:`~repro.snn.inference.InferenceResult` per map via
+    :meth:`MitigationTechnique.combine_row_results`.
+    """
+
+    kind: MitigationKind
+    rows: List[MapRow]
+    rows_per_cell: int
+
+    @property
+    def n_cells(self) -> int:
+        """Number of fault maps (sweep cells) the plan covers."""
+        return len(self.rows) // self.rows_per_cell
+
+
+def _corrupt_registers(
+    clean_registers: np.ndarray, fault_map: FaultMap, quantizer
+) -> np.ndarray:
+    """Registers after *fault_map*'s bit flips (aliases clean when none).
+
+    Mirrors :meth:`~repro.snn.synapse.SynapseMatrix.apply_bit_flips`; the
+    returned array aliases ``clean_registers`` for maps without synapse
+    faults so the map-parallel engine's identity-based GEMM dedup engages.
+    """
+    if not fault_map.n_synapse_faults:
+        return clean_registers
+    return flip_bits_in_array(
+        clean_registers.astype(np.int64),
+        fault_map.synapse_flat_indices,
+        fault_map.synapse_bit_positions,
+        bit_width=quantizer.bits,
+    ).astype(clean_registers.dtype)
+
+
+def prepare_map_assets(
+    model: TrainedModel,
+    fault_maps: Optional[Sequence[FaultMap]],
+    n_cells: int,
+) -> List[MapAssets]:
+    """Build the per-map engine state every technique's rows derive from.
+
+    The clean deployed registers are computed once (exactly the registers
+    :meth:`~repro.snn.training.TrainedModel.build_network` would load) and
+    each fault map's bit flips are applied on top, mirroring
+    :meth:`~repro.faults.injector.FaultInjector.apply_fault_map`.  With
+    ``fault_maps=None`` every cell gets the clean engine (the fault-free
+    reference measurement).
+    """
+    if n_cells <= 0:
+        raise ValueError(f"n_cells must be positive, got {n_cells}")
+    if fault_maps is not None and len(fault_maps) != n_cells:
+        raise ValueError(
+            f"expected {n_cells} fault maps, got {len(fault_maps)}"
+        )
+    quantizer = model.network_config.make_quantizer(model.clean_max_weight)
+    synapses = SynapseMatrix(
+        np.clip(model.weights, 0.0, quantizer.full_scale), quantizer=quantizer
+    )
+    clean_registers = synapses.registers
+    crossbar_shape = synapses.shape
+    healthy = NeuronOperationStatus.healthy(model.n_neurons)
+    injector = NeuronFaultInjector(n_neurons=model.n_neurons)
+
+    assets: List[MapAssets] = []
+    for index in range(n_cells):
+        fault_map = None if fault_maps is None else fault_maps[index]
+        if fault_map is None or fault_map.is_empty:
+            faulty_registers = clean_registers
+            status = healthy
+        else:
+            if fault_map.crossbar_shape != crossbar_shape:
+                raise ValueError(
+                    f"fault map was drawn for crossbar {fault_map.crossbar_shape} "
+                    f"but the model has {crossbar_shape}"
+                )
+            faulty_registers = _corrupt_registers(
+                clean_registers, fault_map, quantizer
+            )
+            status = injector.outcome_from_faults(fault_map.neuron_faults).status
+        assets.append(
+            MapAssets(
+                raster_index=index,
+                clean_registers=clean_registers,
+                faulty_registers=faulty_registers,
+                status=status,
+                healthy_status=healthy,
+            )
+        )
+    return assets
+
+
+def evaluate_techniques_mapped(
+    model: TrainedModel,
+    dataset: Dataset,
+    techniques: Sequence["MitigationTechnique"],
+    fault_config: Optional[ComputeEngineFaultConfig],
+    fault_maps: Optional[Sequence[FaultMap]],
+    generators: Sequence[np.random.Generator],
+    rasters: Sequence[np.ndarray],
+    batch_size: Optional[int] = None,
+) -> Dict[MitigationKind, List[InferenceResult]]:
+    """Evaluate every technique against every fault map in one fused pass.
+
+    This is the campaign hot path: each technique plans its per-map rows
+    (stacked faulty/bounded registers plus protection triggers), all rows
+    advance together through the map-parallel engine over the shared
+    pre-encoded rasters, and each technique folds its rows back into one
+    result per map.  Per (technique, map) pair the outcome is bit-identical
+    to evaluating that pair alone (parity suite), so grouping cells is a
+    pure execution-strategy choice.
+
+    Parameters
+    ----------
+    model:
+        Trained clean model under test.
+    dataset:
+        Test set (supplies the ground-truth labels).
+    techniques:
+        Techniques to compare; each must implement
+        :meth:`MitigationTechnique.plan_rows`.
+    fault_config:
+        Injection configuration shared by the maps (``None`` for the
+        fault-free reference measurement).
+    fault_maps:
+        One pre-drawn fault map per cell, or ``None`` for clean cells.
+    generators:
+        One per-cell generator, consumed — in technique order — only by
+        techniques that draw additional randomness (re-execution with a
+        nonzero ``reexposure_fraction``) and by fallback techniques
+        without a row protocol, which evaluate stand-alone from them.
+    rasters:
+        One pre-encoded spike raster ``(n_samples, T, n_inputs)`` per cell
+        — every technique presents the *same* encoded test set of its cell,
+        the paired-presentation protocol of the campaign layer.
+    batch_size:
+        Sample chunk size of the fused engine pass.
+    """
+    if not techniques:
+        raise ValueError("at least one technique is required")
+    if not rasters:
+        raise ValueError("at least one raster group (cell) is required")
+    assets = prepare_map_assets(model, fault_maps, len(rasters))
+
+    # Techniques that implement the row protocol fuse into one engine
+    # pass; a technique exposing only the stand-alone ``evaluate``
+    # interface falls back to it per map, consuming the cell generators at
+    # its turn in technique order (so the per-cell randomness protocol
+    # stays deterministic).  Fallback techniques draw their own
+    # presentations — the pre-fusion behaviour of ``evaluate``.
+    outcomes: Dict[MitigationKind, List[InferenceResult]] = {}
+    plans: List[TechniqueRowPlan] = []
+    planned: List["MitigationTechnique"] = []
+    for technique in techniques:
+        try:
+            plans.append(
+                technique.plan_rows(model, assets, fault_config, generators)
+            )
+            planned.append(technique)
+        except NotImplementedError:
+            outcomes[technique.kind] = [
+                technique.evaluate(
+                    model,
+                    dataset,
+                    fault_config=fault_config,
+                    rng=generators[index],
+                    fault_map=None if fault_maps is None else fault_maps[index],
+                    batch_size=batch_size,
+                )
+                for index in range(len(rasters))
+            ]
+
+    if plans:
+        rows = [row for plan in plans for row in plan.rows]
+        quantizer = model.network_config.make_quantizer(model.clean_max_weight)
+        row_results = evaluate_rows(
+            rows,
+            rasters,
+            model.neuron_labels,
+            dataset.labels,
+            quantizer=quantizer,
+            params=model.network_config.neuron_params,
+            theta=model.theta,
+            batch_size=batch_size,
+        )
+        offset = 0
+        for technique, plan in zip(planned, plans):
+            chunk = row_results[offset : offset + len(plan.rows)]
+            offset += len(plan.rows)
+            outcomes[technique.kind] = technique.combine_row_results(chunk, plan)
+    return outcomes
 
 
 class MitigationTechnique(abc.ABC):
@@ -91,6 +330,50 @@ class MitigationTechnique(abc.ABC):
         """
 
     # ------------------------------------------------------------------ #
+    # map-parallel protocol
+    # ------------------------------------------------------------------ #
+    def plan_rows(
+        self,
+        model: TrainedModel,
+        assets: Sequence[MapAssets],
+        fault_config: Optional[ComputeEngineFaultConfig],
+        generators: Sequence[np.random.Generator],
+    ) -> TechniqueRowPlan:
+        """Contribute this technique's per-map rows to a fused unit.
+
+        A technique participates in fused map-parallel execution by
+        translating each fault map's :class:`MapAssets` into one or more
+        :class:`~repro.snn.engine.MapRow` configurations (stacked
+        registers, bounding rule, protection trigger).  ``generators`` are
+        the per-cell generators, to be consumed only when the technique
+        needs additional random draws.
+
+        The default raises ``NotImplementedError``, which
+        :func:`evaluate_techniques_mapped` treats as "no row protocol":
+        the technique then runs through its stand-alone :meth:`evaluate`
+        per map, outside the fused pass.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement map-parallel row "
+            "planning; campaigns fall back to its stand-alone evaluate()"
+        )
+
+    def combine_row_results(
+        self, row_results: List[InferenceResult], plan: TechniqueRowPlan
+    ) -> List[InferenceResult]:
+        """Fold per-row engine results back into one result per fault map.
+
+        The default handles the one-row-per-map case (no mitigation, BnP);
+        techniques with several rows per map (re-execution) override it.
+        """
+        if plan.rows_per_cell != 1:
+            raise NotImplementedError(
+                f"{type(self).__name__} must override combine_row_results for "
+                f"{plan.rows_per_cell} rows per cell"
+            )
+        return list(row_results)
+
+    # ------------------------------------------------------------------ #
     # shared helpers
     # ------------------------------------------------------------------ #
     @staticmethod
@@ -135,6 +418,24 @@ class NoMitigation(MitigationTechnique):
         )
         engine = InferenceEngine(network, model.neuron_labels)
         return engine.evaluate(dataset, rng=generator, batch_size=batch_size)
+
+    def plan_rows(
+        self,
+        model: TrainedModel,
+        assets: Sequence[MapAssets],
+        fault_config: Optional[ComputeEngineFaultConfig],
+        generators: Sequence[np.random.Generator],
+    ) -> TechniqueRowPlan:
+        """One row per map: the corrupted engine, used as-is."""
+        rows = [
+            MapRow(
+                raster_index=asset.raster_index,
+                registers=asset.faulty_registers,
+                operation_status=asset.status,
+            )
+            for asset in assets
+        ]
+        return TechniqueRowPlan(kind=self.kind, rows=rows, rows_per_cell=1)
 
 
 class ReExecutionTMR(MitigationTechnique):
@@ -240,6 +541,116 @@ class ReExecutionTMR(MitigationTechnique):
             per_sample_output_spikes=list(first.per_sample_output_spikes),
         )
 
+    def plan_rows(
+        self,
+        model: TrainedModel,
+        assets: Sequence[MapAssets],
+        fault_config: Optional[ComputeEngineFaultConfig],
+        generators: Sequence[np.random.Generator],
+    ) -> TechniqueRowPlan:
+        """First execution carries the map; re-executions run reloaded.
+
+        With the default ``reexposure_fraction = 0`` the parameter reload
+        makes every re-execution deterministic on the presented rasters, so
+        all ``n_executions - 1`` re-executions share one clean row (the
+        combine step replicates its predictions into the vote).  A nonzero
+        reexposure draws one scaled-down fault map per re-execution from
+        the cell's generator, exactly as :meth:`evaluate` would.
+        """
+        rows: List[MapRow] = []
+        reexposed = (
+            self.reexposure_fraction > 0.0
+            and fault_config is not None
+            and fault_config.fault_rate > 0.0
+            and self.n_executions > 1
+        )
+        if not reexposed:
+            for asset in assets:
+                rows.append(
+                    MapRow(
+                        raster_index=asset.raster_index,
+                        registers=asset.faulty_registers,
+                        operation_status=asset.status,
+                    )
+                )
+                if self.n_executions > 1:
+                    rows.append(
+                        MapRow(
+                            raster_index=asset.raster_index,
+                            registers=asset.clean_registers,
+                            operation_status=asset.healthy_status,
+                        )
+                    )
+            return TechniqueRowPlan(
+                kind=self.kind,
+                rows=rows,
+                rows_per_cell=1 if self.n_executions == 1 else 2,
+            )
+
+        scaled = ComputeEngineFaultConfig(
+            fault_rate=fault_config.fault_rate * self.reexposure_fraction,
+            inject_synapses=fault_config.inject_synapses,
+            inject_neurons=fault_config.inject_neurons,
+            restrict_neuron_fault_type=fault_config.restrict_neuron_fault_type,
+        )
+        quantizer = model.network_config.make_quantizer(model.clean_max_weight)
+        map_generator = FaultMapGenerator(
+            crossbar_shape=(model.network_config.n_inputs, model.n_neurons),
+            quantizer=quantizer,
+        )
+        injector = NeuronFaultInjector(n_neurons=model.n_neurons)
+        for index, asset in enumerate(assets):
+            rows.append(
+                MapRow(
+                    raster_index=asset.raster_index,
+                    registers=asset.faulty_registers,
+                    operation_status=asset.status,
+                )
+            )
+            for _ in range(self.n_executions - 1):
+                re_map = map_generator.generate(scaled, rng=generators[index])
+                rows.append(
+                    MapRow(
+                        raster_index=asset.raster_index,
+                        registers=_corrupt_registers(
+                            asset.clean_registers, re_map, quantizer
+                        ),
+                        operation_status=injector.outcome_from_faults(
+                            re_map.neuron_faults
+                        ).status,
+                    )
+                )
+        return TechniqueRowPlan(
+            kind=self.kind, rows=rows, rows_per_cell=self.n_executions
+        )
+
+    def combine_row_results(
+        self, row_results: List[InferenceResult], plan: TechniqueRowPlan
+    ) -> List[InferenceResult]:
+        """Majority-vote each map's executions (shared clean row expanded)."""
+        per_cell = plan.rows_per_cell
+        results: List[InferenceResult] = []
+        for start in range(0, len(row_results), per_cell):
+            group = row_results[start : start + per_cell]
+            if per_cell == 2 and self.n_executions > 2:
+                runs = [group[0]] + [group[1]] * (self.n_executions - 1)
+            else:
+                runs = list(group)
+            predictions = self._majority_vote([run.predictions for run in runs])
+            first = runs[0]
+            results.append(
+                InferenceResult(
+                    predictions=predictions,
+                    labels=first.labels.copy(),
+                    spike_counts=first.spike_counts.copy(),
+                    total_input_spikes=sum(
+                        run.total_input_spikes for run in runs
+                    ),
+                    per_sample_output_spikes=list(first.per_sample_output_spikes),
+                )
+            )
+        return results
+
     @staticmethod
     def _majority_vote(prediction_sets) -> np.ndarray:
         """Per-sample majority vote across executions (ties -> first run)."""
@@ -331,6 +742,34 @@ class BnPTechnique(MitigationTechnique):
             step_monitor=protection,
             batch_size=batch_size,
         )
+
+    def plan_rows(
+        self,
+        model: TrainedModel,
+        assets: Sequence[MapAssets],
+        fault_config: Optional[ComputeEngineFaultConfig],
+        generators: Sequence[np.random.Generator],
+    ) -> TechniqueRowPlan:
+        """One bounded-and-protected row per map.
+
+        Every row reads its map's corrupted registers through the Eq. 1
+        bounding rule and gates faulty-reset neurons at the configured
+        trigger count.  The per-run statistics of :meth:`evaluate`
+        (``last_protection``, ``last_bounded_count``) are not tracked on
+        the map-parallel path.
+        """
+        rule = self.bounding_for(model).as_weight_rule()
+        rows = [
+            MapRow(
+                raster_index=asset.raster_index,
+                registers=asset.faulty_registers,
+                operation_status=asset.status,
+                weight_rule=rule,
+                protection_trigger_cycles=self.protection_trigger_cycles,
+            )
+            for asset in assets
+        ]
+        return TechniqueRowPlan(kind=self.kind, rows=rows, rows_per_cell=1)
 
 
 def build_technique(kind: MitigationKind, **kwargs) -> MitigationTechnique:

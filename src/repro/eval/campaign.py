@@ -11,8 +11,13 @@ technique.  This module turns that grid into explicit, schedulable work:
 * Each cell is deterministically seeded from its grid coordinates
   (:func:`repro.utils.rng.derive_cell_seed`), so executing cells serially,
   across a process pool, or in any order produces bit-identical
-  accuracies.  Within a cell the paper's pairing is preserved: one fault
-  map is drawn per trial and replayed across all techniques.
+  accuracies.  Within a cell the paper's pairing is preserved and extended
+  to the inputs: one fault map is drawn per trial, the test set is Poisson
+  encoded once, and every technique replays the same map against the same
+  encoded presentations.  Cells at the same (experiment, fault rate)
+  coordinate execute as one fused :class:`~repro.snn.engine.MapParallelEngine`
+  unit (see :func:`execute_cell_group`), with cell-at-a-time execution as
+  the bit-identical fallback (``map_parallel=False``).
 * :func:`run_campaign` executes the pending cells — serially or via
   :class:`concurrent.futures.ProcessPoolExecutor` — streaming every
   finished cell into an append-only :class:`~repro.eval.store.ResultStore`
@@ -39,7 +44,11 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.core.mitigation import MitigationTechnique, build_technique
+from repro.core.mitigation import (
+    MitigationTechnique,
+    build_technique,
+    evaluate_techniques_mapped,
+)
 from repro.data.datasets import Dataset
 from repro.eval.experiment import (
     ExperimentConfig,
@@ -64,6 +73,8 @@ __all__ = [
     "CampaignResult",
     "build_experiment_cells",
     "execute_cell",
+    "execute_cell_group",
+    "group_cells",
     "collect_sweep_result",
     "run_campaign",
 ]
@@ -274,6 +285,136 @@ def build_experiment_cells(
     return cells
 
 
+def _clean_reference_key(techniques: Sequence[MitigationTechnique]) -> str:
+    """Which technique's clean accuracy doubles as the legacy baseline.
+
+    The unmitigated engine is the natural fault-free reference; campaigns
+    that do not include it fall back to the first technique.
+    """
+    for technique in techniques:
+        if technique.kind == MitigationKind.NO_MITIGATION:
+            return technique.kind.value
+    return techniques[0].kind.value
+
+
+def execute_cell_group(
+    cells: Sequence[SweepCell],
+    model: TrainedModel,
+    dataset: Dataset,
+    techniques: Sequence[MitigationTechnique],
+) -> List[CellResult]:
+    """Execute cells at one (experiment, fault rate) coordinate as a unit.
+
+    This is the campaign hot path: every cell's fault map is drawn from its
+    own seed exactly as in per-cell execution, all maps and all techniques
+    are stacked into one map-parallel engine pass
+    (:func:`repro.core.mitigation.evaluate_techniques_mapped`), and one
+    :class:`CellResult` per cell comes back out.  Because the per-row
+    engine arithmetic is bit-identical to stand-alone evaluation, grouping
+    is purely an execution-strategy choice: the records equal the ones
+    :func:`execute_cell` produces for each cell alone (only the measured
+    ``duration_seconds`` differs — the unit's wall clock is split evenly
+    across its cells).
+
+    Per-cell randomness protocol (all from ``cell.seed``): the fault map is
+    drawn first, then the test set is Poisson-encoded once, and every
+    technique evaluates against that same fault map *and* the same encoded
+    presentations — the paired-comparison protocol of the paper applied to
+    presentations as well as maps.  Techniques that draw extra randomness
+    (re-execution with ``reexposure_fraction > 0``) consume the cell's
+    generator afterwards, in listed technique order.
+
+    A clean cell (one per experiment) must form its own unit; it evaluates
+    every technique against the fault-free engine, so weight-modifying
+    techniques (BnP bounds weights even at fault rate 0) report their true
+    clean baseline instead of inheriting the unmitigated one.
+    """
+    cells = list(cells)
+    if not cells:
+        raise ValueError("at least one cell is required")
+    if not techniques:
+        raise ValueError("at least one technique is required")
+    keys = {cell.experiment_key for cell in cells}
+    if len(keys) != 1:
+        raise ValueError(f"cells of one unit must share an experiment, got {keys}")
+    coordinates = {
+        (cell.rate_index, cell.fault_rate, cell.inject_synapses,
+         cell.inject_neurons, cell.batch_size)
+        for cell in cells
+    }
+    if len(coordinates) != 1:
+        raise ValueError(
+            "cells of one unit must share their (fault rate, injection, "
+            "batch size) coordinate"
+        )
+    if any(cell.is_clean for cell in cells) and len(cells) != 1:
+        raise ValueError("the clean reference cell must form its own unit")
+
+    started = time.perf_counter()
+    generators = [np.random.default_rng(cell.seed) for cell in cells]
+
+    if cells[0].is_clean:
+        config = None
+        fault_maps = None
+    else:
+        config = ComputeEngineFaultConfig(
+            fault_rate=cells[0].fault_rate,
+            inject_synapses=cells[0].inject_synapses,
+            inject_neurons=cells[0].inject_neurons,
+        )
+        map_generator = FaultMapGenerator(
+            crossbar_shape=(model.network_config.n_inputs, model.n_neurons),
+            quantizer=model.network_config.make_quantizer(model.clean_max_weight),
+        )
+        fault_maps = [
+            map_generator.generate(config, rng=generator)
+            for generator in generators
+        ]
+
+    encoder = model.network_config.make_encoder()
+    flat = np.asarray(dataset.images, dtype=np.float64).reshape(len(dataset), -1)
+    rasters = [
+        encoder.encode_batch(flat[:, np.newaxis, :], rng=generator)
+        for generator in generators
+    ]
+
+    outcomes = evaluate_techniques_mapped(
+        model,
+        dataset,
+        techniques,
+        fault_config=config,
+        fault_maps=fault_maps,
+        generators=generators,
+        rasters=rasters,
+        batch_size=cells[0].batch_size,
+    )
+
+    duration = (time.perf_counter() - started) / len(cells)
+    results: List[CellResult] = []
+    for index, cell in enumerate(cells):
+        accuracies: Dict[str, float] = {
+            technique.kind.value: outcomes[technique.kind][index].accuracy_percent
+            for technique in techniques
+        }
+        if cell.is_clean:
+            # Legacy single-baseline entry, kept for old stores/consumers;
+            # the per-technique entries above are the authoritative fix.
+            accuracies[CLEAN_KEY] = accuracies[_clean_reference_key(techniques)]
+        results.append(
+            CellResult(
+                cell_id=cell.cell_id,
+                experiment_key=cell.experiment_key,
+                fault_rate=cell.fault_rate,
+                rate_index=cell.rate_index,
+                trial_index=cell.trial_index,
+                accuracies=accuracies,
+                n_faults=0 if fault_maps is None else fault_maps[index].n_faults,
+                duration_seconds=duration,
+            )
+        )
+    return results
+
+
 def execute_cell(
     cell: SweepCell,
     model: TrainedModel,
@@ -282,71 +423,36 @@ def execute_cell(
 ) -> CellResult:
     """Run one cell: draw its fault map, evaluate every technique against it.
 
-    All randomness flows from ``cell.seed``: the fault map is drawn first,
-    then the techniques consume the same generator in their listed order
-    (exactly the within-trial semantics of the original serial sweep loop).
-    The clean cell evaluates the first technique with no fault scenario.
+    Single-cell front end of :func:`execute_cell_group` (see there for the
+    randomness protocol).  Every technique — including the clean reference
+    cell, which historically inherited ``techniques[0]``'s accuracy — is
+    evaluated explicitly, and all techniques see the same fault map and the
+    same encoded presentations.
     """
-    if not techniques:
-        raise ValueError("at least one technique is required")
-    started = time.perf_counter()
-    generator = np.random.default_rng(cell.seed)
+    return execute_cell_group([cell], model, dataset, techniques)[0]
 
-    if cell.is_clean:
-        accuracy = (
-            techniques[0]
-            .evaluate(
-                model,
-                dataset,
-                fault_config=None,
-                rng=generator,
-                batch_size=cell.batch_size,
-            )
-            .accuracy_percent
-        )
-        return CellResult(
-            cell_id=cell.cell_id,
-            experiment_key=cell.experiment_key,
-            fault_rate=None,
-            rate_index=cell.rate_index,
-            trial_index=cell.trial_index,
-            accuracies={CLEAN_KEY: accuracy},
-            n_faults=0,
-            duration_seconds=time.perf_counter() - started,
-        )
 
-    config = ComputeEngineFaultConfig(
-        fault_rate=cell.fault_rate,
-        inject_synapses=cell.inject_synapses,
-        inject_neurons=cell.inject_neurons,
-    )
-    map_generator = FaultMapGenerator(
-        crossbar_shape=(model.network_config.n_inputs, model.n_neurons),
-        quantizer=model.network_config.make_quantizer(model.clean_max_weight),
-    )
-    fault_map = map_generator.generate(config, rng=generator)
+def group_cells(cells: Sequence[SweepCell]) -> List[List[SweepCell]]:
+    """Partition cells into map-parallel execution units.
 
-    accuracies: Dict[str, float] = {}
-    for technique in techniques:
-        outcome = technique.evaluate(
-            model,
-            dataset,
-            fault_config=config,
-            rng=generator,
-            fault_map=fault_map,
-            batch_size=cell.batch_size,
-        )
-        accuracies[technique.kind.value] = outcome.accuracy_percent
-    return CellResult(
-        cell_id=cell.cell_id,
-        experiment_key=cell.experiment_key,
-        fault_rate=cell.fault_rate,
-        rate_index=cell.rate_index,
-        trial_index=cell.trial_index,
-        accuracies=accuracies,
-        n_faults=fault_map.n_faults,
-        duration_seconds=time.perf_counter() - started,
-    )
+    All faulty cells at the same ``(experiment, fault rate)`` coordinate —
+    i.e. the trials that differ only in their fault map — form one unit, in
+    first-seen order; every clean reference cell forms its own unit.  The
+    partition only changes how cells are *scheduled*: their records are
+    bit-identical either way (see :func:`execute_cell_group`).
+    """
+    units: Dict[Tuple[str, int], List[SweepCell]] = {}
+    order: List[List[SweepCell]] = []
+    for cell in cells:
+        if cell.is_clean:
+            order.append([cell])
+            continue
+        key = (cell.experiment_key, cell.rate_index)
+        if key not in units:
+            units[key] = []
+            order.append(units[key])
+        units[key].append(cell)
+    return order
 
 
 def collect_sweep_result(
@@ -374,6 +480,16 @@ def collect_sweep_result(
         )
 
     clean_record = records[f"{key}::clean"]
+    # Per-technique clean baselines; legacy records (written before the
+    # clean cell evaluated every technique) only carry the shared entry.
+    clean_accuracies = {
+        kind: float(
+            clean_record.accuracies.get(
+                kind.value, clean_record.accuracies[CLEAN_KEY]
+            )
+        )
+        for kind in technique_kinds
+    }
     result = SweepResult(
         label=label,
         clean_accuracy=clean_record.accuracies[CLEAN_KEY],
@@ -381,6 +497,7 @@ def collect_sweep_result(
         techniques={
             kind: TechniqueAccuracy(kind=kind) for kind in technique_kinds
         },
+        clean_accuracies=clean_accuracies,
     )
     for rate_index, fault_rate in enumerate(fault_rates):
         per_kind_trials: Dict[MitigationKind, List[float]] = {
@@ -633,17 +750,17 @@ class CampaignResult:
 _WORKER_ASSETS: Dict[str, Tuple[TrainedModel, Dataset, List[MitigationTechnique]]] = {}
 
 
-def _pool_execute_cell(
-    context: Dict[str, object], cell_data: Dict[str, object]
-) -> Dict[str, object]:
-    """Pool entry point: rebuild assets (cached per process), run one cell.
+def _pool_execute_unit(
+    context: Dict[str, object], cells_data: List[Dict[str, object]]
+) -> List[Dict[str, object]]:
+    """Pool entry point: rebuild assets (cached per process), run one unit.
 
     Only plain dictionaries cross the process boundary; the heavy assets
     (model, dataset) are reconstructed inside the worker from the snapshot
     path and the deterministic dataset seeds.
     """
-    cell = SweepCell.from_dict(cell_data)
-    key = cell.experiment_key
+    cells = [SweepCell.from_dict(cell_data) for cell_data in cells_data]
+    key = cells[0].experiment_key
     if key not in _WORKER_ASSETS:
         config = ExperimentConfig.from_dict(context["experiment"])
         model = TrainedModel.load(context["model_path"])
@@ -654,17 +771,31 @@ def _pool_execute_cell(
         ]
         _WORKER_ASSETS[key] = (model, test_set, techniques)
     model, test_set, techniques = _WORKER_ASSETS[key]
-    return execute_cell(cell, model, test_set, techniques).to_dict()
+    return [
+        result.to_dict()
+        for result in execute_cell_group(cells, model, test_set, techniques)
+    ]
+
+
+def _schedule_units(
+    cells: Sequence[SweepCell], map_parallel: bool
+) -> List[List[SweepCell]]:
+    """Partition pending cells into execution units per the execution mode."""
+    if map_parallel:
+        return group_cells(cells)
+    return [[cell] for cell in cells]
 
 
 def _execute_serial(
     cells: Sequence[SweepCell],
     assets: Dict[str, Tuple[TrainedModel, Dataset, List[MitigationTechnique]]],
     on_result: Callable[[CellResult], None],
+    map_parallel: bool = True,
 ) -> None:
-    for cell in cells:
-        model, dataset, techniques = assets[cell.experiment_key]
-        on_result(execute_cell(cell, model, dataset, techniques))
+    for unit in _schedule_units(cells, map_parallel):
+        model, dataset, techniques = assets[unit[0].experiment_key]
+        for result in execute_cell_group(unit, model, dataset, techniques):
+            on_result(result)
 
 
 def _execute_pool(
@@ -672,18 +803,22 @@ def _execute_pool(
     contexts: Dict[str, Dict[str, object]],
     n_workers: int,
     on_result: Callable[[CellResult], None],
+    map_parallel: bool = True,
 ) -> None:
     from concurrent.futures import ProcessPoolExecutor, as_completed
 
     with ProcessPoolExecutor(max_workers=n_workers) as pool:
         futures = {
             pool.submit(
-                _pool_execute_cell, contexts[cell.experiment_key], cell.to_dict()
-            ): cell
-            for cell in cells
+                _pool_execute_unit,
+                contexts[unit[0].experiment_key],
+                [cell.to_dict() for cell in unit],
+            ): unit
+            for unit in _schedule_units(cells, map_parallel)
         }
         for future in as_completed(futures):
-            on_result(CellResult.from_dict(future.result()))
+            for record in future.result():
+                on_result(CellResult.from_dict(record))
 
 
 def run_campaign(
@@ -694,6 +829,7 @@ def run_campaign(
     workdir: Optional[Union[str, Path]] = None,
     runner: Optional[ExperimentRunner] = None,
     vectorized_training: bool = True,
+    map_parallel: bool = True,
 ) -> CampaignResult:
     """Run (or resume) a campaign and return the aggregated results.
 
@@ -725,6 +861,13 @@ def run_campaign(
         :mod:`repro.snn.train_engine`), so cell results and resume
         fingerprints are unaffected; disabling it only makes
         training-heavy presets slower.  Ignored when *runner* is given.
+    map_parallel:
+        Schedule the trials of each (experiment, fault rate) coordinate as
+        one map-parallel execution unit (default) instead of one unit per
+        cell.  The records — and therefore stores, resume fingerprints and
+        aggregated sweeps — are bit-identical either way (see
+        :func:`execute_cell_group`); cell-at-a-time execution only spreads
+        the grid into smaller work items.
     """
     if n_workers <= 0:
         raise ValueError(f"n_workers must be positive, got {n_workers}")
@@ -785,7 +928,7 @@ def run_campaign(
 
     if pending:
         if n_workers == 1:
-            _execute_serial(pending, assets, record)
+            _execute_serial(pending, assets, record, map_parallel=map_parallel)
         else:
             # Snapshots are consumed only while the pool is alive, so they
             # live in a temporary directory (cleaned up below) unless the
@@ -813,7 +956,10 @@ def run_campaign(
                         "techniques": [t.to_dict() for t in spec.techniques],
                     }
                 try:
-                    _execute_pool(pending, contexts, n_workers, record)
+                    _execute_pool(
+                        pending, contexts, n_workers, record,
+                        map_parallel=map_parallel,
+                    )
                 except (OSError, ImportError, BrokenProcessPool) as error:
                     # Sandboxed or exotic platforms may not allow process
                     # pools at all; the grid still completes serially.
@@ -826,7 +972,9 @@ def run_campaign(
                     remaining = [
                         cell for cell in pending if cell.cell_id not in completed
                     ]
-                    _execute_serial(remaining, assets, record)
+                    _execute_serial(
+                        remaining, assets, record, map_parallel=map_parallel
+                    )
             finally:
                 if temp_dir is not None:
                     temp_dir.cleanup()

@@ -47,7 +47,12 @@ class ResultStore:
 
     #: Format marker written into the meta record.
     FORMAT = "softsnn-campaign-store"
-    VERSION = 1
+    #: v2: cells follow the paired-presentation protocol (one encoding per
+    #: cell shared by all techniques; clean cells evaluated per technique).
+    #: v1 records measure a different protocol, so resuming them into a v2
+    #: campaign would silently mix incompatible samples — the version check
+    #: turns that into a hard error.
+    VERSION = 2
 
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
@@ -153,7 +158,10 @@ class ResultStore:
         if meta.get("format") != self.FORMAT or meta.get("version") != self.VERSION:
             raise ValueError(
                 f"store {self.path} has unsupported format "
-                f"{meta.get('format')!r} v{meta.get('version')!r}"
+                f"{meta.get('format')!r} v{meta.get('version')!r} (expected "
+                f"{self.FORMAT!r} v{self.VERSION}); its records were measured "
+                "under a different cell-evaluation protocol — re-run into a "
+                "fresh store (or pass resume=False) instead of mixing them"
             )
         return meta
 

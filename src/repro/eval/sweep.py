@@ -85,12 +85,24 @@ class SweepResult:
         The swept fault rates.
     techniques:
         Per-technique accuracy series, keyed by technique kind.
+    clean_accuracies:
+        Fault-free baseline of *each* technique (percent).  Techniques that
+        modify behaviour even without faults — BnP bounds the clean maximum
+        weights at fault rate 0 — have their own baseline here;
+        ``clean_accuracy`` keeps the unmitigated reference.  Empty for
+        results rehydrated from records predating the per-technique clean
+        evaluation.
     """
 
     label: str
     clean_accuracy: float
     fault_rates: List[float]
     techniques: Dict[MitigationKind, TechniqueAccuracy] = field(default_factory=dict)
+    clean_accuracies: Dict[MitigationKind, float] = field(default_factory=dict)
+
+    def clean_accuracy_of(self, kind: MitigationKind) -> float:
+        """Fault-free baseline of *kind* (falls back to the shared one)."""
+        return self.clean_accuracies.get(kind, self.clean_accuracy)
 
     def accuracy_table(self) -> List[List[object]]:
         """Rows of ``[technique, acc@rate1, acc@rate2, ...]`` for reporting."""
@@ -130,6 +142,10 @@ class SweepResult:
         return {
             "label": self.label,
             "clean_accuracy": self.clean_accuracy,
+            "clean_accuracies": {
+                kind.value: accuracy
+                for kind, accuracy in self.clean_accuracies.items()
+            },
             "fault_rates": list(self.fault_rates),
             "n_trials": self.n_trials,
             "techniques": {
@@ -167,6 +183,12 @@ class SweepResult:
             clean_accuracy=float(data["clean_accuracy"]),
             fault_rates=fault_rates,
             techniques=techniques,
+            clean_accuracies={
+                MitigationKind(kind_value): float(accuracy)
+                for kind_value, accuracy in dict(
+                    data.get("clean_accuracies", {})
+                ).items()
+            },
         )
 
 
@@ -240,7 +262,8 @@ class FaultRateSweep:
         from repro.eval.campaign import (
             build_experiment_cells,
             collect_sweep_result,
-            execute_cell,
+            execute_cell_group,
+            group_cells,
         )
 
         if fault_rates is None:
@@ -258,25 +281,26 @@ class FaultRateSweep:
             batch_size=self.batch_size,
         )
         records = {}
-        rate_trials: Dict[int, List[Dict[str, float]]] = {}
-        for cell in cells:
-            result = execute_cell(cell, self.model, self.dataset, self.techniques)
-            records[result.cell_id] = result
-            if cell.is_clean:
+        # All trials of one fault rate execute as a single map-parallel
+        # unit; the records are bit-identical to cell-at-a-time execution.
+        for unit in group_cells(cells):
+            results = execute_cell_group(
+                unit, self.model, self.dataset, self.techniques
+            )
+            for result in results:
+                records[result.cell_id] = result
+            if unit[0].is_clean:
                 continue
-            rate_trials.setdefault(cell.rate_index, []).append(result.accuracies)
-            if cell.trial_index == self.n_trials - 1:
-                trials = rate_trials[cell.rate_index]
-                means = {
-                    kind: sum(t[kind] for t in trials) / len(trials)
-                    for kind in result.accuracies
-                }
-                _LOGGER.info(
-                    "%s: fault rate %.0e done (%s)",
-                    label,
-                    cell.fault_rate,
-                    ", ".join(f"{kind}={acc:.1f}%" for kind, acc in means.items()),
-                )
+            means = {
+                kind: sum(r.accuracies[kind] for r in results) / len(results)
+                for kind in results[0].accuracies
+            }
+            _LOGGER.info(
+                "%s: fault rate %.0e done (%s)",
+                label,
+                unit[0].fault_rate,
+                ", ".join(f"{kind}={acc:.1f}%" for kind, acc in means.items()),
+            )
 
         return collect_sweep_result(
             label=label,

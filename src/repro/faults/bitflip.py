@@ -125,7 +125,12 @@ class WeightBitFlipModel:
         drawn fault map by passing *flat_indices* / *bit_positions*
         explicitly — that is how the experiment harness keeps the same fault
         map across mitigation techniques so comparisons are paired.
+
+        ``fault_rate`` is validated on *both* paths: a replayed map carries
+        the rate it was drawn at, and a nonsensical stored rate must not
+        round-trip unchecked just because the locations are explicit.
         """
+        check_probability(fault_rate, "fault_rate")
         registers = np.asarray(registers)
         if not np.issubdtype(registers.dtype, np.integer):
             raise TypeError("registers must be an integer array")

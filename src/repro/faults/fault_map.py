@@ -41,6 +41,12 @@ class FaultMap:
         ``(neuron_index, NeuronFaultType)`` pairs of faulty operations.
     fault_rate:
         The fault rate the map was drawn at (for bookkeeping).
+    bit_width:
+        Register bit width the map was drawn for.  When set, every struck
+        bit position must lie in ``[0, bit_width)`` — replaying a position
+        at or beyond the quantizer's width would silently corrupt register
+        codes beyond what the hardware can hold.  Negative positions are
+        rejected unconditionally.
     """
 
     crossbar_shape: Tuple[int, int]
@@ -52,6 +58,7 @@ class FaultMap:
     )
     neuron_faults: List[Tuple[int, NeuronFaultType]] = field(default_factory=list)
     fault_rate: float = 0.0
+    bit_width: Optional[int] = None
 
     def __post_init__(self) -> None:
         if len(self.crossbar_shape) != 2 or any(s <= 0 for s in self.crossbar_shape):
@@ -75,6 +82,27 @@ class FaultMap:
             or self.synapse_flat_indices.max() >= n_registers
         ):
             raise ValueError("synapse_flat_indices out of range for the crossbar")
+        if self.bit_width is not None:
+            self.bit_width = int(self.bit_width)
+            if self.bit_width <= 0:
+                raise ValueError(
+                    f"bit_width must be positive, got {self.bit_width}"
+                )
+        if self.synapse_bit_positions.size:
+            if self.synapse_bit_positions.min() < 0:
+                raise ValueError(
+                    "synapse_bit_positions must be non-negative, got "
+                    f"{int(self.synapse_bit_positions.min())}"
+                )
+            if (
+                self.bit_width is not None
+                and self.synapse_bit_positions.max() >= self.bit_width
+            ):
+                raise ValueError(
+                    f"synapse_bit_positions out of range for {self.bit_width}-bit "
+                    f"registers (max struck position "
+                    f"{int(self.synapse_bit_positions.max())})"
+                )
         n_neurons = self.crossbar_shape[1]
         for neuron_index, fault_type in self.neuron_faults:
             if not 0 <= int(neuron_index) < n_neurons:
@@ -208,6 +236,7 @@ class FaultMapGenerator:
             synapse_bit_positions=bit_positions,
             neuron_faults=neuron_faults,
             fault_rate=config.fault_rate,
+            bit_width=self.quantizer.bits,
         )
 
     def generate_many(
@@ -216,8 +245,88 @@ class FaultMapGenerator:
         count: int,
         rng: RNGLike = None,
     ) -> List[FaultMap]:
-        """Draw several independent fault maps (e.g. Fig. 3a's fault maps 1 and 2)."""
+        """Draw several independent fault maps (e.g. Fig. 3a's fault maps 1 and 2).
+
+        For the default fault-location model (per-bit synapse strikes,
+        per-operation neuron strikes, no restricted fault type) all maps
+        are drawn from **one** bulk RNG pass: each map's uniforms occupy one
+        contiguous slice of a single ``generator.random(...)`` call, which
+        consumes exactly the same stream values, in the same order, as the
+        per-map draws of sequential :meth:`generate` calls — so the maps
+        are bit-identical to the pre-vectorization loop.  Configurations
+        with data-dependent draw counts fall back to that loop.
+        """
         if count <= 0:
             raise ValueError(f"count must be positive, got {count}")
         generator = resolve_rng(rng)
-        return [self.generate(config, rng=generator) for _ in range(count)]
+        if not self._bulk_drawable(config):
+            return [self.generate(config, rng=generator) for _ in range(count)]
+        return self._generate_many_bulk(config, count, generator)
+
+    # ------------------------------------------------------------------ #
+    # bulk drawing internals
+    # ------------------------------------------------------------------ #
+    def _bulk_drawable(self, config: ComputeEngineFaultConfig) -> bool:
+        """True when every map consumes a fixed, data-independent uniform count."""
+        if config.fault_rate == 0.0:
+            # The scalar models return empty draws without consuming RNG.
+            return False
+        if config.inject_synapses and not self._bitflip_model.per_bit:
+            # Per-register mode draws extra bit positions per struck register.
+            return False
+        if config.inject_neurons and (
+            not self._neuron_injector.per_operation
+            or config.restrict_neuron_fault_type is not None
+        ):
+            # Per-neuron mode draws one fault-type choice per struck neuron.
+            return False
+        return True
+
+    def _generate_many_bulk(
+        self,
+        config: ComputeEngineFaultConfig,
+        count: int,
+        generator: np.random.Generator,
+    ) -> List[FaultMap]:
+        """One-RNG-pass variant of :meth:`generate_many` (fixed draw counts)."""
+        bits = self.quantizer.bits
+        n_neurons = self.crossbar_shape[1]
+        fault_types = NeuronFaultType.all_types()
+        synapse_block = self.n_registers * bits if config.inject_synapses else 0
+        neuron_block = n_neurons * len(fault_types) if config.inject_neurons else 0
+        per_map = synapse_block + neuron_block
+
+        # One bulk draw; row ``i`` holds exactly the uniforms map ``i``'s
+        # sequential generate() call would have consumed, in order.
+        uniforms = generator.random(count * per_map).reshape(count, per_map)
+        rate = config.fault_rate
+
+        maps: List[FaultMap] = []
+        empty = np.array([], dtype=np.int64)
+        for index in range(count):
+            row = uniforms[index]
+            flat_indices, bit_positions = empty, empty
+            if synapse_block:
+                struck = np.flatnonzero(row[:synapse_block] < rate)
+                flat_indices = (struck // bits).astype(np.int64)
+                bit_positions = (struck % bits).astype(np.int64)
+            neuron_faults: List[Tuple[int, NeuronFaultType]] = []
+            if neuron_block:
+                strikes = (
+                    row[synapse_block:].reshape(n_neurons, len(fault_types)) < rate
+                )
+                neuron_faults = [
+                    (int(neuron_index), fault_types[int(operation_index)])
+                    for neuron_index, operation_index in zip(*np.nonzero(strikes))
+                ]
+            maps.append(
+                FaultMap(
+                    crossbar_shape=self.crossbar_shape,
+                    synapse_flat_indices=flat_indices,
+                    synapse_bit_positions=bit_positions,
+                    neuron_faults=neuron_faults,
+                    fault_rate=rate,
+                    bit_width=bits,
+                )
+            )
+        return maps

@@ -59,10 +59,16 @@ class SchedulerStats:
     """Counters describing a scheduler's batching behaviour.
 
     ``batch_size_histogram`` maps flushed batch size to occurrence count;
-    ``flush_full`` / ``flush_deadline`` / ``flush_close`` split the flushes
-    by what triggered them.  ``mean_batch_size`` is the mean occupancy of
-    the flushed batches — the single number that tells you whether
-    micro-batching is actually engaging under the offered load.
+    ``flush_full`` / ``flush_deadline`` / ``flush_idle`` / ``flush_close``
+    split the flushes by the event that *actually* triggered them: a batch
+    counts as ``flush_full`` only when it filled while the scheduler was
+    open and its deadline had not yet expired — a full batch drained by
+    :meth:`MicroBatchScheduler.close` counts as ``flush_close``, and one
+    whose deadline expired during the final wait counts as
+    ``flush_deadline`` even if arrivals filled it meanwhile.
+    ``mean_batch_size`` is the mean occupancy of the flushed batches — the
+    single number that tells you whether micro-batching is actually
+    engaging under the offered load.
     """
 
     submitted: int = 0
@@ -286,9 +292,23 @@ class MicroBatchScheduler:
                             timeout, self._last_enqueue + grace - now
                         )
                     self._wakeup.wait(timeout=max(timeout, 1e-4))
+                if reason is None:
+                    # The gather loop ended on its own condition: attribute
+                    # the flush to what actually triggered it.  A close
+                    # drains whatever is queued (even full batches), and a
+                    # deadline that expired during the last wait takes
+                    # precedence over the queue having filled meanwhile —
+                    # the batch would have flushed at that instant
+                    # regardless of further arrivals.
+                    if self._closed:
+                        reason = "close"
+                    elif time.monotonic() >= deadline:
+                        reason = "deadline"
+                    else:
+                        reason = "full"
                 count = min(len(self._queue), self.max_batch_size)
                 batch = [self._queue.popleft() for _ in range(count)]
-                if count == self.max_batch_size:
+                if reason == "full":
                     self.stats.flush_full += 1
                 elif reason == "deadline":
                     self.stats.flush_deadline += 1

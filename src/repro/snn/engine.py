@@ -54,11 +54,17 @@ passes; fault-free batches take exactly one pass with no bookkeeping.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.snn.neuron import LIFParameters, NeuronOperationStatus
+from repro.snn.quantization import WeightQuantizer
+from repro.snn.synapse import (
+    BoundedWeightRule,
+    _exact_gemm_dtype,
+    _exact_scale,
+)
 from repro.utils.rng import RNGLike, resolve_rng
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -69,6 +75,10 @@ __all__ = [
     "BatchedLIFState",
     "BatchResult",
     "BatchedInferenceEngine",
+    "MapRow",
+    "MapParallelState",
+    "MapParallelResult",
+    "MapParallelEngine",
 ]
 
 #: Default number of samples advanced together by the batched engine.
@@ -545,3 +555,730 @@ class BatchedInferenceEngine:
             output[t] = spikes
             if step_monitor is not None:
                 step_monitor(state)
+
+
+# ---------------------------------------------------------------------- #
+# map-parallel engine
+# ---------------------------------------------------------------------- #
+#: Trigger sentinel for rows without neuron protection: the comparator
+#: counter can never reach it, so the gate stays open.
+_NO_TRIGGER = np.iinfo(np.int64).max
+
+
+@dataclass(frozen=True, eq=False)
+class MapRow:
+    """One simulated compute-engine configuration of a map-parallel unit.
+
+    A *row* pairs a set of weight registers (typically the clean registers
+    with one fault map's bit flips applied) with the matching per-neuron
+    operation health and the run-time mitigation hooks — the per-row
+    counterpart of building one faulty network and evaluating it through
+    :class:`BatchedInferenceEngine`.  Several rows that share the same
+    ``registers`` *array object* and ``raster_index`` also share their base
+    current GEMM inside :class:`MapParallelEngine`, so planners should reuse
+    array instances for identical register contents.
+
+    Attributes
+    ----------
+    raster_index:
+        Which encoding group of the unit drives this row (rows of the same
+        sweep cell present the same pre-encoded spike rasters).
+    registers:
+        Integer register codes of the crossbar, shape
+        ``(n_inputs, n_neurons)``.
+    operation_status:
+        Per-neuron health of the four LIF hardware operations.
+    weight_rule:
+        Optional Bound-and-Protect weight bounding applied between the
+        registers and the adder chain (Eq. 1 of the paper).
+    protection_trigger_cycles:
+        When set, neuron protection gates off spike generation once a
+        neuron's comparator stays asserted this many consecutive cycles —
+        exactly the :class:`~repro.core.bound_and_protect.NeuronProtection`
+        step-monitor semantics of the per-map path.
+    """
+
+    raster_index: int
+    registers: np.ndarray
+    operation_status: NeuronOperationStatus
+    weight_rule: Optional[BoundedWeightRule] = None
+    protection_trigger_cycles: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        """Validate shapes and value ranges of the row's assets."""
+        registers = np.asarray(self.registers)
+        if registers.ndim != 2:
+            raise ValueError(
+                f"registers must be 2-D (n_inputs, n_neurons), got {registers.shape}"
+            )
+        if not np.issubdtype(registers.dtype, np.integer):
+            raise TypeError("registers must be an integer array")
+        if self.operation_status.n_neurons != registers.shape[1]:
+            raise ValueError(
+                f"operation_status covers {self.operation_status.n_neurons} neurons "
+                f"but the registers have {registers.shape[1]} columns"
+            )
+        if self.raster_index < 0:
+            raise ValueError(f"raster_index must be >= 0, got {self.raster_index}")
+        if (
+            self.protection_trigger_cycles is not None
+            and self.protection_trigger_cycles < 1
+        ):
+            raise ValueError(
+                "protection_trigger_cycles must be at least 1, got "
+                f"{self.protection_trigger_cycles}"
+            )
+
+
+@dataclass
+class MapParallelState:
+    """All mutable LIF state of a map-parallel pass: ``(n_rows, batch, n)``.
+
+    The map-parallel counterpart of :class:`BatchedLIFState`: every array
+    gains a leading *row* (fault-map / technique) axis, and the per-neuron
+    operation masks become per-row ``(n_rows, 1, n_neurons)`` arrays because
+    each row simulates its own corrupted engine.  All state updates are the
+    same elementwise expressions the batched engine evaluates, broadcast
+    over the extra axis, which is what keeps the map-parallel pass bitwise
+    identical to running each row through its own batched engine.
+    """
+
+    v: np.ndarray
+    refractory_remaining: np.ndarray
+    comparator_output: np.ndarray
+    consecutive_above_threshold: np.ndarray
+    spike_disabled: np.ndarray
+    reset_fault_latched: np.ndarray
+    last_spikes: np.ndarray
+
+    @classmethod
+    def initial(
+        cls,
+        params: LIFParameters,
+        theta: np.ndarray,
+        n_rows: int,
+        batch: int,
+        n_neurons: int,
+        initial_reset_latch: Optional[np.ndarray] = None,
+    ) -> "MapParallelState":
+        """Fresh state for *n_rows* concurrent rows of *batch* samples each.
+
+        ``initial_reset_latch`` carries each row's faulty-reset latches
+        accumulated by previously processed samples (shape
+        ``(n_rows, n_neurons)``); latched membranes start pinned at the
+        firing threshold, as in :meth:`BatchedLIFState.initial`.
+        """
+        shape = (n_rows, batch, n_neurons)
+        v = np.full(shape, params.v_rest, dtype=np.float64)
+        if initial_reset_latch is None:
+            latched = np.zeros(shape, dtype=bool)
+        else:
+            latch = np.asarray(initial_reset_latch, dtype=bool)
+            latched = np.broadcast_to(latch[:, np.newaxis, :], shape).copy()
+            if latched.any():
+                threshold = params.v_threshold + np.asarray(theta, dtype=np.float64)
+                v = np.where(latched, np.maximum(v, threshold), v)
+        return cls(
+            v=v,
+            refractory_remaining=np.zeros(shape, dtype=np.int64),
+            comparator_output=np.zeros(shape, dtype=bool),
+            consecutive_above_threshold=np.zeros(shape, dtype=np.int64),
+            spike_disabled=np.zeros(shape, dtype=bool),
+            reset_fault_latched=latched,
+            last_spikes=np.zeros(shape, dtype=bool),
+        )
+
+
+@dataclass
+class MapParallelResult:
+    """Outcome of one map-parallel chunk.
+
+    Attributes
+    ----------
+    spike_counts:
+        Per-row, per-sample output spike counts ``(n_rows, batch, n_neurons)``.
+    input_spike_counts:
+        Input spikes delivered per *encoding group* and sample, shape
+        ``(n_groups, batch)`` — rows sharing a raster group share these.
+    final_reset_latch:
+        Per-row faulty-reset latch state ``(n_rows, n_neurons)`` after the
+        last sample, accounting for the sequential sample order; feed it as
+        ``initial_reset_latch`` of the next chunk.
+    simulation_passes:
+        Total simulation passes including per-row latch fix-ups (1 when no
+        row latched a new faulty-reset neuron).
+    output_spikes:
+        Boolean output raster per row, shape
+        ``(n_rows, batch, timesteps, n_neurons)`` — only materialised when
+        the chunk was run with ``collect_output_spikes=True`` (the campaign
+        hot path needs just the counts), ``None`` otherwise.
+    """
+
+    spike_counts: np.ndarray
+    input_spike_counts: np.ndarray
+    final_reset_latch: np.ndarray
+    simulation_passes: int = 1
+    output_spikes: Optional[np.ndarray] = None
+
+
+@dataclass
+class _BaseGemm:
+    """One shared current GEMM: a (raster group, register array) pair."""
+
+    raster_index: int
+    codes: np.ndarray
+
+
+@dataclass
+class _Correction:
+    """Bounding correction shared by rows with equal (base, threshold).
+
+    The bounded current splits exactly as
+    ``(base - masked) * scale + substitute * mask_hits``: ``masked`` and
+    ``mask_hits`` only involve the (usually few) out-of-range synapses, so
+    they are computed over the column subset that contains them.  All three
+    terms are exact integer sums, so the decomposition is bitwise identical
+    to the per-map :class:`~repro.snn.synapse._BoundedCurrentOperator`.
+    """
+
+    columns: Optional[np.ndarray]
+    masked_codes: np.ndarray
+    mask: np.ndarray
+    is_empty: bool = False
+
+
+class MapParallelEngine:
+    """Advance many fault maps (and techniques) through the LIF model at once.
+
+    Every :class:`MapRow` stands for one complete per-map evaluation —
+    faulty registers, neuron operation status, optional weight bounding and
+    neuron protection — and the engine advances all rows' LIF state in one
+    broadcast GEMM plus one elementwise pass per timestep.  The arithmetic
+    is exactly the batched engine's:
+
+    * input currents come from integer register-code matmuls
+      (:mod:`repro.snn.synapse` exactness argument), so any grouping of the
+      GEMMs — including the shared-base + bounding-correction decomposition
+      used here — produces bitwise identical currents;
+    * all state updates are the elementwise expressions of
+      :meth:`BatchedInferenceEngine._simulate` broadcast over the row axis;
+    * the faulty-reset latch fix-up re-simulates each affected row's suffix
+      with the same accept-first-event loop the batched engine uses.
+
+    The parity suite (``tests/test_map_parallel_parity.py``) verifies the
+    resulting spikes equal a per-row :class:`BatchedInferenceEngine` run
+    bit for bit across clean, faulty and protected modes.
+
+    Parameters
+    ----------
+    rows:
+        The row configurations to simulate concurrently.
+    quantizer:
+        Register format shared by all rows (defines the exact-GEMM dtype
+        and the code-to-weight scale).
+    params:
+        LIF parameters shared by all rows.
+    theta:
+        Adaptive-threshold component ``(n_neurons,)`` shared by all rows
+        (inference keeps it frozen).
+    """
+
+    def __init__(
+        self,
+        rows: Sequence[MapRow],
+        quantizer: WeightQuantizer,
+        params: LIFParameters,
+        theta: np.ndarray,
+    ) -> None:
+        rows = list(rows)
+        if not rows:
+            raise ValueError("at least one row is required")
+        shape = rows[0].registers.shape
+        for row in rows:
+            if row.registers.shape != shape:
+                raise ValueError(
+                    f"all rows must share the register shape {shape}, "
+                    f"got {row.registers.shape}"
+                )
+        self.rows = rows
+        self.quantizer = quantizer
+        self.params = params
+        self.theta = np.asarray(theta, dtype=np.float64)
+        self.n_inputs, self.n_neurons = (int(shape[0]), int(shape[1]))
+        if self.theta.shape != (self.n_neurons,):
+            raise ValueError(
+                f"theta must have shape ({self.n_neurons},), got {self.theta.shape}"
+            )
+        self._gemm_dtype = _exact_gemm_dtype(self.n_inputs, quantizer.max_code)
+
+        # Fully identical rows simulate once and share their results: e.g.
+        # the unmitigated row and re-execution's first execution of the
+        # same map are the same (registers, status, rule, trigger) tuple.
+        # Keyed by array identity, so planners sharing array instances for
+        # identical contents get the dedup for free.
+        unique_index: Dict[Tuple, int] = {}
+        unique_rows: List[MapRow] = []
+        self._row_to_unique = np.zeros(len(rows), dtype=np.int64)
+        for m, row in enumerate(rows):
+            key = (
+                row.raster_index,
+                id(row.registers),
+                id(row.operation_status),
+                row.weight_rule,
+                row.protection_trigger_cycles,
+            )
+            if key not in unique_index:
+                unique_index[key] = len(unique_rows)
+                unique_rows.append(row)
+            self._row_to_unique[m] = unique_index[key]
+        self._unique_rows = unique_rows
+        n_unique = len(unique_rows)
+
+        # Deduplicate the base current GEMMs: rows referencing the same
+        # register array object over the same rasters share one matmul
+        # (e.g. no-mitigation and the BnP variants all read the same
+        # faulty registers of their map).
+        base_index: Dict[Tuple[int, int], int] = {}
+        self._bases: List[_BaseGemm] = []
+        self._row_base = np.zeros(n_unique, dtype=np.int64)
+        for m, row in enumerate(unique_rows):
+            key = (row.raster_index, id(row.registers))
+            if key not in base_index:
+                base_index[key] = len(self._bases)
+                self._bases.append(
+                    _BaseGemm(
+                        raster_index=row.raster_index,
+                        codes=np.ascontiguousarray(
+                            row.registers, dtype=self._gemm_dtype
+                        ),
+                    )
+                )
+            self._row_base[m] = base_index[key]
+
+        # Bounding corrections, shared by rows with equal (base, threshold):
+        # BnP1/2/3 of the same map differ only in the substitute value.
+        self._corrections: Dict[Tuple[int, float], _Correction] = {}
+        self._row_correction: List[Optional[Tuple[int, float]]] = [None] * n_unique
+        self._row_substitute = np.zeros(n_unique, dtype=np.float64)
+        for m, row in enumerate(unique_rows):
+            rule = row.weight_rule
+            if rule is None:
+                continue
+            key = (int(self._row_base[m]), float(rule.threshold))
+            if key not in self._corrections:
+                self._corrections[key] = self._build_correction(
+                    row.registers, rule.threshold
+                )
+            self._row_correction[m] = key
+            self._row_substitute[m] = float(rule.substitute)
+
+        stack = lambda name: np.stack(  # noqa: E731 - local helper
+            [getattr(row.operation_status, name) for row in unique_rows]
+        )[:, np.newaxis, :]
+        self._leak_ok = stack("vmem_leak_ok")
+        self._increase_ok = stack("vmem_increase_ok")
+        self._reset_ok = stack("vmem_reset_ok")
+        self._spike_ok = stack("spike_generation_ok")
+        self._row_has_reset_fault = ~self._reset_ok.all(axis=(1, 2))
+
+        self._triggers = np.array(
+            [
+                _NO_TRIGGER
+                if row.protection_trigger_cycles is None
+                else int(row.protection_trigger_cycles)
+                for row in unique_rows
+            ],
+            dtype=np.int64,
+        ).reshape(n_unique, 1, 1)
+        self._has_protection = any(
+            row.protection_trigger_cycles is not None for row in unique_rows
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_rows(self) -> int:
+        """Number of rows (duplicates included; they share one simulation)."""
+        return len(self.rows)
+
+    @property
+    def n_unique_rows(self) -> int:
+        """Number of distinct row configurations actually simulated."""
+        return len(self._unique_rows)
+
+    @property
+    def n_groups(self) -> int:
+        """Number of encoding groups the rows reference."""
+        return max(row.raster_index for row in self.rows) + 1
+
+    def _build_correction(
+        self, registers: np.ndarray, threshold: float
+    ) -> _Correction:
+        """Precompute the bounding-correction operands for one threshold."""
+        weights = self.quantizer.dequantize(registers)
+        mask = weights >= threshold
+        columns = np.flatnonzero(mask.any(axis=1))
+        if columns.size == 0:
+            return _Correction(
+                columns=None,
+                masked_codes=np.zeros((0, 0)),
+                mask=np.zeros((0, 0)),
+                is_empty=True,
+            )
+        masked_codes = np.where(mask, registers, 0).astype(self._gemm_dtype)
+        mask_codes = mask.astype(self._gemm_dtype)
+        if columns.size <= self.n_inputs // 2:
+            # Only a few input lines feed bounded synapses: restrict the
+            # correction GEMMs to those columns (exact — the dropped terms
+            # are all zero).
+            return _Correction(
+                columns=columns,
+                masked_codes=np.ascontiguousarray(masked_codes[columns]),
+                mask=np.ascontiguousarray(mask_codes[columns]),
+            )
+        return _Correction(columns=None, masked_codes=masked_codes, mask=mask_codes)
+
+    # ------------------------------------------------------------------ #
+    def run_encoded(
+        self,
+        rasters: Sequence[np.ndarray],
+        initial_reset_latch: Optional[np.ndarray] = None,
+        collect_output_spikes: bool = False,
+    ) -> MapParallelResult:
+        """Run one chunk of pre-encoded rasters through every row.
+
+        Parameters
+        ----------
+        rasters:
+            One boolean spike raster of shape ``(batch, timesteps,
+            n_inputs)`` per encoding group; ``rows[m]`` presents
+            ``rasters[rows[m].raster_index]``.
+        initial_reset_latch:
+            Per-row faulty-reset latches ``(n_rows, n_neurons)`` carried
+            over from the previous chunk; defaults to all healthy.
+        collect_output_spikes:
+            Also materialise the per-row boolean output rasters in the
+            result (two extra full-raster copies per chunk; accuracy
+            consumers need only the spike counts).
+        """
+        rasters = [np.asarray(raster) for raster in rasters]
+        if len(rasters) < self.n_groups:
+            raise ValueError(
+                f"rows reference {self.n_groups} encoding groups but only "
+                f"{len(rasters)} rasters were provided"
+            )
+        batch, timesteps, n_inputs = rasters[0].shape
+        for raster in rasters:
+            if raster.shape != (batch, timesteps, n_inputs):
+                raise ValueError("all rasters must share one (batch, T, I) shape")
+        if n_inputs != self.n_inputs:
+            raise ValueError(
+                f"rasters have {n_inputs} inputs but the rows expect {self.n_inputs}"
+            )
+        if batch == 0:
+            raise ValueError("batch must not be empty")
+        n_rows = self.n_rows
+
+        mapping = self._row_to_unique
+        n_unique = self.n_unique_rows
+        if initial_reset_latch is None:
+            latch = np.zeros((n_unique, self.n_neurons), dtype=bool)
+        else:
+            full_latch = np.asarray(initial_reset_latch, dtype=bool)
+            if full_latch.shape != (n_rows, self.n_neurons):
+                raise ValueError(
+                    "initial_reset_latch must have shape "
+                    f"({n_rows}, {self.n_neurons}), got {full_latch.shape}"
+                )
+            # Duplicate rows share one simulation, so their carried latches
+            # must agree (they do when the caller feeds back what the
+            # previous chunk returned).
+            for m in range(n_rows):
+                if not np.array_equal(
+                    full_latch[m], full_latch[np.flatnonzero(mapping == mapping[m])[0]]
+                ):
+                    raise ValueError(
+                        "duplicate rows carry diverging reset latches"
+                    )
+            latch = np.zeros((n_unique, self.n_neurons), dtype=bool)
+            for m in range(n_rows):
+                latch[mapping[m]] = full_latch[m]
+
+        currents = self._compute_currents(rasters, batch, timesteps)
+
+        output = np.zeros((timesteps, n_unique, batch, self.n_neurons), dtype=bool)
+        state = MapParallelState.initial(
+            self.params, self.theta, n_unique, batch, self.n_neurons, latch
+        )
+        self._simulate(state, currents, output, slice(0, n_unique))
+        passes = 1
+
+        # Faulty-reset latch fix-up, per row (see BatchedInferenceEngine):
+        # a row whose pass latched a new neuron keeps its samples up to and
+        # including the first event and re-simulates the remainder with the
+        # updated latch state, repeating until a pass latches nothing new.
+        if self._row_has_reset_fault.any():
+            for m in np.flatnonzero(self._row_has_reset_fault):
+                passes += self._fixup_row(
+                    int(m), latch, state.reset_fault_latched[m], currents, output
+                )
+
+        return MapParallelResult(
+            spike_counts=output.sum(axis=0, dtype=np.int64)[mapping],
+            input_spike_counts=np.stack(
+                [raster.sum(axis=(1, 2), dtype=np.int64) for raster in rasters]
+            ),
+            final_reset_latch=latch[mapping],
+            simulation_passes=passes,
+            output_spikes=(
+                np.ascontiguousarray(output.transpose(1, 2, 0, 3))[mapping]
+                if collect_output_spikes
+                else None
+            ),
+        )
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _compute_currents(
+        self, rasters: Sequence[np.ndarray], batch: int, timesteps: int
+    ) -> np.ndarray:
+        """Per-unique-row input currents, timestep-major ``(T, U, batch, n)``.
+
+        One base GEMM per distinct (raster group, register array) pair plus
+        one small correction GEMM pair per distinct bounding threshold —
+        all exact integer sums, combined by the same fixed elementwise
+        expressions as the per-map operators.  The rows assemble into one
+        sample-major block first and transpose to timestep-major in a
+        single pass, so every per-timestep slice of the returned array is
+        contiguous.
+        """
+        flats: Dict[int, np.ndarray] = {}
+        for base in self._bases:
+            if base.raster_index not in flats:
+                flats[base.raster_index] = np.ascontiguousarray(
+                    rasters[base.raster_index].reshape(
+                        batch * timesteps, self.n_inputs
+                    ),
+                    dtype=self._gemm_dtype,
+                )
+        base_currents = [
+            flats[base.raster_index] @ base.codes for base in self._bases
+        ]
+        correction_terms: Dict[Tuple[int, float], Tuple[np.ndarray, np.ndarray]] = {}
+        for key, correction in self._corrections.items():
+            if correction.is_empty:
+                continue
+            flat = flats[self._bases[key[0]].raster_index]
+            spikes = flat if correction.columns is None else flat[:, correction.columns]
+            correction_terms[key] = (
+                spikes @ correction.masked_codes,
+                spikes @ correction.mask,
+            )
+
+        scale = self.quantizer.scale
+        n_unique = self.n_unique_rows
+        stacked = np.empty(
+            (n_unique, batch * timesteps, self.n_neurons), dtype=np.float64
+        )
+        for m in range(n_unique):
+            accumulated = base_currents[int(self._row_base[m])]
+            key = self._row_correction[m]
+            if key is None:
+                np.multiply(accumulated, scale, dtype=np.float64, out=stacked[m])
+            elif self._corrections[key].is_empty:
+                # Nothing is out of range: the bounded sum equals the
+                # lattice sum plus an exactly-zero substitute term.
+                np.multiply(accumulated, scale, dtype=np.float64, out=stacked[m])
+                stacked[m] += 0.0
+            else:
+                masked, hits = correction_terms[key]
+                stacked[m] = _exact_scale(accumulated - masked, scale)
+                stacked[m] += _exact_scale(hits, self._row_substitute[m])
+        return np.ascontiguousarray(
+            stacked.reshape(n_unique, batch, timesteps, self.n_neurons).transpose(
+                2, 0, 1, 3
+            )
+        )
+
+    def _fixup_row(
+        self,
+        m: int,
+        latch: np.ndarray,
+        simulated_latched: np.ndarray,
+        currents: np.ndarray,
+        output: np.ndarray,
+    ) -> int:
+        """Resolve row *m*'s cross-sample faulty-reset coupling.
+
+        ``latch[m]`` is updated in place to the row's final latch state;
+        returns the number of extra simulation passes performed.
+        """
+        batch = output.shape[2]
+        offset = 0
+        extra_passes = 0
+        row_latch = latch[m].copy()
+        while True:
+            new_events = simulated_latched & ~row_latch
+            event_rows = new_events.any(axis=-1)
+            if not event_rows.any():
+                break
+            first_event = int(np.argmax(event_rows))
+            row_latch |= new_events[first_event]
+            offset += first_event + 1
+            if offset >= batch:
+                break
+            sub_state = MapParallelState.initial(
+                self.params,
+                self.theta,
+                1,
+                batch - offset,
+                self.n_neurons,
+                row_latch[np.newaxis, :],
+            )
+            # Contiguous copy of the row's remaining currents: the strided
+            # view into the fused (T, U, B, n) block would pay its gather
+            # cost once per timestep otherwise.
+            self._simulate(
+                sub_state,
+                np.ascontiguousarray(currents[:, m : m + 1, offset:, :]),
+                output[:, m : m + 1, offset:, :],
+                slice(m, m + 1),
+            )
+            extra_passes += 1
+            simulated_latched = sub_state.reset_fault_latched[0]
+        latch[m] = row_latch
+        return extra_passes
+
+    def _simulate(
+        self,
+        state: MapParallelState,
+        currents: np.ndarray,
+        output: np.ndarray,
+        row_slice: slice,
+    ) -> None:
+        """One parallel pass over all timesteps for the rows in *row_slice*.
+
+        Mirrors :meth:`BatchedInferenceEngine._simulate` with a leading row
+        axis: every operation is the same elementwise expression broadcast
+        over ``(rows, batch, n_neurons)``, with per-row operation masks and
+        protection triggers.  Neuron protection is applied after the
+        timestep's spikes are recorded, exactly like the batched engine's
+        post-step monitor hook.
+
+        The loop body is written with preallocated scratch buffers and
+        in-place ufuncs: every statement is a bitwise-identical
+        reformulation of the batched engine's expression (IEEE addition and
+        multiplication are commutative; ``copyto(..., where=...)`` is
+        ``np.where`` with an explicit destination; the integer counter and
+        refractory updates are exact), so the parity contract is preserved
+        while the per-timestep allocation overhead — the dominant cost at
+        the paper's population sizes — disappears.
+        """
+        params = self.params
+        v_rest = params.v_rest
+        v_reset = params.v_reset
+        v_min = params.v_min
+        decay = params.membrane_decay
+        period = params.refractory_period
+        inhibition_strength = params.inhibition_strength
+        threshold = params.v_threshold + self.theta
+
+        leak_ok = self._leak_ok[row_slice]
+        increase_ok = self._increase_ok[row_slice]
+        reset_ok = self._reset_ok[row_slice]
+        spike_ok = self._spike_ok[row_slice]
+        triggers = self._triggers[row_slice]
+        all_leak = bool(leak_ok.all())
+        all_increase = bool(increase_ok.all())
+        all_reset = bool(reset_ok.all())
+        all_spike = bool(spike_ok.all())
+        reset_bad = None if all_reset else ~reset_ok
+        has_protection = self._has_protection
+
+        v = state.v
+        refractory = state.refractory_remaining
+        counter = state.consecutive_above_threshold
+        disabled = state.spike_disabled
+        latched = state.reset_fault_latched
+
+        shape = v.shape
+        vbuf = np.empty(shape, dtype=np.float64)
+        fbuf = np.empty(shape, dtype=np.float64)
+        active = np.empty(shape, dtype=bool)
+        comparator = np.empty(shape, dtype=bool)
+        spikes = np.empty(shape, dtype=bool)
+        boolbuf = np.empty(shape, dtype=bool)
+
+        timesteps = currents.shape[0]
+        for t in range(timesteps):
+            # (2) Vmem leak: v_rest + (v - v_rest) * decay.
+            np.subtract(v, v_rest, out=vbuf)
+            np.multiply(vbuf, decay, out=vbuf)
+            np.add(vbuf, v_rest, out=vbuf)
+            if all_leak:
+                v, vbuf = vbuf, v
+            else:
+                np.copyto(v, vbuf, where=leak_ok)
+
+            # (1) Vmem increase.
+            np.less_equal(refractory, 0, out=active)
+            if all_increase:
+                integrate = active
+            else:
+                np.logical_and(active, increase_ok, out=boolbuf)
+                integrate = boolbuf
+            np.add(v, np.where(integrate, currents[t], 0.0), out=v)
+            np.maximum(v, v_min, out=v)
+
+            # (4) Spike generation: comparator and protection counter.
+            np.greater_equal(v, threshold, out=comparator)
+            np.logical_and(comparator, active, out=comparator)
+            np.add(counter, 1, out=counter)
+            np.multiply(counter, comparator, out=counter)
+            internal = comparator
+            np.logical_not(disabled, out=spikes)
+            np.logical_and(spikes, internal, out=spikes)
+            if not all_spike:
+                np.logical_and(spikes, spike_ok, out=spikes)
+
+            # (3) Vmem reset and refractory entry; faulty resets latch.
+            if all_reset:
+                reset_now = internal
+            else:
+                np.logical_and(internal, reset_ok, out=boolbuf)
+                reset_now = boolbuf
+            np.copyto(v, v_reset, where=reset_now)
+            np.subtract(refractory, 1, out=refractory)
+            np.maximum(refractory, 0, out=refractory)
+            np.copyto(refractory, period, where=reset_now)
+            if not all_reset:
+                np.logical_and(internal, reset_bad, out=boolbuf)
+                np.logical_or(latched, boolbuf, out=latched)
+
+            # Direct lateral inhibition, per (row, sample).  Rows without
+            # spikes receive an exactly-zero inhibition, which is a no-op
+            # because v_min <= v_reset guarantees v >= v_min here.
+            if inhibition_strength > 0 and spikes.any():
+                n_spiking = spikes.sum(axis=-1, keepdims=True)
+                np.subtract(n_spiking, spikes, out=fbuf)
+                np.multiply(fbuf, inhibition_strength, out=fbuf)
+                np.subtract(v, fbuf, out=v)
+                np.maximum(v, v_min, out=v)
+
+            # Keep latched faulty-reset membranes pinned at the threshold.
+            if not all_reset and latched.any():
+                np.maximum(v, threshold, out=fbuf)
+                np.copyto(v, fbuf, where=latched)
+
+            output[t] = spikes
+
+            # Neuron protection: gate off spike generation once the
+            # comparator has stayed asserted for the row's trigger count
+            # (applied post-step, like the batched step-monitor hook).
+            if has_protection:
+                np.greater_equal(counter, triggers, out=boolbuf)
+                np.logical_or(disabled, boolbuf, out=disabled)
+
+        state.v = v
+        state.comparator_output = comparator
+        state.last_spikes = spikes

@@ -17,19 +17,49 @@ the batched path is verified against spike-for-spike.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
 from repro.data.datasets import Dataset
-from repro.snn.engine import DEFAULT_BATCH_SIZE, BatchedInferenceEngine
+from repro.snn.engine import (
+    DEFAULT_BATCH_SIZE,
+    BatchedInferenceEngine,
+    MapParallelEngine,
+    MapRow,
+)
 from repro.snn.network import DiehlCookNetwork
-from repro.snn.neuron import LIFNeuronGroup
+from repro.snn.neuron import LIFNeuronGroup, LIFParameters
+from repro.snn.quantization import WeightQuantizer
 from repro.utils.rng import RNGLike, resolve_rng
 
-__all__ = ["InferenceResult", "InferenceEngine"]
+__all__ = ["InferenceResult", "InferenceEngine", "class_indicator", "evaluate_rows"]
 
 StepMonitor = Callable[[LIFNeuronGroup], None]
+
+#: Sample-chunk cap of the map-parallel evaluation path.  Results are
+#: bit-identical for any chunking (the faulty-reset latch carry reproduces
+#: the sequential per-sample semantics exactly), so the chunk is a pure
+#: performance knob: shorter chunks shorten the suffixes the latch fix-up
+#: re-simulates and keep the fused (timesteps, rows, chunk, neurons)
+#: current block cache-resident.
+MAP_PARALLEL_CHUNK_SIZE = 16
+
+
+def class_indicator(neuron_labels: np.ndarray) -> np.ndarray:
+    """Return the ``(n_neurons, n_classes)`` class-indicator vote matrix.
+
+    Multiplying integer-valued spike counts by this matrix in float64 sums
+    them exactly, so matmul-based classification is bitwise identical to
+    summing each class's neuron counts per sample.
+    """
+    neuron_labels = np.asarray(neuron_labels, dtype=np.int64)
+    n_neurons = int(neuron_labels.size)
+    n_classes = int(neuron_labels.max()) + 1 if neuron_labels.size else 0
+    indicator = np.zeros((n_neurons, n_classes), dtype=np.float64)
+    if n_classes:
+        indicator[np.arange(n_neurons), neuron_labels] = 1.0
+    return indicator
 
 
 @dataclass
@@ -125,13 +155,7 @@ class InferenceEngine:
         self._n_classes = int(neuron_labels.max()) + 1 if neuron_labels.size else 0
         # Class-indicator matrix turning batched spike counts into votes
         # with one exact (integer-valued) matmul.
-        self._class_indicator = np.zeros(
-            (network.n_neurons, self._n_classes), dtype=np.float64
-        )
-        if self._n_classes:
-            self._class_indicator[
-                np.arange(network.n_neurons), self.neuron_labels
-            ] = 1.0
+        self._class_indicator = class_indicator(neuron_labels)
 
     # ------------------------------------------------------------------ #
     def classify_counts(self, spike_counts: np.ndarray) -> int:
@@ -291,3 +315,106 @@ class InferenceEngine:
             total_input_spikes=total_input_spikes,
             per_sample_output_spikes=per_sample_output,
         )
+
+
+def evaluate_rows(
+    rows: Sequence[MapRow],
+    rasters: Sequence[np.ndarray],
+    neuron_labels: np.ndarray,
+    labels: np.ndarray,
+    quantizer: WeightQuantizer,
+    params: LIFParameters,
+    theta: np.ndarray,
+    batch_size: Optional[int] = None,
+) -> List[InferenceResult]:
+    """Classify pre-encoded rasters through many compute engines at once.
+
+    This is the map-parallel counterpart of :meth:`InferenceEngine.evaluate`:
+    each :class:`~repro.snn.engine.MapRow` stands for one (possibly
+    fault-injected, possibly mitigated) compute engine, and all rows advance
+    together through the :class:`~repro.snn.engine.MapParallelEngine` in
+    sample chunks of ``batch_size``, carrying each row's faulty-reset latch
+    from chunk to chunk.  Per row, the returned
+    :class:`InferenceResult` is bit-identical to evaluating that row's
+    engine alone over the same rasters.
+
+    Parameters
+    ----------
+    rows:
+        Compute-engine rows to evaluate (see
+        :class:`~repro.snn.engine.MapRow`).
+    rasters:
+        One boolean spike raster ``(n_samples, timesteps, n_inputs)`` per
+        encoding group referenced by the rows.
+    neuron_labels:
+        Class label of each excitatory neuron (shared by all rows — they
+        all simulate the same trained model).
+    labels:
+        Ground-truth class per sample, copied into every result.
+    quantizer / params / theta:
+        Register format, LIF parameters and frozen adaptive thresholds
+        shared by all rows.
+    batch_size:
+        Upper bound on the samples advanced per chunk; ``None`` uses the
+        engine default.  The effective chunk is additionally capped at
+        :data:`MAP_PARALLEL_CHUNK_SIZE` — a pure performance choice, the
+        results are bit-identical for any chunking.
+    """
+    if not rows:
+        raise ValueError("at least one row is required")
+    rasters = [np.asarray(raster) for raster in rasters]
+    if not rasters:
+        raise ValueError("at least one raster group is required")
+    n_samples = int(rasters[0].shape[0])
+    for raster in rasters:
+        if raster.shape[0] != n_samples:
+            raise ValueError("all raster groups must cover the same samples")
+    if n_samples == 0:
+        raise ValueError("evaluation rasters must not be empty")
+    if batch_size is None:
+        batch_size = DEFAULT_BATCH_SIZE
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    batch_size = min(batch_size, MAP_PARALLEL_CHUNK_SIZE)
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.shape != (n_samples,):
+        raise ValueError(
+            f"labels must have shape ({n_samples},), got {labels.shape}"
+        )
+
+    engine = MapParallelEngine(rows, quantizer=quantizer, params=params, theta=theta)
+    n_rows = engine.n_rows
+    n_neurons = engine.n_neurons
+    indicator = class_indicator(neuron_labels)
+
+    predictions = np.zeros((n_rows, n_samples), dtype=np.int64)
+    spike_counts = np.zeros((n_rows, n_samples, n_neurons), dtype=np.int64)
+    group_input_counts = np.zeros((len(rasters), n_samples), dtype=np.int64)
+
+    latch = np.zeros((n_rows, n_neurons), dtype=bool)
+    for start in range(0, n_samples, batch_size):
+        stop = min(start + batch_size, n_samples)
+        chunk = engine.run_encoded(
+            [raster[start:stop] for raster in rasters],
+            initial_reset_latch=latch,
+        )
+        latch = chunk.final_reset_latch
+        spike_counts[:, start:stop] = chunk.spike_counts
+        votes = chunk.spike_counts.astype(np.float64) @ indicator
+        predictions[:, start:stop] = np.argmax(votes, axis=-1).astype(np.int64)
+        group_input_counts[:, start:stop] = chunk.input_spike_counts
+
+    results: List[InferenceResult] = []
+    for m, row in enumerate(rows):
+        results.append(
+            InferenceResult(
+                predictions=predictions[m],
+                labels=labels.copy(),
+                spike_counts=spike_counts[m],
+                total_input_spikes=int(group_input_counts[row.raster_index].sum()),
+                per_sample_output_spikes=[
+                    int(count) for count in spike_counts[m].sum(axis=1)
+                ],
+            )
+        )
+    return results

@@ -80,6 +80,23 @@ class TestWeightBitFlipModel:
                 np.zeros(4, dtype=np.uint8), 0.1, flat_indices=np.array([0])
             )
 
+    @pytest.mark.parametrize("bad_rate", [-0.1, 1.5])
+    def test_inject_validates_rate_on_replay_path(self, bad_rate):
+        # Regression: replaying explicit fault locations used to skip
+        # check_probability entirely, so a nonsensical stored fault rate
+        # round-tripped unvalidated.
+        with pytest.raises(ValueError, match="fault_rate"):
+            self._model().inject(
+                np.zeros(4, dtype=np.uint8),
+                bad_rate,
+                flat_indices=np.array([0]),
+                bit_positions=np.array([1]),
+            )
+
+    def test_inject_validates_rate_on_draw_path(self):
+        with pytest.raises(ValueError, match="fault_rate"):
+            self._model().inject(np.zeros(4, dtype=np.uint8), 2.0)
+
     def test_weight_change_summary(self):
         model = self._model()
         clean = np.array([[10, 20], [30, 40]], dtype=np.uint8)
@@ -172,6 +189,43 @@ class TestFaultMap:
                 neuron_faults=[(5, NeuronFaultType.VMEM_RESET)],
             )
 
+    def test_negative_bit_positions_rejected(self):
+        # Regression: negative positions used to pass FaultMap validation,
+        # deferring the failure to replay time deep inside the injector.
+        with pytest.raises(ValueError, match="non-negative"):
+            FaultMap(
+                crossbar_shape=(2, 2),
+                synapse_flat_indices=np.array([0]),
+                synapse_bit_positions=np.array([-1]),
+            )
+
+    def test_out_of_width_bit_positions_rejected(self):
+        # Regression: a position at or beyond the drawn bit width used to
+        # be accepted; replayed through a wider register format it would
+        # silently flip bits the original quantizer cannot hold.
+        with pytest.raises(ValueError, match="8-bit"):
+            FaultMap(
+                crossbar_shape=(2, 2),
+                synapse_flat_indices=np.array([0]),
+                synapse_bit_positions=np.array([8]),
+                bit_width=8,
+            )
+        # In-range positions are fine, and the width is recorded.
+        fault_map = FaultMap(
+            crossbar_shape=(2, 2),
+            synapse_flat_indices=np.array([0]),
+            synapse_bit_positions=np.array([7]),
+            bit_width=8,
+        )
+        assert fault_map.bit_width == 8
+
+    def test_generated_maps_carry_bit_width(self):
+        generator = FaultMapGenerator((8, 4), quantizer=WeightQuantizer(bits=8))
+        fault_map = generator.generate(
+            ComputeEngineFaultConfig.full_compute_engine(0.2), rng=0
+        )
+        assert fault_map.bit_width == 8
+
 
 class TestFaultMapGenerator:
     def _generator(self):
@@ -219,6 +273,42 @@ class TestFaultMapGenerator:
             self._generator().generate_many(
                 ComputeEngineFaultConfig.full_compute_engine(0.1), count=0
             )
+
+    @pytest.mark.parametrize(
+        "config",
+        [
+            ComputeEngineFaultConfig(0.05),
+            ComputeEngineFaultConfig(0.2, inject_neurons=False),
+            ComputeEngineFaultConfig(0.15, inject_synapses=False),
+        ],
+    )
+    def test_generate_many_bulk_matches_sequential_streams(self, config):
+        """The one-RNG-pass bulk draw replays the per-map loop bit for bit."""
+        generator = self._generator()
+        bulk = generator.generate_many(config, count=4, rng=np.random.default_rng(42))
+        sequential_rng = np.random.default_rng(42)
+        for fault_map in bulk:
+            reference = generator.generate(config, rng=sequential_rng)
+            assert np.array_equal(
+                fault_map.synapse_flat_indices, reference.synapse_flat_indices
+            )
+            assert np.array_equal(
+                fault_map.synapse_bit_positions, reference.synapse_bit_positions
+            )
+            assert fault_map.neuron_faults == reference.neuron_faults
+            assert fault_map.bit_width == reference.bit_width
+
+    def test_generate_many_falls_back_for_variable_draws(self):
+        """Restricted fault types use data-dependent draws: loop fallback."""
+        generator = self._generator()
+        config = ComputeEngineFaultConfig(
+            0.3, restrict_neuron_fault_type=NeuronFaultType.VMEM_RESET
+        )
+        bulk = generator.generate_many(config, count=2, rng=9)
+        sequential_rng = np.random.default_rng(9)
+        for fault_map in bulk:
+            reference = generator.generate(config, rng=sequential_rng)
+            assert fault_map.neuron_faults == reference.neuron_faults
 
 
 class TestFaultInjector:

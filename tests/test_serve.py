@@ -199,6 +199,72 @@ class TestMicroBatchScheduler:
         assert elapsed < 1.0  # far below the 5s deadline
         assert scheduler.stats.flush_idle == 1
 
+    def _blocked_scheduler(self, max_batch_size=2, max_delay=0.01):
+        """Scheduler whose worker blocks inside its first batch execution.
+
+        Returns ``(scheduler, first_entered, release)``: ``first_entered``
+        is set once the worker is inside ``run_batch`` (holding no lock),
+        ``release`` unblocks it.  While blocked, submits pile up in the
+        queue — the deterministic setup for flush-attribution tests.
+        """
+        release = threading.Event()
+        first_entered = threading.Event()
+        calls = []
+
+        def run_batch(payloads):
+            calls.append(len(payloads))
+            if len(calls) == 1:
+                first_entered.set()
+                release.wait(timeout=5.0)
+            return payloads
+
+        scheduler = MicroBatchScheduler(
+            run_batch,
+            max_batch_size=max_batch_size,
+            max_delay=max_delay,
+            idle_grace=5.0,  # >= max_delay: idle heuristic disabled
+        )
+        return scheduler, first_entered, release
+
+    def test_close_drain_of_full_queue_counts_flush_close(self):
+        # Regression: batches drained by close() used to be misattributed
+        # to flush_full whenever they happened to be full.
+        scheduler, first_entered, release = self._blocked_scheduler()
+        futures = [scheduler.submit(0)]
+        assert first_entered.wait(timeout=5.0)
+        futures += [scheduler.submit(value) for value in range(1, 5)]
+
+        closer = threading.Thread(target=scheduler.close)
+        closer.start()
+        time.sleep(0.05)  # let close() mark the scheduler closed
+        release.set()
+        closer.join(timeout=5.0)
+
+        assert [f.result(timeout=5.0) for f in futures] == [0, 1, 2, 3, 4]
+        # First batch: the lonely request, flushed by its deadline.  The
+        # four queued requests drain as two full-size batches, but the
+        # trigger was the close, not fullness.
+        assert scheduler.stats.flush_close == 2
+        assert scheduler.stats.flush_full == 0
+
+    def test_deadline_expiry_beats_fullness_attribution(self):
+        # Regression: a batch whose deadline expired while the queue
+        # happened to fill used to be misattributed to flush_full.
+        scheduler, first_entered, release = self._blocked_scheduler()
+        futures = [scheduler.submit(0)]
+        assert first_entered.wait(timeout=5.0)
+        futures += [scheduler.submit(1), scheduler.submit(2)]
+        time.sleep(0.05)  # far beyond the 10ms deadline of both requests
+        release.set()
+        assert [f.result(timeout=5.0) for f in futures] == [0, 1, 2]
+        scheduler.close()
+
+        # Both flushes — the lonely first request and the full-but-expired
+        # pair — were triggered by their deadlines.
+        assert scheduler.stats.flush_deadline == 2
+        assert scheduler.stats.flush_full == 0
+        assert scheduler.stats.flush_close == 0
+
     def test_batch_failure_propagates_to_every_future(self):
         def run_batch(payloads):
             raise RuntimeError("engine exploded")
