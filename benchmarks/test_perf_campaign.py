@@ -1,17 +1,22 @@
-"""BENCH — campaign throughput: serial executor vs process pool.
+"""BENCH — campaign throughput: serial executor vs the warm worker pool.
 
-Runs the same small Fig. 13-style campaign grid (one experiment, 3 fault
-rates x 3 trials x 2 techniques + the clean reference cell) through the
-serial in-process executor and through a process pool, and records both
-wall clocks in ``benchmarks/results/perf_campaign.json`` so successive PRs
-can track orchestration overhead.
+Runs a Fig. 13-shaped campaign grid (two workloads, the paper's five fault
+rates, clean references included) through the serial in-process executor
+and through the warm persistent worker pool at several worker counts, and
+records the whole scaling curve ``{workers: speedup}`` in
+``benchmarks/results/perf_campaign.json`` so successive PRs can track
+orchestration overhead and scaling, not just a single point.
 
-The grid is deliberately small enough for CI, so the pool's fixed costs
-(process start-up, model snapshot save/load, dataset regeneration per
-worker) are a visible fraction of the runtime; the bench therefore asserts
-*correctness* hard (bit-identical per-trial accuracies between the two
-executors — the campaign determinism contract) and the timing softly (the
-pool must not be pathologically slower than serial).
+Correctness is asserted hard: the pooled store records must equal the
+serial ones byte for byte (modulo the measured ``duration_seconds``) — the
+campaign determinism contract.  Timing is asserted relative to what the
+machine can actually deliver: with ``C`` available cores, ``w`` workers
+can at best approach ``min(w, C)``x, so the floor scales with
+``min(w, C)`` and degrades to "the warm pool must be near serial parity"
+on a single-core box (where the old cold pool sat at 0.16x).
+
+Set ``PERF_CAMPAIGN_SMOKE=1`` (the CI artifact step does) to shrink the
+grid and the worker sweep for constrained runners.
 """
 
 from __future__ import annotations
@@ -22,99 +27,136 @@ import time
 from pathlib import Path
 
 from repro.eval.campaign import CampaignSpec, TechniqueSpec, run_campaign
-from repro.eval.experiment import ExperimentConfig
+from repro.eval.experiment import ExperimentConfig, ExperimentRunner
+from repro.eval.sweep import PAPER_FAULT_RATES
 from repro.hardware.enhancements import MitigationKind
 
-# At least 2 so the process-pool path is exercised even on one-core CI.
-N_WORKERS = max(2, min(4, os.cpu_count() or 1))
-FAULT_RATES = [1e-3, 1e-2, 1e-1]
-N_TRIALS = 3
+SMOKE = os.environ.get("PERF_CAMPAIGN_SMOKE") == "1"
+AVAILABLE_CPUS = os.cpu_count() or 1
+
+WORKLOADS = ["mnist"] if SMOKE else ["mnist", "fashion-mnist"]
+FAULT_RATES = list(PAPER_FAULT_RATES)[-2:] if SMOKE else list(PAPER_FAULT_RATES)
+N_TRIALS = 1 if SMOKE else 2
+N_TEST = 40 if SMOKE else 100
+WORKER_COUNTS = [2] if SMOKE else [2, 4]
 
 RESULTS_PATH = Path(__file__).parent / "results" / "perf_campaign.json"
 
 
 def _spec() -> CampaignSpec:
-    return CampaignSpec(
+    return CampaignSpec.grid(
         name="perf-campaign",
-        experiments=[
-            ExperimentConfig(
-                workload="mnist",
-                n_neurons=48,
-                n_train=200,
-                n_test=40,
-                timesteps=100,
-                epochs=2,
-                paper_network_size=400,
-            )
-        ],
+        workloads=WORKLOADS,
+        network_sizes=[48],
         fault_rates=FAULT_RATES,
-        techniques=[
-            TechniqueSpec(MitigationKind.NO_MITIGATION),
-            TechniqueSpec(MitigationKind.BNP3),
+        technique_kinds=[
+            MitigationKind.NO_MITIGATION,
+            MitigationKind.RE_EXECUTION,
+            MitigationKind.BNP3,
         ],
+        base=ExperimentConfig(
+            n_train=200, n_test=N_TEST, timesteps=100, epochs=2,
+            paper_network_size=400,
+        ),
+        paper_sizes={48: 400},
         n_trials=N_TRIALS,
         seed=2022,
         runner_seed=2022,
     )
 
 
-def test_campaign_pool_vs_serial(tmp_path):
-    # Train the clean model once up front and share the runner's cache
-    # with both timed runs, so they measure cell execution and
+def _store_cells(path: Path) -> list:
+    records = []
+    for line in path.read_text().splitlines():
+        record = json.loads(line)
+        if record.get("type") != "cell":
+            continue
+        record["duration_seconds"] = 0.0
+        records.append(record)
+    records.sort(key=lambda record: record["cell_id"])
+    return [json.dumps(record, sort_keys=True) for record in records]
+
+
+def _speedup_floor(n_workers: int) -> float:
+    """Lowest acceptable speedup for *n_workers* on this machine.
+
+    A warm pool cannot beat the core count, so expect 60% of the ideal
+    ``min(workers, cores)``x when extra cores exist; on a single core the
+    bar is near-parity with serial — the warm pool's whole point is that
+    its fixed costs (snapshot load once, zero-copy attach) no longer
+    swamp execution the way the old cold pool's did (0.16x).
+    """
+    usable = min(n_workers, AVAILABLE_CPUS)
+    if usable <= 1:
+        # Oversubscribed workers on one core add context-switch noise on
+        # top of orchestration; the floor only needs to catch cold-pool
+        # pathologies (per-unit reload/re-encode), which sit far below.
+        return 0.4
+    return 0.6 * usable
+
+
+def test_campaign_warm_pool_scaling(tmp_path):
+    # Train the clean models once up front and share the runner's cache
+    # with every timed run, so they measure cell execution and
     # orchestration, not model preparation.
-    from repro.eval.experiment import ExperimentRunner
-
     runner = ExperimentRunner(root_seed=_spec().runner_seed)
-    runner.prepare(_spec().experiments[0])
+    for config in _spec().experiments:
+        runner.prepare(config)
 
     start = time.perf_counter()
-    serial = run_campaign(_spec(), n_workers=1, runner=runner)
-    serial_seconds = time.perf_counter() - start
-
-    start = time.perf_counter()
-    pooled = run_campaign(
-        _spec(),
-        store_path=tmp_path / "pool.jsonl",
-        n_workers=N_WORKERS,
-        runner=runner,
+    serial = run_campaign(
+        _spec(), store_path=tmp_path / "serial.jsonl", n_workers=1, runner=runner
     )
-    pool_seconds = time.perf_counter() - start
-
-    # Correctness first: the executors must agree bit-for-bit.
-    key = _spec().experiments[0].label()
-    serial_sweep = serial.sweeps[key]
-    pooled_sweep = pooled.sweeps[key]
-    assert pooled_sweep.clean_accuracy == serial_sweep.clean_accuracy
-    for kind, series in serial_sweep.techniques.items():
-        assert pooled_sweep.techniques[kind].per_trial == series.per_trial
-
+    serial_seconds = time.perf_counter() - start
+    serial_records = _store_cells(tmp_path / "serial.jsonl")
     n_cells = serial.n_cells
-    speedup = serial_seconds / pool_seconds if pool_seconds > 0 else float("inf")
+
+    curve = {1: 1.0}
+    pool_seconds = {}
+    for n_workers in WORKER_COUNTS:
+        store = tmp_path / f"pool{n_workers}.jsonl"
+        start = time.perf_counter()
+        run_campaign(_spec(), store_path=store, n_workers=n_workers, runner=runner)
+        elapsed = time.perf_counter() - start
+        pool_seconds[n_workers] = elapsed
+        curve[n_workers] = serial_seconds / elapsed if elapsed > 0 else float("inf")
+
+        # Correctness first: the executors must agree byte for byte.
+        assert _store_cells(store) == serial_records, (
+            f"pool({n_workers}) store records diverged from serial"
+        )
+
     summary = {
         "n_cells": n_cells,
-        "n_workers": N_WORKERS,
+        "workloads": WORKLOADS,
         "fault_rates": FAULT_RATES,
         "n_trials": N_TRIALS,
+        "available_cpus": AVAILABLE_CPUS,
+        "smoke": SMOKE,
         "serial_seconds": round(serial_seconds, 3),
-        "pool_seconds": round(pool_seconds, 3),
         "serial_ms_per_cell": round(1000.0 * serial_seconds / n_cells, 1),
-        "pool_ms_per_cell": round(1000.0 * pool_seconds / n_cells, 1),
-        "pool_speedup": round(speedup, 2),
+        "pool_seconds": {
+            str(workers): round(seconds, 3)
+            for workers, seconds in pool_seconds.items()
+        },
+        "pool_speedup": {
+            str(workers): round(speedup, 2) for workers, speedup in curve.items()
+        },
     }
     RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
     RESULTS_PATH.write_text(json.dumps(summary, indent=2) + "\n")
 
     print()
     print(
-        f"BENCH perf_campaign: {n_cells} cells, serial "
-        f"{summary['serial_seconds']}s, pool({N_WORKERS}) "
-        f"{summary['pool_seconds']}s ({summary['pool_speedup']}x)"
+        f"BENCH perf_campaign: {n_cells} cells on {AVAILABLE_CPUS} cpu(s), "
+        f"serial {summary['serial_seconds']}s, scaling "
+        + ", ".join(f"{w}w={curve[w]:.2f}x" for w in WORKER_COUNTS)
     )
 
-    # Soft timing floor: startup + snapshot costs are allowed, a pool that
-    # takes more than 2.5x serial on this grid indicates an orchestration
-    # regression (e.g. per-cell model reloads or lost worker caching).
-    assert pool_seconds <= max(2.5 * serial_seconds, serial_seconds + 5.0), (
-        f"process pool took {pool_seconds:.2f}s vs serial "
-        f"{serial_seconds:.2f}s on {n_cells} cells"
-    )
+    for n_workers in WORKER_COUNTS:
+        floor = _speedup_floor(n_workers)
+        assert curve[n_workers] >= floor, (
+            f"warm pool at {n_workers} workers reached {curve[n_workers]:.2f}x "
+            f"(serial {serial_seconds:.2f}s, pool {pool_seconds[n_workers]:.2f}s) "
+            f"on {AVAILABLE_CPUS} cpu(s); expected at least {floor:.2f}x"
+        )

@@ -8,7 +8,7 @@ store → rendered accuracy tables.
 
 Usage::
 
-    python -m repro.campaign fig13 --workers 4
+    python -m repro.campaign fig13 --workers auto
     python -m repro.campaign fig3a --store results/fig3a.jsonl
     python -m repro.campaign smoke --rates 1e-3 1e-1 --trials 1
     softsnn-campaign fig13 --sizes 48 72 --trials 3     # installed entry point
@@ -28,7 +28,12 @@ from pathlib import Path
 from typing import Dict, Optional, Sequence
 
 import repro
-from repro.eval.campaign import CampaignSpec, TechniqueSpec, run_campaign
+from repro.eval.campaign import (
+    CampaignSpec,
+    TechniqueSpec,
+    resolve_worker_count,
+    run_campaign,
+)
 from repro.eval.experiment import ExperimentConfig
 from repro.eval.sweep import PAPER_FAULT_RATES
 from repro.hardware.enhancements import MitigationKind
@@ -110,6 +115,23 @@ PRESETS: Dict[str, Dict[str, object]] = {
 }
 
 
+def _parse_workers(value: str) -> Optional[int]:
+    """``--workers`` values: a positive integer, or ``auto`` (= CPU count)."""
+    if value.strip().lower() == "auto":
+        return None
+    try:
+        workers = int(value)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {value!r}"
+        ) from error
+    if workers <= 0:
+        raise argparse.ArgumentTypeError(
+            f"worker count must be positive, got {workers}"
+        )
+    return workers
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The campaign CLI argument parser."""
     preset_lines = "\n".join(
@@ -152,9 +174,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--workers",
-        type=int,
+        type=_parse_workers,
         default=1,
-        help="worker processes (1 = serial in-process execution)",
+        metavar="N|auto",
+        help=(
+            "worker processes (1 = serial in-process execution, "
+            "'auto' = one warm pool worker per CPU)"
+        ),
     )
     parser.add_argument(
         "--store",
@@ -262,10 +288,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             else Path("campaign-results") / f"{args.preset}.jsonl"
         )
 
+    n_workers = resolve_worker_count(args.workers)
     result = run_campaign(
         spec,
         store_path=store_path,
-        n_workers=args.workers,
+        n_workers=n_workers,
         resume=not args.no_resume,
         vectorized_training=not args.sequential_training,
         map_parallel=not args.no_map_parallel,
@@ -276,7 +303,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print(
         f"campaign {spec.name}: {result.n_cells} cells "
         f"({result.n_executed} executed, {result.n_skipped} resumed from store) "
-        f"in {result.duration_seconds:.1f}s with {args.workers} worker(s)"
+        f"in {result.duration_seconds:.1f}s with {n_workers} worker(s)"
     )
     if store_path is not None:
         summary_path = store_path.with_suffix(".summary.json")

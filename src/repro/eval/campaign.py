@@ -18,26 +18,29 @@ technique.  This module turns that grid into explicit, schedulable work:
   coordinate execute as one fused :class:`~repro.snn.engine.MapParallelEngine`
   unit (see :func:`execute_cell_group`), with cell-at-a-time execution as
   the bit-identical fallback (``map_parallel=False``).
-* :func:`run_campaign` executes the pending cells — serially or via
-  :class:`concurrent.futures.ProcessPoolExecutor` — streaming every
-  finished cell into an append-only :class:`~repro.eval.store.ResultStore`
-  so an interrupted campaign resumes where it stopped, and finally
-  aggregates the records back into per-experiment
-  :class:`~repro.eval.sweep.SweepResult` objects.
+* :func:`run_campaign` executes the pending cells — serially or across a
+  pool of warm persistent worker processes
+  (:mod:`repro.eval.pool`) — streaming every finished cell into an
+  append-only :class:`~repro.eval.store.ResultStore` so an interrupted
+  campaign resumes where it stopped, and finally aggregates the records
+  back into per-experiment :class:`~repro.eval.sweep.SweepResult` objects.
 
-Workers never retrain: the orchestrator trains each clean model once,
-snapshots it with :meth:`~repro.snn.training.TrainedModel.save`, and the
-workers load the snapshot and regenerate the (cheap, synthetic) test set
-deterministically from the experiment seeds.
+Workers never retrain and never regenerate data: the orchestrator trains
+each clean model once, snapshots it with
+:meth:`~repro.snn.training.TrainedModel.save`, publishes the test set (and
+each unit's pre-encoded presentations) in shared memory, and long-lived
+workers load the snapshot once and attach zero-copy views — so a unit's
+marginal cost in a worker is the simulation itself, which is what lets the
+pool approach linear scaling on multi-core machines.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
 import tempfile
 import time
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
@@ -53,16 +56,15 @@ from repro.data.datasets import Dataset
 from repro.eval.experiment import (
     ExperimentConfig,
     ExperimentRunner,
-    prepare_datasets,
 )
 from repro.eval.store import ResultStore
 from repro.eval.sweep import SweepResult, TechniqueAccuracy
-from repro.faults.fault_map import FaultMapGenerator
+from repro.faults.fault_map import FaultMap, FaultMapGenerator
 from repro.faults.models import ComputeEngineFaultConfig
 from repro.hardware.enhancements import MitigationKind
 from repro.snn.training import TrainedModel
 from repro.utils.logging import get_logger
-from repro.utils.rng import SeedSequenceFactory, derive_cell_seed, derive_clean_seed
+from repro.utils.rng import derive_cell_seed, derive_clean_seed
 from repro.utils.serialization import numpy_to_native
 
 __all__ = [
@@ -71,11 +73,14 @@ __all__ = [
     "CellResult",
     "CampaignSpec",
     "CampaignResult",
+    "UnitInputs",
     "build_experiment_cells",
     "execute_cell",
     "execute_cell_group",
+    "prepare_unit_inputs",
     "group_cells",
     "collect_sweep_result",
+    "resolve_worker_count",
     "run_campaign",
 ]
 
@@ -297,42 +302,33 @@ def _clean_reference_key(techniques: Sequence[MitigationTechnique]) -> str:
     return techniques[0].kind.value
 
 
-def execute_cell_group(
-    cells: Sequence[SweepCell],
-    model: TrainedModel,
-    dataset: Dataset,
-    techniques: Sequence[MitigationTechnique],
-) -> List[CellResult]:
-    """Execute cells at one (experiment, fault rate) coordinate as a unit.
+@dataclass
+class UnitInputs:
+    """Precomputed per-cell randomness of one execution unit.
 
-    This is the campaign hot path: every cell's fault map is drawn from its
-    own seed exactly as in per-cell execution, all maps and all techniques
-    are stacked into one map-parallel engine pass
-    (:func:`repro.core.mitigation.evaluate_techniques_mapped`), and one
-    :class:`CellResult` per cell comes back out.  Because the per-row
-    engine arithmetic is bit-identical to stand-alone evaluation, grouping
-    is purely an execution-strategy choice: the records equal the ones
-    :func:`execute_cell` produces for each cell alone (only the measured
-    ``duration_seconds`` differs — the unit's wall clock is split evenly
-    across its cells).
-
-    Per-cell randomness protocol (all from ``cell.seed``): the fault map is
-    drawn first, then the test set is Poisson-encoded once, and every
-    technique evaluates against that same fault map *and* the same encoded
-    presentations — the paired-comparison protocol of the paper applied to
-    presentations as well as maps.  Techniques that draw extra randomness
-    (re-execution with ``reexposure_fraction > 0``) consume the cell's
-    generator afterwards, in listed technique order.
-
-    A clean cell (one per experiment) must form its own unit; it evaluates
-    every technique against the fault-free engine, so weight-modifying
-    techniques (BnP bounds weights even at fault rate 0) report their true
-    clean baseline instead of inheriting the unmitigated one.
+    Everything :func:`execute_cell_group` derives from the cell seeds
+    before the engine pass: the drawn fault maps (``None`` for the clean
+    unit), one pre-encoded presentation raster per cell, and the per-cell
+    generators advanced past map drawing and encoding (techniques that
+    draw extra randomness consume them next).  Preparing these inputs in
+    the orchestrator is what lets warm pool workers receive presentations
+    as zero-copy shared-memory views instead of re-encoding — the records
+    are bit-identical either way because the same streams are consumed in
+    the same order.
     """
-    cells = list(cells)
+
+    fault_maps: Optional[List["FaultMap"]]
+    rasters: List[np.ndarray]
+    generators: List[np.random.Generator]
+
+
+def _validate_unit(
+    cells: Sequence[SweepCell], techniques: Optional[Sequence[MitigationTechnique]]
+) -> None:
+    """Shared sanity checks of one execution unit's cells."""
     if not cells:
         raise ValueError("at least one cell is required")
-    if not techniques:
+    if techniques is not None and not techniques:
         raise ValueError("at least one technique is required")
     keys = {cell.experiment_key for cell in cells}
     if len(keys) != 1:
@@ -350,18 +346,41 @@ def execute_cell_group(
     if any(cell.is_clean for cell in cells) and len(cells) != 1:
         raise ValueError("the clean reference cell must form its own unit")
 
-    started = time.perf_counter()
+
+def _unit_fault_config(cell: SweepCell) -> Optional[ComputeEngineFaultConfig]:
+    """The injection configuration shared by a unit's fault maps."""
+    if cell.is_clean:
+        return None
+    return ComputeEngineFaultConfig(
+        fault_rate=cell.fault_rate,
+        inject_synapses=cell.inject_synapses,
+        inject_neurons=cell.inject_neurons,
+    )
+
+
+def prepare_unit_inputs(
+    cells: Sequence[SweepCell],
+    model: TrainedModel,
+    dataset: Dataset,
+) -> UnitInputs:
+    """Draw one unit's fault maps and encode its presentations.
+
+    Per-cell randomness protocol (all from ``cell.seed``): the fault map is
+    drawn first, then the test set is Poisson-encoded once, and every
+    technique later evaluates against that same fault map *and* the same
+    encoded presentations — the paired-comparison protocol of the paper
+    applied to presentations as well as maps.  The returned generators are
+    left exactly where techniques that draw extra randomness (re-execution
+    with ``reexposure_fraction > 0``) expect to resume them.
+    """
+    cells = list(cells)
+    _validate_unit(cells, techniques=None)
     generators = [np.random.default_rng(cell.seed) for cell in cells]
 
-    if cells[0].is_clean:
-        config = None
+    config = _unit_fault_config(cells[0])
+    if config is None:
         fault_maps = None
     else:
-        config = ComputeEngineFaultConfig(
-            fault_rate=cells[0].fault_rate,
-            inject_synapses=cells[0].inject_synapses,
-            inject_neurons=cells[0].inject_neurons,
-        )
         map_generator = FaultMapGenerator(
             crossbar_shape=(model.network_config.n_inputs, model.n_neurons),
             quantizer=model.network_config.make_quantizer(model.clean_max_weight),
@@ -377,6 +396,54 @@ def execute_cell_group(
         encoder.encode_batch(flat[:, np.newaxis, :], rng=generator)
         for generator in generators
     ]
+    return UnitInputs(fault_maps=fault_maps, rasters=rasters, generators=generators)
+
+
+def execute_cell_group(
+    cells: Sequence[SweepCell],
+    model: TrainedModel,
+    dataset: Dataset,
+    techniques: Sequence[MitigationTechnique],
+    inputs: Optional[UnitInputs] = None,
+) -> List[CellResult]:
+    """Execute cells at one (experiment, fault rate) coordinate as a unit.
+
+    This is the campaign hot path: every cell's fault map is drawn from its
+    own seed exactly as in per-cell execution
+    (:func:`prepare_unit_inputs`), all maps and all techniques are stacked
+    into one map-parallel engine pass
+    (:func:`repro.core.mitigation.evaluate_techniques_mapped`), and one
+    :class:`CellResult` per cell comes back out.  Because the per-row
+    engine arithmetic is bit-identical to stand-alone evaluation, grouping
+    is purely an execution-strategy choice: the records equal the ones
+    :func:`execute_cell` produces for each cell alone (only the measured
+    ``duration_seconds`` differs — the unit's wall clock is split evenly
+    across its cells).
+
+    A clean cell (one per experiment) must form its own unit; it evaluates
+    every technique against the fault-free engine, so weight-modifying
+    techniques (BnP bounds weights even at fault rate 0) report their true
+    clean baseline instead of inheriting the unmitigated one.
+
+    Parameters
+    ----------
+    cells / model / dataset / techniques:
+        The unit and the assets it evaluates against.
+    inputs:
+        Optional pre-drawn :class:`UnitInputs` — the warm-pool path, where
+        the orchestrator prepared maps and presentations and shipped the
+        rasters through shared memory.  ``None`` (the serial path) prepares
+        them here from the cell seeds; the streams consumed are identical,
+        so the records match bit for bit.
+    """
+    cells = list(cells)
+    _validate_unit(cells, techniques)
+
+    started = time.perf_counter()
+    if inputs is None:
+        inputs = prepare_unit_inputs(cells, model, dataset)
+    config = _unit_fault_config(cells[0])
+    fault_maps = inputs.fault_maps
 
     outcomes = evaluate_techniques_mapped(
         model,
@@ -384,8 +451,8 @@ def execute_cell_group(
         techniques,
         fault_config=config,
         fault_maps=fault_maps,
-        generators=generators,
-        rasters=rasters,
+        generators=inputs.generators,
+        rasters=inputs.rasters,
         batch_size=cells[0].batch_size,
     )
 
@@ -744,37 +811,18 @@ class CampaignResult:
         return "\n\n".join(blocks)
 
 
-# Per-process cache of worker assets, keyed by experiment key.  Populated
-# lazily in each pool worker so a worker handling many cells of the same
-# experiment loads the model snapshot and regenerates the datasets once.
-_WORKER_ASSETS: Dict[str, Tuple[TrainedModel, Dataset, List[MitigationTechnique]]] = {}
+def resolve_worker_count(n_workers: Optional[int]) -> int:
+    """Resolve a worker-count request to a concrete positive count.
 
-
-def _pool_execute_unit(
-    context: Dict[str, object], cells_data: List[Dict[str, object]]
-) -> List[Dict[str, object]]:
-    """Pool entry point: rebuild assets (cached per process), run one unit.
-
-    Only plain dictionaries cross the process boundary; the heavy assets
-    (model, dataset) are reconstructed inside the worker from the snapshot
-    path and the deterministic dataset seeds.
+    ``None`` (the CLI's ``--workers auto``) means "use the machine":
+    :func:`os.cpu_count` workers, with a floor of one when the count is
+    unknown.  Explicit counts must be positive.
     """
-    cells = [SweepCell.from_dict(cell_data) for cell_data in cells_data]
-    key = cells[0].experiment_key
-    if key not in _WORKER_ASSETS:
-        config = ExperimentConfig.from_dict(context["experiment"])
-        model = TrainedModel.load(context["model_path"])
-        seeds = SeedSequenceFactory(root_seed=int(context["runner_seed"]))
-        _, test_set = prepare_datasets(config, seeds)
-        techniques = [
-            TechniqueSpec.from_dict(item).build() for item in context["techniques"]
-        ]
-        _WORKER_ASSETS[key] = (model, test_set, techniques)
-    model, test_set, techniques = _WORKER_ASSETS[key]
-    return [
-        result.to_dict()
-        for result in execute_cell_group(cells, model, test_set, techniques)
-    ]
+    if n_workers is None:
+        return max(1, os.cpu_count() or 1)
+    if n_workers <= 0:
+        raise ValueError(f"n_workers must be positive, got {n_workers}")
+    return int(n_workers)
 
 
 def _schedule_units(
@@ -800,31 +848,37 @@ def _execute_serial(
 
 def _execute_pool(
     cells: Sequence[SweepCell],
-    contexts: Dict[str, Dict[str, object]],
+    assets: Dict[str, Tuple[TrainedModel, Dataset, List[MitigationTechnique]]],
+    model_paths: Dict[str, str],
+    technique_specs: Sequence[TechniqueSpec],
     n_workers: int,
     on_result: Callable[[CellResult], None],
     map_parallel: bool = True,
 ) -> None:
-    from concurrent.futures import ProcessPoolExecutor, as_completed
+    """Distribute units over the warm persistent worker pool.
 
-    with ProcessPoolExecutor(max_workers=n_workers) as pool:
-        futures = {
-            pool.submit(
-                _pool_execute_unit,
-                contexts[unit[0].experiment_key],
-                [cell.to_dict() for cell in unit],
-            ): unit
-            for unit in _schedule_units(cells, map_parallel)
-        }
-        for future in as_completed(futures):
-            for record in future.result():
-                on_result(CellResult.from_dict(record))
+    The orchestrator keeps the prepared assets (it draws the fault maps and
+    encodes the presentations itself, see
+    :func:`repro.eval.pool.execute_units_pooled`); workers receive the
+    model snapshot path once per experiment and the encoded rasters through
+    shared memory per unit.
+    """
+    from repro.eval.pool import execute_units_pooled
+
+    execute_units_pooled(
+        units=_schedule_units(cells, map_parallel),
+        assets=assets,
+        model_paths=model_paths,
+        technique_specs=technique_specs,
+        n_workers=n_workers,
+        on_result=on_result,
+    )
 
 
 def run_campaign(
     spec: CampaignSpec,
     store_path: Optional[Union[str, Path]] = None,
-    n_workers: int = 1,
+    n_workers: Optional[int] = 1,
     resume: bool = True,
     workdir: Optional[Union[str, Path]] = None,
     runner: Optional[ExperimentRunner] = None,
@@ -842,9 +896,11 @@ def run_campaign(
         as they complete and cells already present are skipped, making the
         run resumable; when ``None`` results live only in memory.
     n_workers:
-        ``1`` executes cells serially in-process; ``>1`` distributes them
-        over a :class:`~concurrent.futures.ProcessPoolExecutor`, falling
-        back to the serial executor if the platform cannot spawn processes.
+        ``1`` executes cells serially in-process; ``>1`` distributes
+        execution units over the warm persistent worker pool
+        (:mod:`repro.eval.pool`), falling back to the serial executor if
+        the platform cannot spawn processes.  ``None`` means "use the
+        machine": one worker per CPU (:func:`resolve_worker_count`).
     resume:
         When false an existing store is truncated instead of resumed.
     workdir:
@@ -869,8 +925,7 @@ def run_campaign(
         :func:`execute_cell_group`); cell-at-a-time execution only spreads
         the grid into smaller work items.
     """
-    if n_workers <= 0:
-        raise ValueError(f"n_workers must be positive, got {n_workers}")
+    n_workers = resolve_worker_count(n_workers)
     started = time.perf_counter()
 
     store: Optional[ResultStore] = None
@@ -942,25 +997,24 @@ def run_campaign(
                     models_dir = Path(temp_dir.name)
                 models_dir.mkdir(parents=True, exist_ok=True)
 
-                contexts: Dict[str, Dict[str, object]] = {}
+                model_paths: Dict[str, str] = {}
                 for config in spec.experiments:
                     key = config.label()
                     if key not in assets:
                         continue
                     safe = key.replace("/", "_").replace(" ", "_")
-                    model_path = assets[key][0].save(models_dir / safe)
-                    contexts[key] = {
-                        "experiment": config.to_dict(),
-                        "model_path": str(model_path),
-                        "runner_seed": spec.runner_seed,
-                        "techniques": [t.to_dict() for t in spec.techniques],
-                    }
+                    model_paths[key] = str(assets[key][0].save(models_dir / safe))
                 try:
                     _execute_pool(
-                        pending, contexts, n_workers, record,
+                        pending,
+                        assets,
+                        model_paths,
+                        spec.techniques,
+                        n_workers,
+                        record,
                         map_parallel=map_parallel,
                     )
-                except (OSError, ImportError, BrokenProcessPool) as error:
+                except (OSError, ImportError) as error:
                     # Sandboxed or exotic platforms may not allow process
                     # pools at all; the grid still completes serially.
                     _LOGGER.warning(

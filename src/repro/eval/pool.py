@@ -1,0 +1,501 @@
+"""Warm persistent worker pool for campaign execution.
+
+The campaign's old process pool lost to serial execution (0.16x) because
+every submitted unit paid model-snapshot loading, dataset regeneration and
+test-set Poisson encoding *inside* the worker.  This module replaces it
+with long-lived workers and a strict split of responsibilities:
+
+Orchestrator (this process)
+    Owns every heavy asset.  It trains/loads the clean models, publishes
+    each experiment's test set once via ``multiprocessing.shared_memory``
+    (:class:`repro.utils.serialization.SharedArrayPublisher`), and — right
+    before dispatching a unit — draws that unit's fault maps and encodes
+    its presentations (:func:`repro.eval.campaign.prepare_unit_inputs`),
+    publishing the stacked rasters as one shared segment per cell.  The
+    per-unit encode overlaps with worker simulation, so encoding cost is
+    hidden behind the much larger engine pass.
+
+Workers (long-lived child processes)
+    Load the ``TrainedModel`` snapshot once per experiment key, attach
+    zero-copy numpy views onto the published test set and rasters, rebuild
+    techniques from their declarative specs, and run
+    :func:`repro.eval.campaign.execute_cell_group` with the pre-drawn
+    :class:`repro.eval.campaign.UnitInputs`.  Because the orchestrator
+    consumed the very same per-cell random streams in the very same order
+    the serial path does, the records coming back are bit-identical to
+    serial execution.
+
+Scheduling is group-aware: units are assigned largest-first (LPT) and
+routed with affinity to a worker that already holds the unit's experiment
+assets, unless that worker is overloaded relative to the least-loaded one.
+Results stream back over a single queue, so the caller's ``on_result``
+callback (and therefore ``ResultStore`` append/fsync and resume
+fingerprints) behaves exactly as in serial execution.
+
+Crash safety: the orchestrator owns all shared-memory segments and unlinks
+them in a ``finally`` block, so neither worker crashes nor
+``KeyboardInterrupt`` leak segments.  A worker that dies mid-unit is
+detected by liveness polling; its in-flight unit is named (experiment key
+plus cell ids) and re-executed serially once, and its queued units are
+redistributed to the surviving workers.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import queue as queue_module
+import signal
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import multiprocessing as mp
+
+from repro.data.datasets import Dataset
+from repro.eval.campaign import (
+    CellResult,
+    SweepCell,
+    TechniqueSpec,
+    UnitInputs,
+    execute_cell_group,
+    prepare_unit_inputs,
+)
+from repro.snn.training import TrainedModel
+from repro.utils.logging import get_logger
+from repro.utils.serialization import (
+    SharedArrayHandle,
+    SharedArrayPublisher,
+    SharedArrayView,
+    reap_stale_segments,
+)
+
+__all__ = [
+    "ExperimentContext",
+    "UnitExecutionError",
+    "execute_units_pooled",
+]
+
+_LOGGER = get_logger("eval.pool")
+
+# Units a worker may have queued or running at once.  Two keeps a worker
+# busy while the orchestrator encodes its next unit without letting
+# shared-memory rasters for the whole campaign pile up.
+_MAX_IN_FLIGHT = 2
+
+# Environment hook for the crash-handling tests: a worker whose task's
+# ``unit_id`` matches this value hard-exits right after acknowledging the
+# unit, simulating a mid-unit crash (OOM kill, segfault).
+_CRASH_UNIT_ENV = "_SOFTSNN_POOL_CRASH_UNIT"
+
+
+class UnitExecutionError(RuntimeError):
+    """A unit failed inside a pool worker (the exception, not a crash)."""
+
+
+@dataclass(frozen=True)
+class ExperimentContext:
+    """Everything a worker needs to build one experiment's assets.
+
+    The model travels as a snapshot path (loaded once per worker), the
+    test set as shared-memory handles (attached zero-copy), techniques as
+    declarative specs (rebuilt in-process).
+    """
+
+    experiment_key: str
+    model_path: str
+    images: SharedArrayHandle
+    labels: SharedArrayHandle
+    dataset_name: str
+    dataset_metadata: Dict[str, object]
+    technique_specs: Tuple[Dict[str, object], ...]
+
+
+@dataclass(frozen=True)
+class _UnitTask:
+    """One dispatched execution unit as it crosses the queue."""
+
+    unit_id: int
+    experiment_key: str
+    cells: Tuple[Dict[str, object], ...]
+    fault_maps_blob: Optional[bytes]
+    raster_handles: Tuple[SharedArrayHandle, ...]
+    generators_blob: bytes
+
+
+@dataclass
+class _WorkerState:
+    """Orchestrator-side bookkeeping for one worker process."""
+
+    process: mp.process.BaseProcess
+    task_queue: "mp.queues.Queue"
+    backlog: List[int] = field(default_factory=list)
+    in_flight: List[int] = field(default_factory=list)
+    started_unit: Optional[int] = None
+    sent_contexts: set = field(default_factory=set)
+    load: int = 0
+    alive: bool = True
+
+
+def _worker_assets(
+    context: ExperimentContext,
+    cache: Dict[str, Tuple[TrainedModel, Dataset, List[object]]],
+    views: List[SharedArrayView],
+) -> Tuple[TrainedModel, Dataset, List[object]]:
+    """Build (and cache) one experiment's worker-side assets."""
+    if context.experiment_key not in cache:
+        model = TrainedModel.load(context.model_path)
+        image_view = SharedArrayView(context.images)
+        label_view = SharedArrayView(context.labels)
+        views.extend([image_view, label_view])
+        dataset = Dataset(
+            images=image_view.array,
+            labels=label_view.array,
+            name=context.dataset_name,
+            metadata=dict(context.dataset_metadata),
+        )
+        techniques = [
+            TechniqueSpec.from_dict(spec).build()
+            for spec in context.technique_specs
+        ]
+        cache[context.experiment_key] = (model, dataset, techniques)
+    return cache[context.experiment_key]
+
+
+def _worker_main(
+    worker_id: int,
+    task_queue: "mp.queues.Queue",
+    result_queue: "mp.queues.Queue",
+) -> None:
+    """Worker loop: receive contexts and units, stream results back.
+
+    The worker ignores ``SIGINT`` so a ``KeyboardInterrupt`` in the
+    orchestrator does not race its cleanup: the orchestrator keeps control
+    and shuts the pool down through sentinels/terminate.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    contexts: Dict[str, ExperimentContext] = {}
+    cache: Dict[str, Tuple[TrainedModel, Dataset, List[object]]] = {}
+    views: List[SharedArrayView] = []
+    crash_unit = os.environ.get(_CRASH_UNIT_ENV)
+    try:
+        while True:
+            message = task_queue.get()
+            if message is None:
+                break
+            kind, payload = message
+            if kind == "context":
+                contexts[payload.experiment_key] = payload
+                continue
+            task: _UnitTask = payload
+            result_queue.put(("start", worker_id, task.unit_id))
+            if crash_unit is not None and crash_unit == str(task.unit_id):
+                # Flush the "start" ack before dying so the orchestrator
+                # reliably learns which unit the crash interrupted.
+                result_queue.close()
+                result_queue.join_thread()
+                os._exit(3)
+            raster_views: List[SharedArrayView] = []
+            try:
+                model, dataset, techniques = _worker_assets(
+                    contexts[task.experiment_key], cache, views
+                )
+                raster_views = [
+                    SharedArrayView(handle) for handle in task.raster_handles
+                ]
+                fault_maps = (
+                    None
+                    if task.fault_maps_blob is None
+                    else pickle.loads(task.fault_maps_blob)
+                )
+                inputs = UnitInputs(
+                    fault_maps=fault_maps,
+                    rasters=[view.array for view in raster_views],
+                    generators=pickle.loads(task.generators_blob),
+                )
+                cells = [SweepCell.from_dict(data) for data in task.cells]
+                results = execute_cell_group(
+                    cells, model, dataset, techniques, inputs=inputs
+                )
+                result_queue.put(
+                    (
+                        "done",
+                        worker_id,
+                        task.unit_id,
+                        [result.to_dict() for result in results],
+                    )
+                )
+            except Exception:  # noqa: BLE001 - forwarded to the orchestrator
+                result_queue.put(
+                    ("error", worker_id, task.unit_id, traceback.format_exc())
+                )
+            finally:
+                for view in raster_views:
+                    view.close()
+    finally:
+        for view in views:
+            view.close()
+
+
+def _describe_unit(unit: Sequence[SweepCell]) -> str:
+    """Human-readable identity of a unit for error messages and logs."""
+    cell_ids = ", ".join(cell.cell_id for cell in unit)
+    return f"experiment {unit[0].experiment_key}: [{cell_ids}]"
+
+
+def _assign_units(
+    units: Sequence[Sequence[SweepCell]], n_workers: int
+) -> List[List[int]]:
+    """Largest-first (LPT) assignment with experiment affinity.
+
+    Returns per-worker lists of unit indices.  Each unit goes to the
+    least-loaded worker, except that a worker already holding the unit's
+    experiment assets is preferred as long as its load stays within one
+    unit-cost of the minimum — re-using a loaded model beats perfect
+    balance for anything but large imbalances.
+    """
+    order = sorted(range(len(units)), key=lambda i: -len(units[i]))
+    loads = [0] * n_workers
+    keys: List[set] = [set() for _ in range(n_workers)]
+    backlog: List[List[int]] = [[] for _ in range(n_workers)]
+    for index in order:
+        unit = units[index]
+        cost = len(unit)
+        best = min(range(n_workers), key=lambda w: loads[w])
+        with_key = [w for w in range(n_workers) if unit[0].experiment_key in keys[w]]
+        if with_key:
+            preferred = min(with_key, key=lambda w: loads[w])
+            if loads[preferred] <= loads[best] + cost:
+                best = preferred
+        backlog[best].append(index)
+        loads[best] += cost
+        keys[best].add(unit[0].experiment_key)
+    return backlog
+
+
+def execute_units_pooled(
+    units: Sequence[Sequence[SweepCell]],
+    assets: Dict[str, Tuple[TrainedModel, Dataset, List[object]]],
+    model_paths: Dict[str, str],
+    technique_specs: Sequence[TechniqueSpec],
+    n_workers: int,
+    on_result: Callable[[CellResult], None],
+) -> None:
+    """Execute units on warm persistent workers, streaming results back.
+
+    Parameters
+    ----------
+    units:
+        Execution units (lists of cells sharing one (experiment, rate)
+        coordinate), typically from
+        :func:`repro.eval.campaign.group_cells`.
+    assets:
+        Orchestrator-side ``{experiment_key: (model, test_set,
+        techniques)}`` — used to publish test sets, prepare unit inputs
+        and serially re-execute units of crashed workers.
+    model_paths:
+        ``{experiment_key: snapshot path}`` for worker-side model loading.
+    technique_specs:
+        Declarative technique specs workers rebuild in-process.
+    n_workers:
+        Number of persistent worker processes to spawn (capped at the
+        number of units).
+    on_result:
+        Callback invoked with every finished :class:`CellResult`, in
+        completion order.
+
+    Raises
+    ------
+    UnitExecutionError
+        When a unit raises inside a worker (deterministic failures would
+        fail serially too, so no retry), or when a crashed worker's unit
+        fails its one serial retry.
+    """
+    units = [list(unit) for unit in units]
+    if not units:
+        return
+    n_workers = max(1, min(n_workers, len(units)))
+
+    stale = reap_stale_segments("softsnn-pool")
+    if stale:
+        _LOGGER.warning(
+            "reaped %d shared-memory segment(s) orphaned by a killed "
+            "campaign run", len(stale)
+        )
+
+    ctx = mp.get_context()
+    result_queue = ctx.Queue()
+    publisher = SharedArrayPublisher(prefix="softsnn-pool")
+    workers: List[_WorkerState] = []
+    contexts: Dict[str, ExperimentContext] = {}
+    unit_rasters: Dict[int, Tuple[SharedArrayHandle, ...]] = {}
+    done: set = set()
+
+    needed_keys = {unit[0].experiment_key for unit in units}
+    try:
+        for key in sorted(needed_keys):
+            dataset = assets[key][1]
+            contexts[key] = ExperimentContext(
+                experiment_key=key,
+                model_path=model_paths[key],
+                images=publisher.publish(dataset.images),
+                labels=publisher.publish(dataset.labels),
+                dataset_name=dataset.name,
+                dataset_metadata=dict(dataset.metadata),
+                technique_specs=tuple(
+                    spec.to_dict() for spec in technique_specs
+                ),
+            )
+
+        for backlog in _assign_units(units, n_workers):
+            task_queue = ctx.Queue()
+            process = ctx.Process(
+                target=_worker_main,
+                args=(len(workers), task_queue, result_queue),
+                daemon=True,
+            )
+            process.start()
+            workers.append(
+                _WorkerState(
+                    process=process, task_queue=task_queue, backlog=backlog
+                )
+            )
+
+        def dispatch(worker: _WorkerState) -> None:
+            """Send the worker's next backlog unit (prepare inputs now)."""
+            while worker.backlog and len(worker.in_flight) < _MAX_IN_FLIGHT:
+                index = worker.backlog.pop(0)
+                unit = units[index]
+                key = unit[0].experiment_key
+                if key not in worker.sent_contexts:
+                    worker.task_queue.put(("context", contexts[key]))
+                    worker.sent_contexts.add(key)
+                model, dataset, _ = assets[key]
+                inputs = prepare_unit_inputs(unit, model, dataset)
+                handles = tuple(
+                    publisher.publish(raster) for raster in inputs.rasters
+                )
+                unit_rasters[index] = handles
+                task = _UnitTask(
+                    unit_id=index,
+                    experiment_key=key,
+                    cells=tuple(cell.to_dict() for cell in unit),
+                    fault_maps_blob=(
+                        None
+                        if inputs.fault_maps is None
+                        else pickle.dumps(inputs.fault_maps)
+                    ),
+                    raster_handles=handles,
+                    generators_blob=pickle.dumps(inputs.generators),
+                )
+                worker.task_queue.put(("unit", task))
+                worker.in_flight.append(index)
+
+        def release_rasters(index: int) -> None:
+            for handle in unit_rasters.pop(index, ()):
+                publisher.unlink(handle)
+
+        def run_serially(index: int, reason: str) -> None:
+            """Serial (orchestrator-side) execution of one unit."""
+            unit = units[index]
+            _LOGGER.warning(
+                "campaign pool: executing %s serially (%s)",
+                _describe_unit(unit),
+                reason,
+            )
+            model, dataset, techniques = assets[unit[0].experiment_key]
+            try:
+                results = execute_cell_group(unit, model, dataset, techniques)
+            except Exception as error:
+                raise UnitExecutionError(
+                    f"unit {_describe_unit(unit)} failed its serial retry "
+                    f"after a worker crash: {error}"
+                ) from error
+            for result in results:
+                on_result(result)
+            done.add(index)
+
+        def handle_dead_worker(worker: _WorkerState) -> None:
+            """Recover a crashed worker's in-flight and queued units."""
+            worker.alive = False
+            crashed = worker.started_unit
+            survivors = [w for w in workers if w.alive]
+            for index in worker.in_flight:
+                release_rasters(index)
+                if index in done:
+                    continue
+                if index == crashed:
+                    # The unit the worker was executing when it died gets
+                    # one serial retry, as promised in the module docs.
+                    run_serially(
+                        index,
+                        f"worker {workers.index(worker)} died mid-unit "
+                        f"(exit code {worker.process.exitcode})",
+                    )
+                elif survivors:
+                    survivors[0].backlog.insert(0, index)
+                else:
+                    run_serially(index, "no surviving workers")
+            worker.in_flight = []
+            remaining = worker.backlog
+            worker.backlog = []
+            if survivors:
+                for position, index in enumerate(remaining):
+                    survivors[position % len(survivors)].backlog.append(index)
+                for survivor in survivors:
+                    dispatch(survivor)
+            else:
+                for index in remaining:
+                    run_serially(index, "no surviving workers")
+
+        for worker in workers:
+            dispatch(worker)
+
+        while len(done) < len(units):
+            try:
+                message = result_queue.get(timeout=0.25)
+            except queue_module.Empty:
+                for worker in workers:
+                    if worker.alive and not worker.process.is_alive():
+                        handle_dead_worker(worker)
+                continue
+            kind, worker_id, index = message[0], message[1], message[2]
+            worker = workers[worker_id]
+            if kind == "start":
+                worker.started_unit = index
+                continue
+            if index in done:
+                # A late message for a unit already recovered serially.
+                continue
+            if kind == "error":
+                raise UnitExecutionError(
+                    f"unit {_describe_unit(units[index])} failed in "
+                    f"worker {worker_id}:\n{message[3]}"
+                )
+            for record in message[3]:
+                on_result(CellResult.from_dict(record))
+            done.add(index)
+            release_rasters(index)
+            if index in worker.in_flight:
+                worker.in_flight.remove(index)
+            if worker.started_unit == index:
+                worker.started_unit = None
+            dispatch(worker)
+    finally:
+        for worker in workers:
+            if worker.alive and worker.process.is_alive():
+                try:
+                    worker.task_queue.put(None)
+                except (OSError, ValueError):
+                    pass
+        for worker in workers:
+            worker.process.join(timeout=5.0)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=5.0)
+        for worker in workers:
+            worker.task_queue.cancel_join_thread()
+            worker.task_queue.close()
+        result_queue.cancel_join_thread()
+        result_queue.close()
+        publisher.close()

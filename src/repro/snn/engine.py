@@ -350,8 +350,12 @@ class BatchedInferenceEngine:
     ) -> BatchResult:
         """Run pre-encoded spike rasters of shape ``(batch, timesteps, n_inputs)``.
 
-        Exposed separately so benchmarks and re-executions can reuse
-        encodings; see :meth:`run` for the other parameters.
+        Exposed separately so benchmarks, re-executions and the campaign's
+        warm pool workers can reuse encodings; see :meth:`run` for the
+        other parameters.  The rasters are only read, never written, so
+        read-only zero-copy views (for example onto
+        ``multiprocessing.shared_memory`` segments published by the
+        campaign orchestrator) are accepted directly.
 
         ``carry_reset_latch`` selects between the two sample-coupling
         semantics.  ``True`` (default) reproduces the paper's sequential

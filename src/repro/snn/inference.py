@@ -219,6 +219,7 @@ class InferenceEngine:
         effective_weights: Optional[np.ndarray] = None,
         step_monitor: Optional[StepMonitor] = None,
         batch_size: Optional[int] = None,
+        raster: Optional[np.ndarray] = None,
     ) -> InferenceResult:
         """Classify every sample of *dataset* and aggregate the results.
 
@@ -228,6 +229,14 @@ class InferenceEngine:
         to chunk so the sequential sample-order semantics are preserved,
         and the neuron group is left in the same final state the per-image
         loop (:meth:`evaluate_sequential`) would leave it in.
+
+        When *raster* is given it must be the externally Poisson-encoded
+        presentation tensor ``(n_samples, timesteps, n_inputs)`` for the
+        whole dataset (for example a zero-copy shared-memory view published
+        by the campaign orchestrator); the engine then consumes it directly
+        instead of encoding ``dataset.images``, and *rng* is left
+        untouched.  Passing the raster the engine would have encoded from
+        *rng* yields bit-identical results.
         """
         if len(dataset) == 0:
             raise ValueError("evaluation dataset must not be empty")
@@ -237,6 +246,11 @@ class InferenceEngine:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
         generator = resolve_rng(rng)
         n_samples = len(dataset)
+        if raster is not None and raster.shape[0] != n_samples:
+            raise ValueError(
+                f"raster covers {raster.shape[0]} samples, dataset has "
+                f"{n_samples}"
+            )
         predictions = np.zeros(n_samples, dtype=np.int64)
         spike_counts = np.zeros((n_samples, self.network.n_neurons), dtype=np.int64)
         per_sample_output: List[int] = []
@@ -247,14 +261,23 @@ class InferenceEngine:
         last_result = None
         for start in range(0, n_samples, batch_size):
             stop = min(start + batch_size, n_samples)
-            result = engine.run(
-                dataset.images[start:stop],
-                rng=generator,
-                effective_weights=effective_weights,
-                step_monitor=step_monitor,
-                initial_reset_latch=latch,
-                sample_offset=start,
-            )
+            if raster is not None:
+                result = engine.run_encoded(
+                    raster[start:stop],
+                    effective_weights=effective_weights,
+                    step_monitor=step_monitor,
+                    initial_reset_latch=latch,
+                    sample_offset=start,
+                )
+            else:
+                result = engine.run(
+                    dataset.images[start:stop],
+                    rng=generator,
+                    effective_weights=effective_weights,
+                    step_monitor=step_monitor,
+                    initial_reset_latch=latch,
+                    sample_offset=start,
+                )
             latch = result.final_reset_latch
             predictions[start:stop] = self.classify_batch(result.spike_counts)
             spike_counts[start:stop] = result.spike_counts

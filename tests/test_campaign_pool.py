@@ -1,0 +1,320 @@
+"""Tests for the warm persistent campaign worker pool.
+
+The pool's contract has three legs, each covered here:
+
+* **Bit-identity** — store records produced through the pool equal the
+  serial ones byte for byte (modulo the measured ``duration_seconds``),
+  because the orchestrator consumes the per-cell random streams in the
+  same order and ships the results of that consumption to the workers.
+* **Robustness** — a worker that dies mid-unit is detected, the unit is
+  named and re-executed serially once, and a half-finished pooled
+  campaign resumes from its store exactly like a serial one.
+* **Hygiene** — no shared-memory segments survive a normal run, a worker
+  crash, or a ``KeyboardInterrupt`` in the orchestrator.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.campaign import _parse_workers
+from repro.eval.campaign import (
+    CampaignSpec,
+    TechniqueSpec,
+    execute_cell_group,
+    group_cells,
+    prepare_unit_inputs,
+    resolve_worker_count,
+    run_campaign,
+)
+from repro.eval.experiment import ExperimentConfig, ExperimentRunner
+from repro.eval.pool import execute_units_pooled
+from repro.hardware.enhancements import MitigationKind
+from repro.utils.serialization import SharedArrayPublisher, SharedArrayView
+
+TINY_CONFIG = ExperimentConfig(
+    workload="mnist", n_neurons=10, n_train=24, n_test=8, timesteps=40, epochs=1
+)
+RATES = [1e-3, 1e-1]
+CAMPAIGN_SEED = 5
+RUNNER_SEED = 3
+
+_SHM_DIR = Path("/dev/shm")
+
+
+def tiny_spec(**overrides) -> CampaignSpec:
+    kwargs = dict(
+        name="tiny-pool",
+        experiments=[TINY_CONFIG],
+        fault_rates=list(RATES),
+        techniques=[
+            TechniqueSpec(MitigationKind.NO_MITIGATION),
+            TechniqueSpec(MitigationKind.BNP3),
+        ],
+        n_trials=2,
+        seed=CAMPAIGN_SEED,
+        runner_seed=RUNNER_SEED,
+    )
+    kwargs.update(overrides)
+    return CampaignSpec(**kwargs)
+
+
+def store_cells(path: Path) -> list:
+    """Cell records of a store, duration-normalized and sorted by id."""
+    records = []
+    for line in path.read_text().splitlines():
+        record = json.loads(line)
+        if record.get("type") != "cell":
+            continue
+        record["duration_seconds"] = 0.0
+        records.append(record)
+    records.sort(key=lambda record: record["cell_id"])
+    return records
+
+
+def pool_segments() -> list:
+    """Shared-memory segments of ours currently present on the system.
+
+    Orphans left by *other* (dead) processes — e.g. a previously
+    SIGKILLed campaign on a shared box — are swept first so they cannot
+    fail an unrelated hygiene assertion; anything this process leaked
+    has a live owner pid and is still reported.
+    """
+    if not _SHM_DIR.is_dir():  # pragma: no cover - non-POSIX-shm platform
+        pytest.skip("no /dev/shm to inspect")
+    from repro.utils.serialization import reap_stale_segments
+
+    for prefix in ("softsnn-pool", "softsnn-test", "softsnn"):
+        reap_stale_segments(prefix)
+    return sorted(p.name for p in _SHM_DIR.iterdir() if "softsnn" in p.name)
+
+
+def pooled_assets(tmp_path: Path):
+    """Orchestrator-side assets + snapshot paths for direct pool calls."""
+    spec = tiny_spec()
+    runner = ExperimentRunner(root_seed=RUNNER_SEED)
+    prepared = runner.prepare(TINY_CONFIG)
+    key = TINY_CONFIG.label()
+    techniques = [tspec.build() for tspec in spec.techniques]
+    assets = {key: (prepared.model, prepared.test_set, techniques)}
+    model_paths = {key: str(prepared.model.save(tmp_path / "model"))}
+    units = group_cells(spec.expand())
+    return spec, units, assets, model_paths
+
+
+class TestWorkerCountResolution:
+    def test_auto_resolves_to_cpu_count(self):
+        assert resolve_worker_count(None) == max(1, os.cpu_count() or 1)
+
+    def test_explicit_counts_pass_through(self):
+        assert resolve_worker_count(1) == 1
+        assert resolve_worker_count(7) == 7
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_worker_count(0)
+        with pytest.raises(ValueError):
+            resolve_worker_count(-2)
+
+    def test_cli_workers_parser(self):
+        import argparse
+
+        assert _parse_workers("auto") is None
+        assert _parse_workers("AUTO") is None
+        assert _parse_workers("4") == 4
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_workers("0")
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_workers("many")
+
+
+class TestPreparedInputs:
+    def test_prepared_inputs_reproduce_inline_execution(self):
+        """execute_cell_group(inputs=...) equals the self-preparing path."""
+        runner = ExperimentRunner(root_seed=RUNNER_SEED)
+        prepared = runner.prepare(TINY_CONFIG)
+        techniques = [tspec.build() for tspec in tiny_spec().techniques]
+        for unit in group_cells(tiny_spec().expand()):
+            inline = execute_cell_group(
+                unit, prepared.model, prepared.test_set, techniques
+            )
+            inputs = prepare_unit_inputs(unit, prepared.model, prepared.test_set)
+            outer = execute_cell_group(
+                unit, prepared.model, prepared.test_set, techniques, inputs=inputs
+            )
+            for a, b in zip(inline, outer):
+                assert a.accuracies == b.accuracies
+                assert a.n_faults == b.n_faults
+
+    def test_shared_memory_raster_views_round_trip(self):
+        """Rasters published and re-attached compare equal, zero-copy."""
+        runner = ExperimentRunner(root_seed=RUNNER_SEED)
+        prepared = runner.prepare(TINY_CONFIG)
+        unit = group_cells(tiny_spec().expand())[1]
+        inputs = prepare_unit_inputs(unit, prepared.model, prepared.test_set)
+        with SharedArrayPublisher(prefix="softsnn-test") as publisher:
+            handles = [publisher.publish(raster) for raster in inputs.rasters]
+            views = [SharedArrayView(handle) for handle in handles]
+            for raster, view in zip(inputs.rasters, views):
+                assert view.array.dtype == raster.dtype
+                assert np.array_equal(view.array, raster)
+            for view in views:
+                view.close()
+        assert pool_segments() == []
+
+
+class TestPoolBitIdentity:
+    def test_store_records_byte_identical(self, tmp_path):
+        """Serial and warm-pool stores hold the same records, byte for byte."""
+        spec = tiny_spec()
+        serial_store = tmp_path / "serial.jsonl"
+        pool_store = tmp_path / "pool.jsonl"
+        run_campaign(spec, store_path=serial_store, n_workers=1)
+        run_campaign(spec, store_path=pool_store, n_workers=2)
+        serial_records = store_cells(serial_store)
+        pool_records = store_cells(pool_store)
+        assert len(serial_records) == len(spec.expand())
+        assert [
+            json.dumps(record, sort_keys=True) for record in serial_records
+        ] == [json.dumps(record, sort_keys=True) for record in pool_records]
+
+    def test_multi_experiment_grid_matches_serial(self, tmp_path):
+        """Affinity routing across two experiments changes nothing."""
+        other = TINY_CONFIG.with_network_size(12)
+        spec = tiny_spec(experiments=[TINY_CONFIG, other], n_trials=1)
+        serial_store = tmp_path / "serial.jsonl"
+        pool_store = tmp_path / "pool.jsonl"
+        run_campaign(spec, store_path=serial_store, n_workers=1)
+        run_campaign(spec, store_path=pool_store, n_workers=2)
+        assert store_cells(serial_store) == store_cells(pool_store)
+
+
+class TestPoolResume:
+    def test_resume_after_kill_with_pool_workers(self, tmp_path):
+        """Truncate a pooled store mid-campaign, resume with pool workers."""
+        spec = tiny_spec()
+        full_store = tmp_path / "full.jsonl"
+        run_campaign(spec, store_path=full_store, n_workers=2)
+        lines = full_store.read_text().splitlines()
+        n_cells = len(lines) - 1  # minus meta record
+        k = 2
+        half_store = tmp_path / "half.jsonl"
+        half_store.write_text("\n".join(lines[: 1 + k]) + "\n")
+
+        resumed = run_campaign(spec, store_path=half_store, n_workers=2)
+        assert resumed.n_skipped == k
+        assert resumed.n_executed == n_cells - k
+        records = store_cells(half_store)
+        assert len(records) == n_cells
+        assert len({record["cell_id"] for record in records}) == n_cells
+        assert records == store_cells(full_store)
+
+
+class TestCrashRecovery:
+    def test_crashed_worker_unit_is_named_and_retried(
+        self, tmp_path, monkeypatch, caplog
+    ):
+        """A worker dying mid-unit costs one serial retry, not the run."""
+        monkeypatch.setenv("_SOFTSNN_POOL_CRASH_UNIT", "0")
+        spec = tiny_spec()
+        serial_store = tmp_path / "serial.jsonl"
+        pool_store = tmp_path / "pool.jsonl"
+        monkeypatch.delenv("_SOFTSNN_POOL_CRASH_UNIT", raising=False)
+        run_campaign(spec, store_path=serial_store, n_workers=1)
+        monkeypatch.setenv("_SOFTSNN_POOL_CRASH_UNIT", "0")
+        # A CLI test earlier in the session may have called
+        # configure_logging(), which stops repro.* records propagating to
+        # the root logger caplog listens on; restore propagation here.
+        monkeypatch.setattr(logging.getLogger("repro"), "propagate", True)
+        with caplog.at_level(logging.WARNING, logger="repro.eval.pool"):
+            run_campaign(spec, store_path=pool_store, n_workers=2)
+        assert "died mid-unit" in caplog.text
+        assert TINY_CONFIG.label() in caplog.text
+        assert store_cells(serial_store) == store_cells(pool_store)
+        assert pool_segments() == []
+
+
+class TestSharedMemoryHygiene:
+    def test_no_segments_after_normal_run(self, tmp_path):
+        run_campaign(tiny_spec(), store_path=tmp_path / "s.jsonl", n_workers=2)
+        assert pool_segments() == []
+
+    def test_stale_segments_of_dead_owner_are_reaped(self, tmp_path):
+        """Segments orphaned by a SIGKILLed run are swept by the next one.
+
+        SIGKILL to the whole process group (OOM killer, ``timeout
+        -sKILL``) takes down the publisher *and* the resource tracker, so
+        only a later run can reclaim the segments — by noticing the pid
+        baked into the name is dead.  On containers whose pid 1 does not
+        reap orphans the killed owner lingers as a zombie, which must
+        count as dead too (it can never run again).
+        """
+        import subprocess
+        import sys
+        import time
+
+        from multiprocessing import resource_tracker, shared_memory
+
+        from repro.utils.serialization import reap_stale_segments
+
+        def stale_segment(pid: int, tag: str) -> str:
+            name = f"softsnn-pool-{pid:x}-{tag}"
+            segment = shared_memory.SharedMemory(name=name, create=True, size=16)
+            segment.close()
+            # The reaper will unlink behind the tracker's back; hand over
+            # the lifetime so the tracker does not warn about a leak.
+            resource_tracker.unregister(segment._name, "shared_memory")
+            return name
+
+        # A pid guaranteed dead: a subprocess we have already reaped.
+        reaped_child = subprocess.Popen([sys.executable, "-c", ""])
+        reaped_child.wait()
+        dead_name = stale_segment(reaped_child.pid, "deadbeefdeadbeef")
+        # A zombie: exited but deliberately not waited on yet.
+        zombie = subprocess.Popen([sys.executable, "-c", ""])
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            with open(f"/proc/{zombie.pid}/stat", "rb") as fh:
+                if fh.read().rpartition(b")")[2].split()[0] == b"Z":
+                    break
+            time.sleep(0.05)
+        zombie_name = stale_segment(zombie.pid, "0000000000zombie")
+        live_name = f"softsnn-pool-{os.getpid():x}-feedfacefeedface"
+        live = shared_memory.SharedMemory(name=live_name, create=True, size=16)
+        try:
+            reaped = reap_stale_segments("softsnn-pool")
+            assert dead_name in reaped
+            assert zombie_name in reaped
+            assert live_name in pool_segments()  # live owner: untouched
+        finally:
+            zombie.wait()
+            live.close()
+            live.unlink()
+        assert pool_segments() == []
+
+    def test_no_segments_after_keyboard_interrupt(self, tmp_path):
+        """Interrupting the orchestrator mid-campaign leaks nothing."""
+        _, units, assets, model_paths = pooled_assets(tmp_path)
+        received = []
+
+        def interrupt(result):
+            received.append(result)
+            raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            execute_units_pooled(
+                units,
+                assets,
+                model_paths,
+                tiny_spec().techniques,
+                n_workers=2,
+                on_result=interrupt,
+            )
+        assert received  # the interrupt fired mid-stream, not before work
+        assert pool_segments() == []
