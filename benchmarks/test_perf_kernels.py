@@ -1,0 +1,205 @@
+"""BENCH — per-kernel throughput of the fused kernel layer.
+
+Times the two primitives every engine runs — the exact register-code GEMM
+and the in-place LIF timestep advance (:mod:`repro.snn.kernels`) — in
+isolation, at paper-scale geometries (N400 and N1600 on 784 inputs), on
+every backend available on this machine.  The numpy backend is always
+measured; when numba is importable the compiled twins are measured too and
+the per-kernel speedup is recorded (and floored — the compiled advance must
+not be slower than the ufunc pipeline it replaces).
+
+Results go to ``benchmarks/results/perf_kernels.json`` so successive PRs
+can track each primitive separately from the end-to-end engine benches:
+``<size>.<backend>.gemm_gops`` is GEMM throughput in effective
+billion MACs/s, ``<size>.<backend>.advance_ns_per_neuron_step`` the advance
+cost per neuron-timestep, and ``numba_speedup`` the compiled-over-numpy
+ratio per kernel (absent without numba).  Set ``PERF_KERNELS_SMOKE=1`` (the
+CI artifact step does) to shrink the geometry sweep and drop the speedup
+floor on loaded workers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.snn.kernels import (
+    KernelWorkspace,
+    LIFStepConfig,
+    OperationMasks,
+    exact_gemm_dtype,
+    exact_scale,
+    get_backend,
+    lif_advance,
+    numba_available,
+    register_gemm,
+)
+
+SMOKE = os.environ.get("PERF_KERNELS_SMOKE") == "1"
+
+N_INPUTS = 784
+#: Paper network sizes measured (Fig. 13 sweeps N400…N3600).
+SIZES = [400] if SMOKE else [400, 1600]
+TIMESTEPS = 30 if SMOKE else 100
+BATCH = 32 if SMOKE else 64
+N_REPS = 3 if SMOKE else 5
+#: The compiled advance must at least match the numpy ufunc pipeline.
+MIN_NUMBA_ADVANCE_SPEEDUP = 0.8
+
+RESULTS_PATH = Path(__file__).parent / "results" / "perf_kernels.json"
+
+
+def _best_of(n_reps, run):
+    """Best-of-N wall time: the minimum is the least load-disturbed run."""
+    best = np.inf
+    for _ in range(n_reps):
+        start = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _bench_backend(backend, n_neurons, rng):
+    """Time both kernels for one backend at one network size."""
+    gemm_dtype = exact_gemm_dtype(N_INPUTS, 255)
+    codes = np.ascontiguousarray(
+        rng.integers(0, 256, size=(N_INPUTS, n_neurons)), dtype=gemm_dtype
+    )
+    raster = rng.random((BATCH * TIMESTEPS, N_INPUTS)) < 0.05
+
+    def run_gemm():
+        register_gemm(raster, codes, backend=backend)
+
+    shape = (1, BATCH, n_neurons)
+    currents = exact_scale(register_gemm(raster, codes), 2.0 / 255.0).reshape(
+        (TIMESTEPS,) + shape
+    )
+    output = np.zeros((TIMESTEPS,) + shape, dtype=bool)
+    threshold = np.full(n_neurons, 20.0)
+    config = LIFStepConfig(
+        v_rest=-65.0,
+        v_reset=-60.0,
+        v_min=-80.0,
+        membrane_decay=0.95,
+        refractory_period=5,
+        inhibition_strength=1.0,
+    )
+    masks = OperationMasks.healthy(n_neurons)
+    workspace = KernelWorkspace()
+    state = {}
+
+    def reset_state():
+        state["arrays"] = (
+            np.full(shape, config.v_rest, dtype=np.float64),
+            np.zeros(shape, dtype=np.int64),
+            np.zeros(shape, dtype=np.int64),
+            np.zeros(shape, dtype=bool),
+            np.zeros(shape, dtype=bool),
+            np.empty(shape, dtype=bool),
+            np.empty(shape, dtype=bool),
+        )
+
+    def run_advance():
+        reset_state()
+        lif_advance(
+            currents,
+            output,
+            *state["arrays"],
+            masks,
+            threshold,
+            config,
+            workspace,
+            backend=backend,
+        )
+
+    run_gemm()  # warm caches (and the JIT, for numba) off the clock
+    run_advance()
+    gemm_seconds = _best_of(N_REPS, run_gemm)
+    advance_seconds = _best_of(N_REPS, run_advance)
+
+    macs = raster.shape[0] * N_INPUTS * n_neurons
+    neuron_steps = TIMESTEPS * BATCH * n_neurons
+    return {
+        "gemm_ms": round(1000.0 * gemm_seconds, 3),
+        "gemm_gops": round(macs / gemm_seconds / 1e9, 3),
+        "advance_ms": round(1000.0 * advance_seconds, 3),
+        "advance_ns_per_neuron_step": round(
+            1e9 * advance_seconds / neuron_steps, 2
+        ),
+        "_gemm_seconds": gemm_seconds,
+        "_advance_seconds": advance_seconds,
+    }
+
+
+def test_kernel_throughput():
+    backends = ["numpy"] + (["numba"] if numba_available() else [])
+    summary = {
+        "smoke": SMOKE,
+        "backend": get_backend(),
+        "numba_available": numba_available(),
+        "n_inputs": N_INPUTS,
+        "timesteps": TIMESTEPS,
+        "batch": BATCH,
+        "sizes": {},
+    }
+    for n_neurons in SIZES:
+        rng = np.random.default_rng(n_neurons)
+        per_backend = {
+            backend: _bench_backend(backend, n_neurons, rng)
+            for backend in backends
+        }
+        entry = {
+            backend: {
+                key: value
+                for key, value in results.items()
+                if not key.startswith("_")
+            }
+            for backend, results in per_backend.items()
+        }
+        if "numba" in per_backend:
+            entry["numba_speedup"] = {
+                "gemm": round(
+                    per_backend["numpy"]["_gemm_seconds"]
+                    / per_backend["numba"]["_gemm_seconds"],
+                    2,
+                ),
+                "advance": round(
+                    per_backend["numpy"]["_advance_seconds"]
+                    / per_backend["numba"]["_advance_seconds"],
+                    2,
+                ),
+            }
+        summary["sizes"][f"N{n_neurons}"] = entry
+
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(summary, indent=2) + "\n")
+
+    print()
+    for size, entry in summary["sizes"].items():
+        for backend in backends:
+            results = entry[backend]
+            print(
+                f"BENCH perf_kernels: {size} [{backend}] gemm "
+                f"{results['gemm_gops']} GMAC/s, advance "
+                f"{results['advance_ns_per_neuron_step']} ns/neuron-step"
+            )
+        if "numba_speedup" in entry:
+            print(
+                f"BENCH perf_kernels: {size} numba speedup "
+                f"{entry['numba_speedup']['gemm']}x gemm, "
+                f"{entry['numba_speedup']['advance']}x advance"
+            )
+
+    # Without numba there is nothing to compare — the JSON records the
+    # numpy backend on its own, and the floor is skipped by construction.
+    if numba_available() and not SMOKE:
+        for size, entry in summary["sizes"].items():
+            speedup = entry["numba_speedup"]["advance"]
+            assert speedup >= MIN_NUMBA_ADVANCE_SPEEDUP, (
+                f"numba advance at {size} is {speedup}x the numpy kernel — "
+                "the compiled backend must not lose to the ufunc pipeline"
+            )

@@ -44,6 +44,7 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Deque, Dict, List, Optional, Sequence
 
+from repro.snn.kernels import DEFAULT_BATCH_SIZE
 from repro.utils.logging import get_logger
 
 __all__ = ["SchedulerStats", "MicroBatchScheduler"]
@@ -135,7 +136,13 @@ class MicroBatchScheduler:
         must return one result per payload, in order.  Called only from
         the scheduler's own worker thread.
     max_batch_size:
-        Flush as soon as this many requests are waiting.
+        Flush as soon as this many requests are waiting.  The scheduler is
+        model-agnostic, so ``None`` falls back to
+        :data:`repro.snn.kernels.DEFAULT_BATCH_SIZE`; the serving layer
+        resolves ``None`` *before* construction instead, through
+        :func:`repro.snn.kernels.autotune_batch_size` for the served
+        model's geometry (see ``SoftSNNService._resolve_max_batch_size``),
+        and an explicit value always wins over both.
     max_delay:
         Flush when the oldest waiting request has been queued this long
         (seconds).  This bounds the latency cost a lightly loaded request
@@ -152,11 +159,13 @@ class MicroBatchScheduler:
     def __init__(
         self,
         run_batch: BatchRunner,
-        max_batch_size: int = 32,
+        max_batch_size: Optional[int] = None,
         max_delay: float = 0.005,
         idle_grace: Optional[float] = None,
         name: str = "scheduler",
     ) -> None:
+        if max_batch_size is None:
+            max_batch_size = DEFAULT_BATCH_SIZE
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
         if max_delay < 0:

@@ -43,6 +43,7 @@ import numpy as np
 from repro.serve.modes import ServingMode, ServingSession
 from repro.serve.registry import ModelNotFoundError, ModelRegistry, RegistryError
 from repro.serve.scheduler import MicroBatchScheduler
+from repro.snn.kernels import autotune_batch_size
 from repro.snn.training import TrainedModel
 from repro.utils.logging import get_logger
 from repro.utils.rng import SeedSequenceFactory
@@ -67,10 +68,14 @@ class ServiceConfig:
     at most this long for co-batched company before its batch is flushed.
     ``default_fault_rate`` / ``default_fault_seed`` parameterise ``faulty``
     and ``protected`` requests that do not spell out their own scenario.
+    ``max_batch_size=None`` (default) autotunes the micro-batch ceiling per
+    served model geometry through
+    :func:`repro.snn.kernels.autotune_batch_size`; an explicit value always
+    wins.
     """
 
     models_dir: Union[str, Path] = "models"
-    max_batch_size: int = 32
+    max_batch_size: Optional[int] = None
     max_delay_ms: float = 5.0
     idle_grace_ms: Optional[float] = None
     default_mode: str = "clean"
@@ -82,7 +87,7 @@ class ServiceConfig:
     request_seed_root: int = 2022
 
     def __post_init__(self) -> None:
-        if self.max_batch_size < 1:
+        if self.max_batch_size is not None and self.max_batch_size < 1:
             raise ValueError("max_batch_size must be at least 1")
         if self.max_delay_ms < 0:
             raise ValueError("max_delay_ms must be non-negative")
@@ -220,6 +225,23 @@ class SoftSNNService:
             default_fault_seed=self.config.default_fault_seed,
         )
 
+    def _resolve_max_batch_size(self, session: ServingSession) -> int:
+        """Micro-batch ceiling for one session: explicit knob, else autotuned.
+
+        An explicit ``ServiceConfig.max_batch_size`` always wins; with the
+        ``None`` default the ceiling comes from
+        :func:`repro.snn.kernels.autotune_batch_size` for the served
+        model's geometry (cached in-process, so each geometry probes once).
+        Batch composition never changes predictions — every request is
+        classified from its own seed — so the timed choice is a pure
+        throughput knob.
+        """
+        if self.config.max_batch_size is not None:
+            return self.config.max_batch_size
+        return autotune_batch_size(
+            session.network.n_neurons, session.network.n_inputs
+        )
+
     def _pipeline(
         self, name: str, mode: ServingMode
     ) -> Tuple[ServingSession, MicroBatchScheduler]:
@@ -254,7 +276,7 @@ class SoftSNNService:
 
                 scheduler = MicroBatchScheduler(
                     run_batch,
-                    max_batch_size=self.config.max_batch_size,
+                    max_batch_size=self._resolve_max_batch_size(session),
                     max_delay=self.config.max_delay_ms / 1000.0,
                     idle_grace=(
                         None

@@ -121,8 +121,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--max-batch-size",
         type=int,
-        default=32,
-        help="micro-batch flush size (1 disables coalescing)",
+        default=None,
+        help=(
+            "micro-batch flush size (1 disables coalescing); default "
+            "autotunes per served model geometry"
+        ),
     )
     run.add_argument(
         "--max-delay-ms",

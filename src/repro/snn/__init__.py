@@ -25,6 +25,10 @@ Design notes
   weight-reusing matrix multiplication, spike-for-spike equivalent to the
   sequential per-timestep loop it replaces (which remains available as the
   verification reference).
+* Both primitives of every hot path — the exact integer register-code GEMM
+  and the in-place LIF timestep advance — live once, in
+  :mod:`repro.snn.kernels`, with an optional numba backend
+  (``SOFTSNN_KERNEL_BACKEND``) and batch-size autotuning.
 """
 
 from repro.snn.encoding import PoissonEncoder
@@ -35,6 +39,7 @@ from repro.snn.engine import (
     BatchResult,
 )
 from repro.snn.inference import InferenceEngine, InferenceResult
+from repro.snn.kernels import autotune_batch_size, get_backend, numba_available
 from repro.snn.network import DiehlCookNetwork, NetworkConfig
 from repro.snn.neuron import LIFNeuronGroup, LIFParameters, NeuronOperationStatus
 from repro.snn.quantization import WeightQuantizer
@@ -70,4 +75,7 @@ __all__ = [
     "TrainingRunner",
     "VectorizedTrainingEngine",
     "WeightQuantizer",
+    "autotune_batch_size",
+    "get_backend",
+    "numba_available",
 ]

@@ -58,13 +58,24 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tupl
 
 import numpy as np
 
+from repro.snn.kernels import (
+    DEFAULT_BATCH_SIZE,
+    NO_PROTECTION_TRIGGER,
+    BoundingCorrection,
+    KernelWorkspace,
+    LIFStepConfig,
+    OperationMasks,
+    apply_bounding_correction,
+    bounding_correction_terms,
+    exact_gemm_dtype,
+    exact_scale,
+    lif_advance,
+    plan_bounding_correction,
+    register_gemm,
+)
 from repro.snn.neuron import LIFParameters, NeuronOperationStatus
 from repro.snn.quantization import WeightQuantizer
-from repro.snn.synapse import (
-    BoundedWeightRule,
-    _exact_gemm_dtype,
-    _exact_scale,
-)
+from repro.snn.synapse import BoundedWeightRule
 from repro.utils.rng import RNGLike, resolve_rng
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -80,9 +91,6 @@ __all__ = [
     "MapParallelResult",
     "MapParallelEngine",
 ]
-
-#: Default number of samples advanced together by the batched engine.
-DEFAULT_BATCH_SIZE = 64
 
 #: Step-monitor hook signature of the batched engine.  The monitor is called
 #: after every timestep with the live :class:`BatchedLIFState`; latching
@@ -268,6 +276,8 @@ class BatchedInferenceEngine:
 
     def __init__(self, network: "DiehlCookNetwork") -> None:
         self.network = network
+        # Scratch buffers of the timestep kernel, reused across batches.
+        self._workspace = KernelWorkspace()
 
     # ------------------------------------------------------------------ #
     def run(
@@ -479,96 +489,38 @@ class BatchedInferenceEngine:
     ) -> None:
         """One parallel pass over all timesteps for the rows in *state*.
 
-        Each timestep performs, for the whole batch at once, exactly the
-        operation sequence of :meth:`repro.snn.neuron.LIFNeuronGroup.step`;
-        the per-operation fault switches are specialised away when every
-        neuron is healthy for that operation (a pure boolean identity, so
-        the arithmetic is unchanged).
+        A thin adapter over :func:`repro.snn.kernels.lif_advance`: the
+        batched ``(batch, n)`` state arrays enter the ``(rows, batch, n)``
+        kernel as single-row views (broadcasting never changes elementwise
+        IEEE results), and the kernel advances them strictly in place, so
+        the ``step_monitor`` observes — and mutates, via
+        :meth:`BatchedLIFState.disable_spiking` — the live state after
+        every timestep, exactly like the sequential hook.
         """
-        params = state.params
-        status = state.operation_status
-        v_rest = params.v_rest
-        v_reset = params.v_reset
-        v_min = params.v_min
-        decay = params.membrane_decay
-        period = params.refractory_period
-        inhibition_strength = params.inhibition_strength
-        threshold = state.effective_threshold
-
-        leak_ok = status.vmem_leak_ok
-        increase_ok = status.vmem_increase_ok
-        reset_ok = status.vmem_reset_ok
-        spike_ok = status.spike_generation_ok
-        all_leak = bool(leak_ok.all())
-        all_increase = bool(increase_ok.all())
-        all_reset = bool(reset_ok.all())
-        all_spike = bool(spike_ok.all())
-
-        timesteps = currents.shape[0]
-        for t in range(timesteps):
-            # (2) Vmem leak.
-            decayed = v_rest + (state.v - v_rest) * decay
-            state.v = decayed if all_leak else np.where(leak_ok, decayed, state.v)
-
-            # (1) Vmem increase.
-            active = state.refractory_remaining <= 0
-            integrate = active if all_increase else (active & increase_ok)
-            state.v = state.v + np.where(integrate, currents[t], 0.0)
-            state.v = np.maximum(state.v, v_min)
-
-            # (4) Spike generation: comparator and protection counter.
-            comparator = active & (state.v >= threshold)
-            state.comparator_output = comparator
-            state.consecutive_above_threshold = np.where(
-                comparator, state.consecutive_above_threshold + 1, 0
-            )
-            internal = comparator
-            if all_spike:
-                spikes = internal & ~state.spike_disabled
-            else:
-                spikes = internal & spike_ok & ~state.spike_disabled
-
-            # (3) Vmem reset and refractory entry; faulty resets latch.
-            reset_now = internal if all_reset else (internal & reset_ok)
-            state.v = np.where(reset_now, v_reset, state.v)
-            state.refractory_remaining = np.where(
-                reset_now,
-                period,
-                np.maximum(state.refractory_remaining - 1, 0),
-            )
-            if not all_reset:
-                state.reset_fault_latched |= internal & ~reset_ok
-
-            # Direct lateral inhibition, per sample.
-            if inhibition_strength > 0 and spikes.any():
-                n_spiking = spikes.sum(axis=1, keepdims=True)
-                inhibition = inhibition_strength * (
-                    n_spiking - spikes.astype(np.float64)
-                )
-                state.v = np.maximum(state.v - inhibition, v_min)
-
-            # Keep latched faulty-reset membranes pinned at the threshold.
-            if not all_reset and state.reset_fault_latched.any():
-                state.v = np.where(
-                    state.reset_fault_latched,
-                    np.maximum(state.v, threshold),
-                    state.v,
-                )
-
-            state.last_spikes = spikes
-            output[t] = spikes
-            if step_monitor is not None:
-                step_monitor(state)
+        hook = None
+        if step_monitor is not None:
+            hook = lambda: step_monitor(state)  # noqa: E731 - local adapter
+        lif_advance(
+            currents[:, np.newaxis, :, :],
+            output[:, np.newaxis, :, :],
+            state.v[np.newaxis],
+            state.refractory_remaining[np.newaxis],
+            state.consecutive_above_threshold[np.newaxis],
+            state.spike_disabled[np.newaxis],
+            state.reset_fault_latched[np.newaxis],
+            state.comparator_output[np.newaxis],
+            state.last_spikes[np.newaxis],
+            OperationMasks.from_status(state.operation_status),
+            state.effective_threshold,
+            LIFStepConfig.from_params(state.params),
+            self._workspace,
+            step_hook=hook,
+        )
 
 
 # ---------------------------------------------------------------------- #
 # map-parallel engine
 # ---------------------------------------------------------------------- #
-#: Trigger sentinel for rows without neuron protection: the comparator
-#: counter can never reach it, so the gate stays open.
-_NO_TRIGGER = np.iinfo(np.int64).max
-
-
 @dataclass(frozen=True, eq=False)
 class MapRow:
     """One simulated compute-engine configuration of a map-parallel unit.
@@ -733,24 +685,6 @@ class _BaseGemm:
     codes: np.ndarray
 
 
-@dataclass
-class _Correction:
-    """Bounding correction shared by rows with equal (base, threshold).
-
-    The bounded current splits exactly as
-    ``(base - masked) * scale + substitute * mask_hits``: ``masked`` and
-    ``mask_hits`` only involve the (usually few) out-of-range synapses, so
-    they are computed over the column subset that contains them.  All three
-    terms are exact integer sums, so the decomposition is bitwise identical
-    to the per-map :class:`~repro.snn.synapse._BoundedCurrentOperator`.
-    """
-
-    columns: Optional[np.ndarray]
-    masked_codes: np.ndarray
-    mask: np.ndarray
-    is_empty: bool = False
-
-
 class MapParallelEngine:
     """Advance many fault maps (and techniques) through the LIF model at once.
 
@@ -813,7 +747,7 @@ class MapParallelEngine:
             raise ValueError(
                 f"theta must have shape ({self.n_neurons},), got {self.theta.shape}"
             )
-        self._gemm_dtype = _exact_gemm_dtype(self.n_inputs, quantizer.max_code)
+        self._gemm_dtype = exact_gemm_dtype(self.n_inputs, quantizer.max_code)
 
         # Fully identical rows simulate once and share their results: e.g.
         # the unmitigated row and re-execution's first execution of the
@@ -861,7 +795,7 @@ class MapParallelEngine:
 
         # Bounding corrections, shared by rows with equal (base, threshold):
         # BnP1/2/3 of the same map differ only in the substitute value.
-        self._corrections: Dict[Tuple[int, float], _Correction] = {}
+        self._corrections: Dict[Tuple[int, float], BoundingCorrection] = {}
         self._row_correction: List[Optional[Tuple[int, float]]] = [None] * n_unique
         self._row_substitute = np.zeros(n_unique, dtype=np.float64)
         for m, row in enumerate(unique_rows):
@@ -870,30 +804,33 @@ class MapParallelEngine:
                 continue
             key = (int(self._row_base[m]), float(rule.threshold))
             if key not in self._corrections:
-                self._corrections[key] = self._build_correction(
-                    row.registers, rule.threshold
+                self._corrections[key] = plan_bounding_correction(
+                    row.registers, rule.threshold, self.quantizer
                 )
             self._row_correction[m] = key
             self._row_substitute[m] = float(rule.substitute)
 
-        stack = lambda name: np.stack(  # noqa: E731 - local helper
-            [getattr(row.operation_status, name) for row in unique_rows]
-        )[:, np.newaxis, :]
-        self._leak_ok = stack("vmem_leak_ok")
-        self._increase_ok = stack("vmem_increase_ok")
-        self._reset_ok = stack("vmem_reset_ok")
-        self._spike_ok = stack("spike_generation_ok")
-        self._row_has_reset_fault = ~self._reset_ok.all(axis=(1, 2))
+        self._masks = OperationMasks.stack(
+            [row.operation_status for row in unique_rows]
+        )
+        self._row_has_reset_fault = ~self._masks.reset_ok.all(axis=1)
+        self._step_config = LIFStepConfig.from_params(params)
+        self._threshold = params.v_threshold + self.theta
+        # Separate scratch workspaces for the full-chunk pass and the
+        # single-row latch fix-ups, so their different block shapes do not
+        # evict each other's buffers between chunks.
+        self._workspace = KernelWorkspace()
+        self._fixup_workspace = KernelWorkspace()
 
         self._triggers = np.array(
             [
-                _NO_TRIGGER
+                NO_PROTECTION_TRIGGER
                 if row.protection_trigger_cycles is None
                 else int(row.protection_trigger_cycles)
                 for row in unique_rows
             ],
             dtype=np.int64,
-        ).reshape(n_unique, 1, 1)
+        )
         self._has_protection = any(
             row.protection_trigger_cycles is not None for row in unique_rows
         )
@@ -913,33 +850,6 @@ class MapParallelEngine:
     def n_groups(self) -> int:
         """Number of encoding groups the rows reference."""
         return max(row.raster_index for row in self.rows) + 1
-
-    def _build_correction(
-        self, registers: np.ndarray, threshold: float
-    ) -> _Correction:
-        """Precompute the bounding-correction operands for one threshold."""
-        weights = self.quantizer.dequantize(registers)
-        mask = weights >= threshold
-        columns = np.flatnonzero(mask.any(axis=1))
-        if columns.size == 0:
-            return _Correction(
-                columns=None,
-                masked_codes=np.zeros((0, 0)),
-                mask=np.zeros((0, 0)),
-                is_empty=True,
-            )
-        masked_codes = np.where(mask, registers, 0).astype(self._gemm_dtype)
-        mask_codes = mask.astype(self._gemm_dtype)
-        if columns.size <= self.n_inputs // 2:
-            # Only a few input lines feed bounded synapses: restrict the
-            # correction GEMMs to those columns (exact — the dropped terms
-            # are all zero).
-            return _Correction(
-                columns=columns,
-                masked_codes=np.ascontiguousarray(masked_codes[columns]),
-                mask=np.ascontiguousarray(mask_codes[columns]),
-            )
-        return _Correction(columns=None, masked_codes=masked_codes, mask=mask_codes)
 
     # ------------------------------------------------------------------ #
     def run_encoded(
@@ -1066,18 +976,15 @@ class MapParallelEngine:
                     dtype=self._gemm_dtype,
                 )
         base_currents = [
-            flats[base.raster_index] @ base.codes for base in self._bases
+            register_gemm(flats[base.raster_index], base.codes)
+            for base in self._bases
         ]
         correction_terms: Dict[Tuple[int, float], Tuple[np.ndarray, np.ndarray]] = {}
         for key, correction in self._corrections.items():
             if correction.is_empty:
                 continue
             flat = flats[self._bases[key[0]].raster_index]
-            spikes = flat if correction.columns is None else flat[:, correction.columns]
-            correction_terms[key] = (
-                spikes @ correction.masked_codes,
-                spikes @ correction.mask,
-            )
+            correction_terms[key] = bounding_correction_terms(flat, correction)
 
         scale = self.quantizer.scale
         n_unique = self.n_unique_rows
@@ -1088,16 +995,22 @@ class MapParallelEngine:
             accumulated = base_currents[int(self._row_base[m])]
             key = self._row_correction[m]
             if key is None:
-                np.multiply(accumulated, scale, dtype=np.float64, out=stacked[m])
+                exact_scale(accumulated, scale, out=stacked[m])
             elif self._corrections[key].is_empty:
                 # Nothing is out of range: the bounded sum equals the
                 # lattice sum plus an exactly-zero substitute term.
-                np.multiply(accumulated, scale, dtype=np.float64, out=stacked[m])
+                exact_scale(accumulated, scale, out=stacked[m])
                 stacked[m] += 0.0
             else:
                 masked, hits = correction_terms[key]
-                stacked[m] = _exact_scale(accumulated - masked, scale)
-                stacked[m] += _exact_scale(hits, self._row_substitute[m])
+                apply_bounding_correction(
+                    accumulated,
+                    masked,
+                    hits,
+                    scale,
+                    self._row_substitute[m],
+                    out=stacked[m],
+                )
         return np.ascontiguousarray(
             stacked.reshape(n_unique, batch, timesteps, self.n_neurons).transpose(
                 2, 0, 1, 3
@@ -1147,6 +1060,7 @@ class MapParallelEngine:
                 np.ascontiguousarray(currents[:, m : m + 1, offset:, :]),
                 output[:, m : m + 1, offset:, :],
                 slice(m, m + 1),
+                workspace=self._fixup_workspace,
             )
             extra_passes += 1
             simulated_latched = sub_state.reset_fault_latched[0]
@@ -1159,130 +1073,30 @@ class MapParallelEngine:
         currents: np.ndarray,
         output: np.ndarray,
         row_slice: slice,
+        workspace: Optional[KernelWorkspace] = None,
     ) -> None:
         """One parallel pass over all timesteps for the rows in *row_slice*.
 
-        Mirrors :meth:`BatchedInferenceEngine._simulate` with a leading row
-        axis: every operation is the same elementwise expression broadcast
-        over ``(rows, batch, n_neurons)``, with per-row operation masks and
-        protection triggers.  Neuron protection is applied after the
-        timestep's spikes are recorded, exactly like the batched engine's
-        post-step monitor hook.
-
-        The loop body is written with preallocated scratch buffers and
-        in-place ufuncs: every statement is a bitwise-identical
-        reformulation of the batched engine's expression (IEEE addition and
-        multiplication are commutative; ``copyto(..., where=...)`` is
-        ``np.where`` with an explicit destination; the integer counter and
-        refractory updates are exact), so the parity contract is preserved
-        while the per-timestep allocation overhead — the dominant cost at
-        the paper's population sizes — disappears.
+        A thin adapter over :func:`repro.snn.kernels.lif_advance` with the
+        engine's per-row operation masks and protection triggers sliced to
+        the simulated rows.  The kernel advances the state arrays strictly
+        in place over its preallocated workspace, and applies neuron
+        protection after each timestep's spikes are recorded, exactly like
+        the batched engine's post-step monitor hook.
         """
-        params = self.params
-        v_rest = params.v_rest
-        v_reset = params.v_reset
-        v_min = params.v_min
-        decay = params.membrane_decay
-        period = params.refractory_period
-        inhibition_strength = params.inhibition_strength
-        threshold = params.v_threshold + self.theta
-
-        leak_ok = self._leak_ok[row_slice]
-        increase_ok = self._increase_ok[row_slice]
-        reset_ok = self._reset_ok[row_slice]
-        spike_ok = self._spike_ok[row_slice]
-        triggers = self._triggers[row_slice]
-        all_leak = bool(leak_ok.all())
-        all_increase = bool(increase_ok.all())
-        all_reset = bool(reset_ok.all())
-        all_spike = bool(spike_ok.all())
-        reset_bad = None if all_reset else ~reset_ok
-        has_protection = self._has_protection
-
-        v = state.v
-        refractory = state.refractory_remaining
-        counter = state.consecutive_above_threshold
-        disabled = state.spike_disabled
-        latched = state.reset_fault_latched
-
-        shape = v.shape
-        vbuf = np.empty(shape, dtype=np.float64)
-        fbuf = np.empty(shape, dtype=np.float64)
-        active = np.empty(shape, dtype=bool)
-        comparator = np.empty(shape, dtype=bool)
-        spikes = np.empty(shape, dtype=bool)
-        boolbuf = np.empty(shape, dtype=bool)
-
-        timesteps = currents.shape[0]
-        for t in range(timesteps):
-            # (2) Vmem leak: v_rest + (v - v_rest) * decay.
-            np.subtract(v, v_rest, out=vbuf)
-            np.multiply(vbuf, decay, out=vbuf)
-            np.add(vbuf, v_rest, out=vbuf)
-            if all_leak:
-                v, vbuf = vbuf, v
-            else:
-                np.copyto(v, vbuf, where=leak_ok)
-
-            # (1) Vmem increase.
-            np.less_equal(refractory, 0, out=active)
-            if all_increase:
-                integrate = active
-            else:
-                np.logical_and(active, increase_ok, out=boolbuf)
-                integrate = boolbuf
-            np.add(v, np.where(integrate, currents[t], 0.0), out=v)
-            np.maximum(v, v_min, out=v)
-
-            # (4) Spike generation: comparator and protection counter.
-            np.greater_equal(v, threshold, out=comparator)
-            np.logical_and(comparator, active, out=comparator)
-            np.add(counter, 1, out=counter)
-            np.multiply(counter, comparator, out=counter)
-            internal = comparator
-            np.logical_not(disabled, out=spikes)
-            np.logical_and(spikes, internal, out=spikes)
-            if not all_spike:
-                np.logical_and(spikes, spike_ok, out=spikes)
-
-            # (3) Vmem reset and refractory entry; faulty resets latch.
-            if all_reset:
-                reset_now = internal
-            else:
-                np.logical_and(internal, reset_ok, out=boolbuf)
-                reset_now = boolbuf
-            np.copyto(v, v_reset, where=reset_now)
-            np.subtract(refractory, 1, out=refractory)
-            np.maximum(refractory, 0, out=refractory)
-            np.copyto(refractory, period, where=reset_now)
-            if not all_reset:
-                np.logical_and(internal, reset_bad, out=boolbuf)
-                np.logical_or(latched, boolbuf, out=latched)
-
-            # Direct lateral inhibition, per (row, sample).  Rows without
-            # spikes receive an exactly-zero inhibition, which is a no-op
-            # because v_min <= v_reset guarantees v >= v_min here.
-            if inhibition_strength > 0 and spikes.any():
-                n_spiking = spikes.sum(axis=-1, keepdims=True)
-                np.subtract(n_spiking, spikes, out=fbuf)
-                np.multiply(fbuf, inhibition_strength, out=fbuf)
-                np.subtract(v, fbuf, out=v)
-                np.maximum(v, v_min, out=v)
-
-            # Keep latched faulty-reset membranes pinned at the threshold.
-            if not all_reset and latched.any():
-                np.maximum(v, threshold, out=fbuf)
-                np.copyto(v, fbuf, where=latched)
-
-            output[t] = spikes
-
-            # Neuron protection: gate off spike generation once the
-            # comparator has stayed asserted for the row's trigger count
-            # (applied post-step, like the batched step-monitor hook).
-            if has_protection:
-                np.greater_equal(counter, triggers, out=boolbuf)
-                np.logical_or(disabled, boolbuf, out=disabled)
-
-        state.v = v
-        state.comparator_output = comparator
-        state.last_spikes = spikes
+        lif_advance(
+            currents,
+            output,
+            state.v,
+            state.refractory_remaining,
+            state.consecutive_above_threshold,
+            state.spike_disabled,
+            state.reset_fault_latched,
+            state.comparator_output,
+            state.last_spikes,
+            self._masks.rows(row_slice),
+            self._threshold,
+            self._step_config,
+            workspace if workspace is not None else self._workspace,
+            triggers=self._triggers[row_slice] if self._has_protection else None,
+        )

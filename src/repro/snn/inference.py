@@ -28,6 +28,7 @@ from repro.snn.engine import (
     MapParallelEngine,
     MapRow,
 )
+from repro.snn.kernels import autotune_batch_size
 from repro.snn.network import DiehlCookNetwork
 from repro.snn.neuron import LIFNeuronGroup, LIFParameters
 from repro.snn.quantization import WeightQuantizer
@@ -237,11 +238,19 @@ class InferenceEngine:
         instead of encoding ``dataset.images``, and *rng* is left
         untouched.  Passing the raster the engine would have encoded from
         *rng* yields bit-identical results.
+
+        When ``batch_size`` is ``None`` the chunk size comes from
+        :func:`repro.snn.kernels.autotune_batch_size` for this network's
+        geometry (results are bit-identical for any chunking, so the timed
+        choice never changes outputs); an explicit ``batch_size`` always
+        wins over the autotuner.
         """
         if len(dataset) == 0:
             raise ValueError("evaluation dataset must not be empty")
         if batch_size is None:
-            batch_size = DEFAULT_BATCH_SIZE
+            batch_size = autotune_batch_size(
+                self.network.n_neurons, self.network.n_inputs
+            )
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
         generator = resolve_rng(rng)

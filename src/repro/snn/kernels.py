@@ -1,0 +1,1082 @@
+"""Fused compute kernels shared by every engine in the reproduction.
+
+Before this module existed, the three hot engines — batched inference
+(:class:`repro.snn.engine.BatchedInferenceEngine`), map-parallel fault
+sweeps (:class:`repro.snn.engine.MapParallelEngine`) and vectorized STDP
+training (:class:`repro.snn.train_engine.VectorizedTrainingEngine`) — each
+carried a private copy of the same two primitives: the exact integer
+register-code GEMM that accumulates input currents, and the elementwise LIF
+timestep advance.  This module owns those primitives (plus the
+Bound-and-Protect bounding-correction decomposition) so the next perf tier
+is bought once, not three times.
+
+The three primitives
+--------------------
+``register_gemm`` / ``exact_gemm_dtype`` / ``exact_scale``
+    Stored weights are ``code * scale`` with integer codes, so crossbar
+    current accumulation factorises as ``(spikes @ codes) * scale``.  The
+    inner matmul only ever adds integers bounded by
+    ``n_inputs * max_code``; every summation order computes such sums
+    exactly, so the result is bitwise identical for any operand shape,
+    BLAS kernel and backend.  When the bound fits the 24-bit float32
+    mantissa the (much faster) SGEMM is exact too —
+    :func:`exact_gemm_dtype` is that capability probe, decided **once** per
+    register geometry and cached, instead of re-evaluated per call in each
+    engine.
+
+``lif_advance``
+    The in-place LIF timestep advance over ``(rows, batch, neurons)``
+    state: leak, integrate, clamp, threshold comparator, spike gating,
+    reset + refractory entry, faulty-reset latching, lateral inhibition,
+    latched-membrane pinning and (optionally) the neuron-protection
+    trigger.  All scratch lives in a caller-owned :class:`KernelWorkspace`
+    allocated once per run and reused across timesteps and chunks — the
+    hot loop performs no per-timestep array allocation.  Every statement is
+    a bitwise-identical reformulation of the sequential
+    :meth:`repro.snn.neuron.LIFNeuronGroup.step` expressions (IEEE
+    elementwise operations are independent of broadcast shape;
+    ``copyto(..., where=...)`` is ``np.where`` with an explicit
+    destination; the integer counter and refractory updates are exact).
+    State arrays are mutated strictly in place — never swapped — so live
+    step hooks (e.g. :class:`repro.core.bound_and_protect.NeuronProtection`)
+    observe and mutate the same arrays the kernel advances.
+
+``plan_bounding_correction`` / ``bounding_correction_terms`` /
+``apply_bounding_correction``
+    The Bound-and-Protect bounded current splits exactly as
+    ``(base - masked) * scale + substitute * hits``: ``masked`` and
+    ``hits`` only involve the (usually few) out-of-range synapses, so rows
+    sharing a base GEMM share everything but two small correction GEMMs.
+    All three terms are exact integer sums, so the decomposition is
+    bitwise identical to the per-map
+    :class:`repro.snn.synapse._BoundedCurrentOperator`.
+
+What deliberately stays outside
+-------------------------------
+The pairwise-STDP learning loop interleaves plasticity (trace updates,
+sparse weight writes, adaptive-threshold decay) with the membrane advance
+and multiplies spikes with *dense float training weights* — not register
+codes — so it contains neither primitive; its healthy single-sample
+membrane step is exposed here as :func:`lif_learning_step` so the timestep
+arithmetic still has exactly one home.
+
+Backends
+--------
+``SOFTSNN_KERNEL_BACKEND=numpy|numba`` selects the implementation
+(default ``numpy``).  The numba backend compiles ``@njit(cache=True)``
+twins of the GEMM and the timestep advance; the numpy path is the parity
+reference (``tests/test_kernels.py`` asserts the two are bit-identical).
+numba is an *optional* dependency: when it is not importable (or fails to
+compile) the kernels silently fall back to numpy with a logged reason.
+Kernels with a Python ``step_hook`` always run the numpy path — the hook
+must see live NumPy state between timesteps.
+
+Autotuning
+----------
+:func:`autotune_batch_size` runs a short timed probe of the two primitives
+over candidate chunk sizes and caches the winner per
+``(n_neurons, n_inputs, backend)`` in-process.  Chunking is a pure
+throughput knob — engine results are bit-identical for any batch size
+(the faulty-reset latch carry reproduces sequential sample order exactly)
+— which is what makes a *timed*, machine-dependent choice safe to wire
+into result-deterministic pipelines.  Explicit ``batch_size`` /
+``eval_batch_size`` / ``max_batch_size`` knobs always win; set
+``SOFTSNN_AUTOTUNE=off`` to pin the historical default without probing.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from repro.utils.logging import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.snn.neuron import LIFParameters, NeuronOperationStatus
+    from repro.snn.quantization import WeightQuantizer
+
+__all__ = [
+    "AUTOTUNE_ENV",
+    "DEFAULT_BATCH_SIZE",
+    "FLOAT32_EXACT_SUM_LIMIT",
+    "KERNEL_BACKEND_ENV",
+    "NO_PROTECTION_TRIGGER",
+    "BoundingCorrection",
+    "KernelWorkspace",
+    "LIFStepConfig",
+    "OperationMasks",
+    "apply_bounding_correction",
+    "autotune_batch_size",
+    "bounding_correction_terms",
+    "clear_autotune_cache",
+    "exact_gemm_dtype",
+    "exact_scale",
+    "get_backend",
+    "lif_advance",
+    "lif_learning_step",
+    "numba_available",
+    "plan_bounding_correction",
+    "register_gemm",
+    "set_backend",
+]
+
+_LOGGER = get_logger("snn.kernels")
+
+#: Environment variable selecting the kernel backend (``numpy`` | ``numba``).
+KERNEL_BACKEND_ENV = "SOFTSNN_KERNEL_BACKEND"
+
+#: Environment variable disabling the batch-size autotuner (``off`` pins
+#: :data:`DEFAULT_BATCH_SIZE` without probing).
+AUTOTUNE_ENV = "SOFTSNN_AUTOTUNE"
+
+#: Largest integer magnitude the float32 mantissa holds exactly.  Register
+#: codes are non-negative, so no partial sum of a column accumulation ever
+#: exceeds the final ``n_inputs * max_code`` bound; the float32 GEMM is
+#: exact iff that bound is ``<= 2**24``.
+FLOAT32_EXACT_SUM_LIMIT = 1 << 24
+
+#: Trigger sentinel for rows without neuron protection: the comparator
+#: counter can never reach it, so the gate stays open.
+NO_PROTECTION_TRIGGER = np.iinfo(np.int64).max
+
+#: Historical engine chunk size; the fallback when autotuning is disabled.
+DEFAULT_BATCH_SIZE = 64
+
+_BACKENDS = ("numpy", "numba")
+
+
+# ---------------------------------------------------------------------- #
+# backend selection
+# ---------------------------------------------------------------------- #
+_active_backend: Optional[str] = None
+_numba_module = None
+_numba_import_error: Optional[str] = None
+_numba_checked = False
+_numba_impl_cache: Optional[Dict[str, Callable]] = None
+_numba_impl_failed = False
+
+
+def _import_numba():
+    """Import numba once; remember the failure reason for the fallback log."""
+    global _numba_module, _numba_import_error, _numba_checked
+    if not _numba_checked:
+        _numba_checked = True
+        try:
+            import numba  # noqa: F401 - optional dependency probe
+
+            _numba_module = numba
+        except Exception as exc:  # pragma: no cover - depends on environment
+            _numba_module = None
+            _numba_import_error = str(exc)
+    return _numba_module
+
+
+def numba_available() -> bool:
+    """Whether the optional numba backend can be imported on this machine."""
+    return _import_numba() is not None
+
+
+def _resolve_backend(requested: Optional[str]) -> str:
+    """Validate a requested backend name, falling back to numpy with a log."""
+    name = (requested or "numpy").strip().lower()
+    if name not in _BACKENDS:
+        _LOGGER.warning(
+            "unknown kernel backend %r (via %s); falling back to numpy",
+            requested,
+            KERNEL_BACKEND_ENV,
+        )
+        return "numpy"
+    if name == "numba" and not numba_available():
+        _LOGGER.warning(
+            "kernel backend 'numba' requested but numba is not importable "
+            "(%s); falling back to numpy",
+            _numba_import_error,
+        )
+        return "numpy"
+    return name
+
+
+def get_backend() -> str:
+    """Active kernel backend, resolved once from :data:`KERNEL_BACKEND_ENV`."""
+    global _active_backend
+    if _active_backend is None:
+        _active_backend = _resolve_backend(os.environ.get(KERNEL_BACKEND_ENV))
+    return _active_backend
+
+
+def set_backend(name: Optional[str]) -> str:
+    """Override the kernel backend (``None`` re-resolves the environment).
+
+    Returns the backend actually activated — requesting ``numba`` on a
+    machine without it activates ``numpy`` (with a logged reason), exactly
+    like the environment-variable path.
+    """
+    global _active_backend
+    if name is None:
+        name = os.environ.get(KERNEL_BACKEND_ENV)
+    _active_backend = _resolve_backend(name)
+    return _active_backend
+
+
+def _numba_impls() -> Optional[Dict[str, Callable]]:
+    """Build (once) the jitted kernel twins; ``None`` if numba is unusable."""
+    global _numba_impl_cache, _numba_impl_failed
+    if _numba_impl_cache is not None:
+        return _numba_impl_cache
+    if _numba_impl_failed:
+        return None
+    numba = _import_numba()
+    if numba is None:
+        _numba_impl_failed = True
+        return None
+    try:
+        _numba_impl_cache = _build_numba_impls(numba)
+    except Exception as exc:  # pragma: no cover - depends on numba version
+        _LOGGER.warning(
+            "compiling numba kernels failed (%s); falling back to numpy", exc
+        )
+        _numba_impl_failed = True
+        return None
+    return _numba_impl_cache
+
+
+def _build_numba_impls(numba) -> Dict[str, Callable]:
+    """Define the ``@njit(cache=True)`` GEMM and timestep-advance kernels.
+
+    The advance is an explicit-loop transcription of the numpy kernel with
+    identical operation order per element; the default ``njit`` pipeline
+    performs no fastmath reassociation or FMA contraction, so every float
+    result matches the numpy ufunc sequence bit for bit (asserted by
+    ``tests/test_kernels.py``).
+    """
+    njit = numba.njit
+
+    @njit(cache=True)
+    def gemm(spikes, codes):  # pragma: no cover - exercised via backend tests
+        return np.dot(spikes, codes)
+
+    @njit(cache=True)
+    def advance(  # pragma: no cover - exercised via backend tests
+        currents,
+        output,
+        v,
+        refractory,
+        counter,
+        disabled,
+        latched,
+        comparator,
+        spikes,
+        leak_ok,
+        increase_ok,
+        reset_ok,
+        spike_ok,
+        triggers,
+        protect,
+        v_rest,
+        v_reset,
+        v_min,
+        decay,
+        period,
+        strength,
+        threshold,
+    ):
+        timesteps, n_rows, batch, n_neurons = currents.shape
+        for t in range(timesteps):
+            for r in range(n_rows):
+                for b in range(batch):
+                    n_spiking = 0
+                    for n in range(n_neurons):
+                        vv = v[r, b, n]
+                        # (2) Vmem leak.
+                        if leak_ok[r, n]:
+                            vv = v_rest + (vv - v_rest) * decay
+                        # (1) Vmem increase (adding literal 0.0 when gated
+                        # mirrors the numpy where-expression bit for bit).
+                        act = refractory[r, b, n] <= 0
+                        inc = 0.0
+                        if act and increase_ok[r, n]:
+                            inc = currents[t, r, b, n]
+                        vv = vv + inc
+                        if vv < v_min:
+                            vv = v_min
+                        # (4) Spike generation: comparator + counter.
+                        comp = act and (vv >= threshold[n])
+                        comparator[r, b, n] = comp
+                        if comp:
+                            counter[r, b, n] += 1
+                        else:
+                            counter[r, b, n] = 0
+                        sp = (
+                            comp
+                            and spike_ok[r, n]
+                            and not disabled[r, b, n]
+                        )
+                        spikes[r, b, n] = sp
+                        if sp:
+                            n_spiking += 1
+                        # (3) Vmem reset + refractory; faulty resets latch.
+                        if comp and reset_ok[r, n]:
+                            vv = v_reset
+                            refractory[r, b, n] = period
+                        else:
+                            if comp:
+                                latched[r, b, n] = True
+                            remaining = refractory[r, b, n] - 1
+                            if remaining < 0:
+                                remaining = 0
+                            refractory[r, b, n] = remaining
+                        v[r, b, n] = vv
+                    # Direct lateral inhibition, per (row, sample).
+                    if strength > 0.0 and n_spiking > 0:
+                        for n in range(n_neurons):
+                            others = n_spiking
+                            if spikes[r, b, n]:
+                                others = n_spiking - 1
+                            vv = v[r, b, n] - strength * others
+                            if vv < v_min:
+                                vv = v_min
+                            v[r, b, n] = vv
+                    for n in range(n_neurons):
+                        # Pin latched faulty-reset membranes at threshold.
+                        if latched[r, b, n] and v[r, b, n] < threshold[n]:
+                            v[r, b, n] = threshold[n]
+                        output[t, r, b, n] = spikes[r, b, n]
+                        # Neuron protection (post-step, like the monitor).
+                        if protect and counter[r, b, n] >= triggers[r]:
+                            disabled[r, b, n] = True
+
+    return {"gemm": gemm, "advance": advance}
+
+
+# ---------------------------------------------------------------------- #
+# exact register-code GEMM
+# ---------------------------------------------------------------------- #
+@lru_cache(maxsize=None)
+def _exact_gemm_dtype_cached(n_inputs: int, max_code: int) -> np.dtype:
+    """Cached body of :func:`exact_gemm_dtype` (the one-time probe)."""
+    if n_inputs * max_code <= FLOAT32_EXACT_SUM_LIMIT:
+        return np.dtype(np.float32)
+    return np.dtype(np.float64)
+
+
+def exact_gemm_dtype(n_inputs: int, max_code: int) -> np.dtype:
+    """Smallest float dtype whose matmul is exact for register-code sums.
+
+    A crossbar column sum is at most ``n_inputs * max_code``, and codes are
+    non-negative, so no partial sum exceeds that bound.  When the bound
+    fits the 24-bit float32 mantissa (``<= 2**24``), every product and
+    every partial sum of the GEMM is exactly representable in float32 and
+    the (much faster) SGEMM returns the same integers as a float64 GEMM —
+    the same integers for every operand shape, summation order and BLAS
+    kernel.  The decision is a pure function of the register geometry, so
+    it is probed once per ``(n_inputs, max_code)`` and cached process-wide.
+    """
+    return _exact_gemm_dtype_cached(int(n_inputs), int(max_code))
+
+
+def register_gemm(
+    spikes: np.ndarray, codes: np.ndarray, backend: Optional[str] = None
+) -> np.ndarray:
+    """Exact integer register-code GEMM: ``(m, n_inputs) @ (n_inputs, n)``.
+
+    ``codes`` must already be in the dtype :func:`exact_gemm_dtype` chose
+    for its geometry; ``spikes`` (boolean or 0/1 rows) is cast to match.
+    The accumulated entries are exact integers in either float precision,
+    so the numpy and numba implementations — and any BLAS kernel either
+    dispatches to — return bitwise identical results.
+    """
+    spikes = np.asarray(spikes)
+    if backend is None:
+        backend = get_backend()
+    if backend == "numba":
+        impls = _numba_impls()
+        if impls is not None:
+            return impls["gemm"](
+                np.ascontiguousarray(spikes, dtype=codes.dtype),
+                np.ascontiguousarray(codes),
+            )
+    return spikes.astype(codes.dtype, copy=False) @ codes
+
+
+def exact_scale(
+    accumulated: np.ndarray, factor: float, out: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Multiply exact integer-valued accumulators by a float64 factor.
+
+    The accumulator entries are integers held exactly in either float
+    precision, so widening to float64 during the multiply yields bitwise
+    identical currents regardless of the GEMM dtype.
+    """
+    return np.multiply(accumulated, factor, dtype=np.float64, out=out)
+
+
+# ---------------------------------------------------------------------- #
+# Bound-and-Protect bounding correction
+# ---------------------------------------------------------------------- #
+@dataclass
+class BoundingCorrection:
+    """Precomputed operands of the BnP bounding-correction decomposition.
+
+    The bounded current of a register array splits exactly as
+    ``(base - masked) * scale + substitute * hits``: ``masked_codes`` holds
+    the codes of the out-of-range synapses (zero elsewhere) and
+    ``mask_codes`` their 0/1 indicator, so rows sharing a base GEMM and a
+    bounding threshold share one correction pair.  When only a few input
+    lines feed bounded synapses, ``columns`` restricts the correction
+    GEMMs to those rows of the spike matrix (exact — the dropped terms are
+    all zero).  ``is_empty`` marks thresholds no stored weight reaches.
+    """
+
+    columns: Optional[np.ndarray]
+    masked_codes: np.ndarray
+    mask_codes: np.ndarray
+    is_empty: bool = False
+
+
+def plan_bounding_correction(
+    registers: np.ndarray,
+    threshold: float,
+    quantizer: "WeightQuantizer",
+) -> BoundingCorrection:
+    """Precompute the bounding-correction operands for one threshold.
+
+    Mirrors the comparator of the Bound-and-Protect hardware: a synapse is
+    *bounded* when its stored (dequantised) weight is ``>= threshold``.
+    """
+    registers = np.asarray(registers)
+    n_inputs = int(registers.shape[0])
+    gemm_dtype = exact_gemm_dtype(n_inputs, quantizer.max_code)
+    weights = quantizer.dequantize(registers)
+    mask = weights >= threshold
+    columns = np.flatnonzero(mask.any(axis=1))
+    if columns.size == 0:
+        return BoundingCorrection(
+            columns=None,
+            masked_codes=np.zeros((0, 0)),
+            mask_codes=np.zeros((0, 0)),
+            is_empty=True,
+        )
+    masked_codes = np.where(mask, registers, 0).astype(gemm_dtype)
+    mask_codes = mask.astype(gemm_dtype)
+    if columns.size <= n_inputs // 2:
+        # Only a few input lines feed bounded synapses: restrict the
+        # correction GEMMs to those columns (exact — the dropped terms
+        # are all zero).
+        return BoundingCorrection(
+            columns=columns,
+            masked_codes=np.ascontiguousarray(masked_codes[columns]),
+            mask_codes=np.ascontiguousarray(mask_codes[columns]),
+        )
+    return BoundingCorrection(
+        columns=None, masked_codes=masked_codes, mask_codes=mask_codes
+    )
+
+
+def bounding_correction_terms(
+    flat_spikes: np.ndarray,
+    correction: BoundingCorrection,
+    backend: Optional[str] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The two correction GEMMs ``(masked, hits)`` for pre-cast spike rows."""
+    if correction.columns is None:
+        spikes = flat_spikes
+    else:
+        spikes = flat_spikes[:, correction.columns]
+    return (
+        register_gemm(spikes, correction.masked_codes, backend=backend),
+        register_gemm(spikes, correction.mask_codes, backend=backend),
+    )
+
+
+def apply_bounding_correction(
+    base: np.ndarray,
+    masked: np.ndarray,
+    hits: np.ndarray,
+    scale: float,
+    substitute: float,
+    out: np.ndarray,
+) -> np.ndarray:
+    """Combine ``(base - masked) * scale + substitute * hits`` into *out*.
+
+    All three operands are exact integer accumulators, so the combination
+    is bitwise identical to the per-map bounded operator for any GEMM
+    dtype (:func:`exact_scale`).
+    """
+    exact_scale(base - masked, scale, out=out)
+    out += exact_scale(hits, substitute)
+    return out
+
+
+# ---------------------------------------------------------------------- #
+# LIF timestep advance
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class LIFStepConfig:
+    """Scalar LIF parameters consumed by the timestep kernels."""
+
+    v_rest: float
+    v_reset: float
+    v_min: float
+    membrane_decay: float
+    refractory_period: int
+    inhibition_strength: float
+
+    @classmethod
+    def from_params(cls, params: "LIFParameters") -> "LIFStepConfig":
+        """Extract the scalar subset of :class:`LIFParameters` kernels need."""
+        return cls(
+            v_rest=float(params.v_rest),
+            v_reset=float(params.v_reset),
+            v_min=float(params.v_min),
+            membrane_decay=float(params.membrane_decay),
+            refractory_period=int(params.refractory_period),
+            inhibition_strength=float(params.inhibition_strength),
+        )
+
+
+class OperationMasks:
+    """Per-row health masks of the four LIF hardware operations.
+
+    Arrays have shape ``(n_rows, n_neurons)``; the ``all_*`` flags let the
+    kernels specialise away a fault switch when every neuron is healthy
+    for that operation (a pure boolean identity, so the arithmetic is
+    unchanged).
+    """
+
+    __slots__ = (
+        "leak_ok",
+        "increase_ok",
+        "reset_ok",
+        "spike_ok",
+        "all_leak",
+        "all_increase",
+        "all_reset",
+        "all_spike",
+    )
+
+    def __init__(
+        self,
+        leak_ok: np.ndarray,
+        increase_ok: np.ndarray,
+        reset_ok: np.ndarray,
+        spike_ok: np.ndarray,
+    ) -> None:
+        self.leak_ok = leak_ok
+        self.increase_ok = increase_ok
+        self.reset_ok = reset_ok
+        self.spike_ok = spike_ok
+        self.all_leak = bool(leak_ok.all())
+        self.all_increase = bool(increase_ok.all())
+        self.all_reset = bool(reset_ok.all())
+        self.all_spike = bool(spike_ok.all())
+
+    @property
+    def n_rows(self) -> int:
+        """Number of mask rows (concurrently simulated configurations)."""
+        return int(self.leak_ok.shape[0])
+
+    @classmethod
+    def from_status(cls, status: "NeuronOperationStatus") -> "OperationMasks":
+        """Single-row masks of one :class:`NeuronOperationStatus` (views)."""
+        return cls(
+            np.atleast_2d(status.vmem_leak_ok),
+            np.atleast_2d(status.vmem_increase_ok),
+            np.atleast_2d(status.vmem_reset_ok),
+            np.atleast_2d(status.spike_generation_ok),
+        )
+
+    @classmethod
+    def stack(
+        cls, statuses: Sequence["NeuronOperationStatus"]
+    ) -> "OperationMasks":
+        """Stack per-row statuses into ``(n_rows, n_neurons)`` masks."""
+        return cls(
+            np.stack([s.vmem_leak_ok for s in statuses]),
+            np.stack([s.vmem_increase_ok for s in statuses]),
+            np.stack([s.vmem_reset_ok for s in statuses]),
+            np.stack([s.spike_generation_ok for s in statuses]),
+        )
+
+    @classmethod
+    def healthy(cls, n_neurons: int) -> "OperationMasks":
+        """All-healthy single-row masks (the training-presentation case)."""
+        ones = np.ones((1, n_neurons), dtype=bool)
+        return cls(ones, ones, ones, ones)
+
+    def rows(self, row_slice: slice) -> "OperationMasks":
+        """Masks of a contiguous row subset (views; flags recomputed)."""
+        return OperationMasks(
+            self.leak_ok[row_slice],
+            self.increase_ok[row_slice],
+            self.reset_ok[row_slice],
+            self.spike_ok[row_slice],
+        )
+
+
+class KernelWorkspace:
+    """Caller-owned scratch buffers of the LIF timestep advance.
+
+    One workspace is allocated per engine (or run) and reused across every
+    timestep and every chunk: :meth:`ensure` reallocates only when the
+    ``(rows, batch, neurons)`` block shape actually changes, so steady-state
+    simulation performs no per-timestep — and between equal-shaped chunks
+    no per-chunk — array allocation.  The buffer set matches what one
+    timestep needs: two float64 scratch blocks, two boolean scratch blocks
+    and the ``(rows, batch, 1)`` spike-count accumulator of the lateral
+    inhibition term.
+    """
+
+    __slots__ = ("shape", "vbuf", "fbuf", "active", "boolbuf", "countbuf")
+
+    def __init__(self) -> None:
+        self.shape: Optional[Tuple[int, int, int]] = None
+        self.vbuf: Optional[np.ndarray] = None
+        self.fbuf: Optional[np.ndarray] = None
+        self.active: Optional[np.ndarray] = None
+        self.boolbuf: Optional[np.ndarray] = None
+        self.countbuf: Optional[np.ndarray] = None
+
+    def ensure(self, shape: Tuple[int, int, int]) -> "KernelWorkspace":
+        """Size the buffers for one ``(rows, batch, neurons)`` block shape."""
+        shape = tuple(int(extent) for extent in shape)
+        if self.shape != shape:
+            self.shape = shape
+            self.vbuf = np.empty(shape, dtype=np.float64)
+            self.fbuf = np.empty(shape, dtype=np.float64)
+            self.active = np.empty(shape, dtype=bool)
+            self.boolbuf = np.empty(shape, dtype=bool)
+            self.countbuf = np.empty(shape[:2] + (1,), dtype=np.int64)
+        return self
+
+
+def lif_advance(
+    currents: np.ndarray,
+    output: np.ndarray,
+    v: np.ndarray,
+    refractory: np.ndarray,
+    counter: np.ndarray,
+    disabled: np.ndarray,
+    latched: np.ndarray,
+    comparator: np.ndarray,
+    spikes: np.ndarray,
+    masks: OperationMasks,
+    threshold: np.ndarray,
+    config: LIFStepConfig,
+    workspace: KernelWorkspace,
+    triggers: Optional[np.ndarray] = None,
+    step_hook: Optional[Callable[[], None]] = None,
+    backend: Optional[str] = None,
+) -> None:
+    """Advance ``(rows, batch, neurons)`` LIF state over all timesteps.
+
+    This is the one timestep loop every engine runs.  Per timestep it
+    applies, in order: (2) membrane leak, (1) current integration with the
+    ``v_min`` clamp, (4) threshold comparator + consecutive-above-threshold
+    counter + spike gating, (3) reset / refractory entry with faulty-reset
+    latching, lateral inhibition, latched-membrane pinning, the output
+    write, optional neuron-protection trigger gating and the optional
+    ``step_hook`` — exactly the operation sequence of the sequential
+    :meth:`repro.snn.neuron.LIFNeuronGroup.step` plus the post-step
+    protection semantics of the batched engines.
+
+    Parameters
+    ----------
+    currents:
+        Input currents, timestep-major ``(timesteps, rows, batch, n)``.
+    output:
+        Boolean output raster ``(timesteps, rows, batch, n)``; written per
+        timestep.
+    v / refractory / counter / disabled / latched:
+        The live state arrays ``(rows, batch, n)``, advanced strictly in
+        place (never reassigned or swapped) so step hooks observing them —
+        and mutating ``disabled`` — always see the current values.
+    comparator / spikes:
+        Caller-owned per-timestep result buffers ``(rows, batch, n)``,
+        written in place each step; after the call they hold the final
+        timestep's values.
+    masks:
+        Per-row operation health (:class:`OperationMasks`).
+    threshold:
+        Effective firing threshold per neuron, shape ``(n,)``.
+    config:
+        Scalar LIF parameters (:class:`LIFStepConfig`).
+    workspace:
+        Scratch buffers (:class:`KernelWorkspace`), reused across calls.
+    triggers:
+        Optional per-row protection triggers ``(rows,)`` int64
+        (:data:`NO_PROTECTION_TRIGGER` keeps a row ungated); ``None``
+        skips protection entirely.
+    step_hook:
+        Optional callable invoked after every timestep (the batched
+        engine's step-monitor adapter).  Forces the numpy backend — the
+        hook must observe live state between steps.
+    backend:
+        Backend override; defaults to :func:`get_backend`.
+    """
+    if backend is None:
+        backend = get_backend()
+    if backend == "numba" and step_hook is None:
+        impls = _numba_impls()
+        if impls is not None:
+            trig = (
+                np.full(v.shape[0], NO_PROTECTION_TRIGGER, dtype=np.int64)
+                if triggers is None
+                else np.ascontiguousarray(triggers, dtype=np.int64)
+            )
+            impls["advance"](
+                currents,
+                output,
+                v,
+                refractory,
+                counter,
+                disabled,
+                latched,
+                comparator,
+                spikes,
+                np.ascontiguousarray(masks.leak_ok),
+                np.ascontiguousarray(masks.increase_ok),
+                np.ascontiguousarray(masks.reset_ok),
+                np.ascontiguousarray(masks.spike_ok),
+                trig,
+                triggers is not None,
+                config.v_rest,
+                config.v_reset,
+                config.v_min,
+                config.membrane_decay,
+                np.int64(config.refractory_period),
+                config.inhibition_strength,
+                np.ascontiguousarray(threshold, dtype=np.float64),
+            )
+            return
+    _lif_advance_numpy(
+        currents,
+        output,
+        v,
+        refractory,
+        counter,
+        disabled,
+        latched,
+        comparator,
+        spikes,
+        masks,
+        threshold,
+        config,
+        workspace,
+        triggers,
+        step_hook,
+    )
+
+
+def _lif_advance_numpy(
+    currents: np.ndarray,
+    output: np.ndarray,
+    v: np.ndarray,
+    refractory: np.ndarray,
+    counter: np.ndarray,
+    disabled: np.ndarray,
+    latched: np.ndarray,
+    comparator: np.ndarray,
+    spikes: np.ndarray,
+    masks: OperationMasks,
+    threshold: np.ndarray,
+    config: LIFStepConfig,
+    workspace: KernelWorkspace,
+    triggers: Optional[np.ndarray],
+    step_hook: Optional[Callable[[], None]],
+) -> None:
+    """Reference (numpy) timestep advance: in-place ufuncs, zero hot allocs.
+
+    Every statement is a bitwise-identical reformulation of the sequential
+    expressions: in-place ufunc chains evaluate the same IEEE operations
+    element by element, ``copyto(..., where=...)`` is ``np.where`` with an
+    explicit destination, and the integer counter / refractory updates are
+    exact.  The loop touches only the caller's state arrays and the
+    workspace buffers — nothing is allocated per timestep.
+    """
+    ws = workspace.ensure(v.shape)
+    vbuf = ws.vbuf
+    fbuf = ws.fbuf
+    active = ws.active
+    boolbuf = ws.boolbuf
+    countbuf = ws.countbuf
+
+    v_rest = config.v_rest
+    v_reset = config.v_reset
+    v_min = config.v_min
+    decay = config.membrane_decay
+    period = config.refractory_period
+    strength = config.inhibition_strength
+
+    leak_ok = masks.leak_ok[:, np.newaxis, :]
+    increase_ok = masks.increase_ok[:, np.newaxis, :]
+    reset_ok = masks.reset_ok[:, np.newaxis, :]
+    spike_ok = masks.spike_ok[:, np.newaxis, :]
+    all_leak = masks.all_leak
+    all_increase = masks.all_increase
+    all_reset = masks.all_reset
+    all_spike = masks.all_spike
+    reset_bad = None if all_reset else ~reset_ok
+    trig = (
+        None
+        if triggers is None
+        else np.asarray(triggers, dtype=np.int64).reshape(-1, 1, 1)
+    )
+
+    timesteps = currents.shape[0]
+    for t in range(timesteps):
+        # (2) Vmem leak: v_rest + (v - v_rest) * decay.
+        if all_leak:
+            np.subtract(v, v_rest, out=v)
+            np.multiply(v, decay, out=v)
+            np.add(v, v_rest, out=v)
+        else:
+            np.subtract(v, v_rest, out=vbuf)
+            np.multiply(vbuf, decay, out=vbuf)
+            np.add(vbuf, v_rest, out=vbuf)
+            np.copyto(v, vbuf, where=leak_ok)
+
+        # (1) Vmem increase: v += where(integrate, current, 0.0), clamp.
+        np.less_equal(refractory, 0, out=active)
+        if all_increase:
+            integrate = active
+        else:
+            np.logical_and(active, increase_ok, out=boolbuf)
+            integrate = boolbuf
+        np.copyto(fbuf, 0.0)
+        np.copyto(fbuf, currents[t], where=integrate)
+        np.add(v, fbuf, out=v)
+        np.maximum(v, v_min, out=v)
+
+        # (4) Spike generation: comparator and protection counter.
+        np.greater_equal(v, threshold, out=comparator)
+        np.logical_and(comparator, active, out=comparator)
+        np.add(counter, 1, out=counter)
+        np.multiply(counter, comparator, out=counter)
+        np.logical_not(disabled, out=spikes)
+        np.logical_and(spikes, comparator, out=spikes)
+        if not all_spike:
+            np.logical_and(spikes, spike_ok, out=spikes)
+
+        # (3) Vmem reset and refractory entry; faulty resets latch.
+        if all_reset:
+            reset_now = comparator
+        else:
+            np.logical_and(comparator, reset_ok, out=boolbuf)
+            reset_now = boolbuf
+        np.copyto(v, v_reset, where=reset_now)
+        np.subtract(refractory, 1, out=refractory)
+        np.maximum(refractory, 0, out=refractory)
+        np.copyto(refractory, period, where=reset_now)
+        if not all_reset:
+            np.logical_and(comparator, reset_bad, out=boolbuf)
+            np.logical_or(latched, boolbuf, out=latched)
+
+        # Direct lateral inhibition, per (row, sample).  Blocks without
+        # spikes receive an exactly-zero inhibition, which is a no-op
+        # because v_min <= v_reset guarantees v >= v_min here.
+        if strength > 0 and spikes.any():
+            np.sum(spikes, axis=-1, keepdims=True, out=countbuf)
+            np.subtract(countbuf, spikes, out=fbuf)
+            np.multiply(fbuf, strength, out=fbuf)
+            np.subtract(v, fbuf, out=v)
+            np.maximum(v, v_min, out=v)
+
+        # Keep latched faulty-reset membranes pinned at the threshold.
+        if not all_reset and latched.any():
+            np.maximum(v, threshold, out=fbuf)
+            np.copyto(v, fbuf, where=latched)
+
+        output[t] = spikes
+
+        # Neuron protection: gate off spike generation once the comparator
+        # has stayed asserted for the row's trigger count (applied
+        # post-step, like the batched step-monitor hook).
+        if trig is not None:
+            np.greater_equal(counter, trig, out=boolbuf)
+            np.logical_or(disabled, boolbuf, out=disabled)
+
+        if step_hook is not None:
+            step_hook()
+
+
+def lif_learning_step(
+    v: np.ndarray,
+    refractory: np.ndarray,
+    theta: np.ndarray,
+    current: np.ndarray,
+    config: LIFStepConfig,
+    v_threshold: float,
+    theta_plus: float,
+    theta_decay: float,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One healthy learning-mode LIF timestep over ``(n,)`` state.
+
+    The training-side variant of the timestep advance: the adaptive
+    threshold ``theta`` decays and potentiates *during* the step (inference
+    keeps it frozen), every fault switch is collapsed (training networks
+    are always healthy), and the arrays are per-neuron vectors because STDP
+    cannot batch samples.  ``theta`` is mutated in place; ``v``,
+    ``refractory`` and the spike vector are returned — the exact operation
+    sequence of the sequential :meth:`repro.snn.neuron.LIFNeuronGroup.step`
+    in learning mode, which keeps the vectorized trainer bit-identical.
+    """
+    v = config.v_rest + (v - config.v_rest) * config.membrane_decay
+    active = refractory <= 0
+    v = v + np.where(active, current, 0.0)
+    v = np.maximum(v, config.v_min)
+    spikes = active & (v >= v_threshold + theta)
+    any_post = spikes.any()
+    v = np.where(spikes, config.v_reset, v)
+    refractory = np.where(
+        spikes, config.refractory_period, np.maximum(refractory - 1, 0)
+    )
+    theta *= theta_decay
+    theta += theta_plus * spikes.astype(np.float64)
+    if config.inhibition_strength > 0 and any_post:
+        n_spiking = int(spikes.sum())
+        inhibition = config.inhibition_strength * (
+            n_spiking - spikes.astype(np.float64)
+        )
+        v = np.maximum(v - inhibition, config.v_min)
+    return v, refractory, spikes
+
+
+# ---------------------------------------------------------------------- #
+# batch-size autotuning
+# ---------------------------------------------------------------------- #
+_AUTOTUNE_CANDIDATES = (16, 32, 64, 128)
+_autotune_cache: Dict[Tuple[int, int, str], int] = {}
+
+
+def clear_autotune_cache() -> None:
+    """Drop cached autotune decisions (tests; backend switches)."""
+    _autotune_cache.clear()
+
+
+def _autotune_disabled() -> bool:
+    """Whether :data:`AUTOTUNE_ENV` pins the default chunk size."""
+    value = os.environ.get(AUTOTUNE_ENV, "").strip().lower()
+    return value in ("off", "0", "false", "no", "disable", "disabled")
+
+
+def autotune_batch_size(
+    n_neurons: int,
+    n_inputs: int,
+    candidates: Optional[Sequence[int]] = None,
+    probe_timesteps: int = 3,
+    max_code: int = 255,
+) -> int:
+    """Pick the fastest engine chunk size for one network geometry.
+
+    Runs a short timed probe — one register GEMM plus one
+    :func:`lif_advance` block per candidate, on synthetic spikes — and
+    returns the candidate with the best per-sample wall time.  The result
+    is cached in-process per ``(n_neurons, n_inputs, backend)``, so every
+    engine constructed for the same geometry reuses one probe.
+
+    Chunk size is a pure throughput knob: engine results are bit-identical
+    for any chunking, which is what makes a timed, machine-dependent
+    choice safe inside result-deterministic pipelines.  Explicit
+    ``batch_size`` knobs bypass this function entirely, and
+    ``SOFTSNN_AUTOTUNE=off`` pins :data:`DEFAULT_BATCH_SIZE` without
+    probing.
+    """
+    n_neurons = int(n_neurons)
+    n_inputs = int(n_inputs)
+    if n_neurons <= 0 or n_inputs <= 0:
+        raise ValueError("n_neurons and n_inputs must be positive")
+    if _autotune_disabled():
+        return DEFAULT_BATCH_SIZE
+    backend = get_backend()
+    key = (n_neurons, n_inputs, backend)
+    cached = _autotune_cache.get(key)
+    if cached is not None:
+        return cached
+
+    sizes = tuple(
+        sorted({int(c) for c in (candidates or _AUTOTUNE_CANDIDATES) if c > 0})
+    )
+    if not sizes:
+        raise ValueError("at least one positive candidate is required")
+
+    rng = np.random.default_rng(0)
+    gemm_dtype = exact_gemm_dtype(n_inputs, max_code)
+    codes = np.ascontiguousarray(
+        rng.integers(0, max_code + 1, size=(n_inputs, n_neurons)), dtype=gemm_dtype
+    )
+    raster = rng.random((max(sizes) * probe_timesteps, n_inputs)) < 0.05
+    threshold = np.full(n_neurons, np.inf)
+    config = LIFStepConfig(
+        v_rest=-65.0,
+        v_reset=-60.0,
+        v_min=-80.0,
+        membrane_decay=0.95,
+        refractory_period=5,
+        inhibition_strength=0.0,
+    )
+    masks = OperationMasks.healthy(n_neurons)
+    workspace = KernelWorkspace()
+
+    best_size = sizes[0]
+    best_time = np.inf
+    for size in sizes:
+        flat = raster[: size * probe_timesteps]
+        shape = (1, size, n_neurons)
+        output = np.zeros((probe_timesteps,) + shape, dtype=bool)
+        state = [
+            np.full(shape, config.v_rest, dtype=np.float64),
+            np.zeros(shape, dtype=np.int64),
+            np.zeros(shape, dtype=np.int64),
+            np.zeros(shape, dtype=bool),
+            np.zeros(shape, dtype=bool),
+            np.empty(shape, dtype=bool),
+            np.empty(shape, dtype=bool),
+        ]
+
+        def probe_once() -> None:
+            accumulated = register_gemm(flat, codes)
+            currents = exact_scale(accumulated, 1.0 / max_code).reshape(
+                (probe_timesteps,) + shape
+            )
+            lif_advance(
+                currents,
+                output,
+                *state,
+                masks,
+                threshold,
+                config,
+                workspace,
+            )
+
+        probe_once()  # warm caches (and, for numba, the JIT) off the clock
+        elapsed = np.inf
+        for _ in range(2):
+            began = time.perf_counter()
+            probe_once()
+            elapsed = min(elapsed, time.perf_counter() - began)
+        per_sample = elapsed / size
+        if per_sample < best_time:
+            best_time = per_sample
+            best_size = size
+
+    _autotune_cache[key] = best_size
+    _LOGGER.debug(
+        "autotuned batch size for (n_neurons=%d, n_inputs=%d, backend=%s): %d",
+        n_neurons,
+        n_inputs,
+        backend,
+        best_size,
+    )
+    return best_size

@@ -23,6 +23,7 @@ from typing import Optional, Tuple, Union
 
 import numpy as np
 
+from repro.snn.kernels import exact_gemm_dtype, exact_scale, register_gemm
 from repro.snn.quantization import WeightQuantizer
 from repro.utils.bits import flip_bits_in_array
 
@@ -55,28 +56,10 @@ class BoundedWeightRule:
 EffectiveWeights = Union[None, np.ndarray, BoundedWeightRule]
 
 
-def _exact_gemm_dtype(n_inputs: int, max_code: int) -> np.dtype:
-    """Smallest float dtype whose matmul is exact for code sums.
-
-    A crossbar column sum is at most ``n_inputs * max_code``.  When that
-    bound fits the 24-bit float32 mantissa, every product and every partial
-    sum of the GEMM is exactly representable in float32, so the (much
-    faster) SGEMM returns the same integers as a float64 GEMM — and the
-    same integers for every operand shape and kernel.
-    """
-    if n_inputs * max_code <= (1 << 24):
-        return np.dtype(np.float32)
-    return np.dtype(np.float64)
-
-
-def _exact_scale(accumulated: np.ndarray, factor: float) -> np.ndarray:
-    """Multiply exact integer-valued accumulators by a float64 factor.
-
-    The accumulator entries are integers held exactly in either float
-    precision, so widening to float64 during the multiply yields bitwise
-    identical currents regardless of the GEMM dtype.
-    """
-    return np.multiply(accumulated, factor, dtype=np.float64)
+# Historical homes of the exact-GEMM helpers; the canonical definitions
+# now live in repro.snn.kernels and are shared by every engine.
+_exact_gemm_dtype = exact_gemm_dtype
+_exact_scale = exact_scale
 
 
 class _LatticeCurrentOperator:
@@ -97,8 +80,7 @@ class _LatticeCurrentOperator:
 
     def compute(self, spikes: np.ndarray) -> np.ndarray:
         """Per-neuron currents for ``(m, n_inputs)`` spike rows."""
-        spikes = np.asarray(spikes, dtype=self._codes.dtype)
-        return _exact_scale(spikes @ self._codes, self._scale)
+        return exact_scale(register_gemm(spikes, self._codes), self._scale)
 
     @property
     def is_exact(self) -> bool:
@@ -129,10 +111,9 @@ class _BoundedCurrentOperator:
     def compute(self, spikes: np.ndarray) -> np.ndarray:
         """Per-neuron currents for ``(m, n_inputs)`` spike rows."""
         spikes = np.asarray(spikes, dtype=self._kept_codes.dtype)
-        kept = _exact_scale(spikes @ self._kept_codes, self._scale)
-        bounded = _exact_scale(
-            spikes.astype(self._bounded_mask.dtype, copy=False) @ self._bounded_mask,
-            self._substitute,
+        kept = exact_scale(register_gemm(spikes, self._kept_codes), self._scale)
+        bounded = exact_scale(
+            register_gemm(spikes, self._bounded_mask), self._substitute
         )
         return kept + bounded
 
@@ -271,7 +252,7 @@ class SynapseMatrix:
         the batch shape; a dense override array falls back to a plain
         float matmul.
         """
-        gemm_dtype = _exact_gemm_dtype(self.n_inputs, self.quantizer.max_code)
+        gemm_dtype = exact_gemm_dtype(self.n_inputs, self.quantizer.max_code)
         if effective_weights is None:
             if self._float_codes is None:
                 self._float_codes = self._registers.astype(gemm_dtype)

@@ -78,6 +78,16 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.snn.engine import BatchedInferenceEngine
+from repro.snn.kernels import (
+    KernelWorkspace,
+    LIFStepConfig,
+    OperationMasks,
+    exact_gemm_dtype,
+    exact_scale,
+    lif_advance,
+    lif_learning_step,
+    register_gemm,
+)
 from repro.snn.network import DiehlCookNetwork, NetworkConfig
 from repro.utils.logging import get_logger
 
@@ -181,6 +191,9 @@ class VectorizedTrainingEngine:
     ) -> None:
         self.network_config = network_config
         self.training_config = training_config
+        # Scratch buffers of the WTA presentation kernel, reused across
+        # samples and epochs.
+        self._workspace = KernelWorkspace()
 
     # ------------------------------------------------------------------ #
     # capability probe
@@ -273,14 +286,10 @@ class VectorizedTrainingEngine:
         n_neurons = self.network_config.n_neurons
         weights = network.synapses.weights  # float64 copy, within [0, w_max]
 
-        # Hoisted constants of the specialised (healthy-network) LIF step.
+        # Scalar parameters of the specialised (healthy-network) LIF step.
+        step_config = LIFStepConfig.from_params(params)
         v_rest = params.v_rest
-        v_reset = params.v_reset
-        v_min = params.v_min
         v_threshold = params.v_threshold
-        membrane_decay = params.membrane_decay
-        period = params.refractory_period
-        inhibition_strength = params.inhibition_strength
         theta_plus = params.theta_plus
         theta_decay = params.theta_decay
         pre_decay = stdp.pre_decay
@@ -314,30 +323,29 @@ class VectorizedTrainingEngine:
                 sample_spikes = 0
 
                 for t in range(timesteps):
+                    # The learning-mode GEMV multiplies spikes with the
+                    # dense float *training* weights (which change between
+                    # timesteps), not register codes — it has no exact
+                    # integer decomposition, and both paths evaluate the
+                    # identical float64 expression.
                     current = float_raster[t] @ weights
 
-                    # Specialised healthy LIF learning step: the exact
-                    # operation sequence of LIFNeuronGroup.step with every
-                    # per-operation fault switch collapsed (training
-                    # networks are always healthy).
-                    v = v_rest + (v - v_rest) * membrane_decay
-                    active = refractory <= 0
-                    v = v + np.where(active, current, 0.0)
-                    v = np.maximum(v, v_min)
-                    spikes = active & (v >= v_threshold + theta)
-                    any_post = spikes.any()
-                    v = np.where(spikes, v_reset, v)
-                    refractory = np.where(
-                        spikes, period, np.maximum(refractory - 1, 0)
+                    # Healthy learning-mode LIF step (kernel layer): the
+                    # exact operation sequence of LIFNeuronGroup.step with
+                    # every per-operation fault switch collapsed (training
+                    # networks are always healthy) and theta adapting
+                    # in place.
+                    v, refractory, spikes = lif_learning_step(
+                        v,
+                        refractory,
+                        theta,
+                        current,
+                        step_config,
+                        v_threshold,
+                        theta_plus,
+                        theta_decay,
                     )
-                    theta *= theta_decay
-                    theta += theta_plus * spikes.astype(np.float64)
-                    if inhibition_strength > 0 and any_post:
-                        n_spiking = int(spikes.sum())
-                        inhibition = inhibition_strength * (
-                            n_spiking - spikes.astype(np.float64)
-                        )
-                        v = np.maximum(v - inhibition, v_min)
+                    any_post = spikes.any()
 
                     # Trace recursion — the same decay-then-set the
                     # sequential STDPRule.step applies.
@@ -508,40 +516,38 @@ class VectorizedTrainingEngine:
 
         # Exact integer-code currents for the whole presentation in one
         # GEMM, exactly as the batched engine computes them (the code sums
-        # are exact integers, so the float64 evaluation is bitwise
-        # identical to the engine's dtype choice for any operand shape).
-        codes = quantizer.quantize(weights).astype(np.float64)
-        currents = np.multiply(
-            raster.astype(np.float64) @ codes, quantizer.scale, dtype=np.float64
+        # are exact integers, so the evaluation is bitwise identical to
+        # the engine's for any operand shape and GEMM dtype).
+        gemm_dtype = exact_gemm_dtype(
+            self.network_config.n_inputs, quantizer.max_code
         )
+        codes = quantizer.quantize(weights).astype(gemm_dtype)
+        currents = exact_scale(register_gemm(raster, codes), quantizer.scale)
 
-        v_rest = params.v_rest
-        v_reset = params.v_reset
-        v_min = params.v_min
-        membrane_decay = params.membrane_decay
-        period = params.refractory_period
-        inhibition_strength = params.inhibition_strength
+        # One healthy (1, 1, n_neurons) block through the shared timestep
+        # kernel — the same advance the inference engines run, with the
+        # fault switches collapsed and the conscience as the threshold
+        # bias.
+        shape = (1, 1, n_neurons)
+        config = LIFStepConfig.from_params(params)
         threshold = params.v_threshold + conscience
-
-        v = np.full(n_neurons, v_rest, dtype=np.float64)
-        refractory = np.zeros(n_neurons, dtype=np.int64)
-        counts = np.zeros(n_neurons, dtype=np.int64)
-        for t in range(timesteps):
-            v = v_rest + (v - v_rest) * membrane_decay
-            active = refractory <= 0
-            v = v + np.where(active, currents[t], 0.0)
-            v = np.maximum(v, v_min)
-            spikes = active & (v >= threshold)
-            v = np.where(spikes, v_reset, v)
-            refractory = np.where(spikes, period, np.maximum(refractory - 1, 0))
-            if inhibition_strength > 0 and spikes.any():
-                n_spiking = int(spikes.sum())
-                inhibition = inhibition_strength * (
-                    n_spiking - spikes.astype(np.float64)
-                )
-                v = np.maximum(v - inhibition, v_min)
-            counts += spikes
-        return counts
+        output = np.zeros((timesteps,) + shape, dtype=bool)
+        lif_advance(
+            np.ascontiguousarray(currents.reshape((timesteps,) + shape)),
+            output,
+            np.full(shape, params.v_rest, dtype=np.float64),
+            np.zeros(shape, dtype=np.int64),
+            np.zeros(shape, dtype=np.int64),
+            np.zeros(shape, dtype=bool),
+            np.zeros(shape, dtype=bool),
+            np.empty(shape, dtype=bool),
+            np.empty(shape, dtype=bool),
+            OperationMasks.healthy(n_neurons),
+            threshold,
+            config,
+            self._workspace,
+        )
+        return output.sum(axis=(0, 1, 2), dtype=np.int64)
 
     # ------------------------------------------------------------------ #
     # label assignment

@@ -1,0 +1,757 @@
+"""Unit suite of the fused kernel layer (:mod:`repro.snn.kernels`).
+
+The kernels carry the bit-exactness contract of all three engines, so this
+suite checks them against straight-line reference implementations written
+in the pre-refactor ``np.where`` style: the float32-exactness boundary of
+the register GEMM, the LIF timestep advance under every fault-switch
+combination (including protection triggers and carried faulty-reset
+latches), the Bound-and-Protect bounding-correction decomposition, the
+caller-owned workspace (no allocation inside the hot loop), backend
+selection / fallback, and the batch-size autotuner with its explicit-knob
+override guarantees.  When numba is importable the whole advance/GEMM
+matrix also runs against the compiled backend and must stay bit-identical.
+"""
+
+from __future__ import annotations
+
+import types
+
+import numpy as np
+import pytest
+
+from repro.snn import kernels
+from repro.snn.kernels import (
+    DEFAULT_BATCH_SIZE,
+    FLOAT32_EXACT_SUM_LIMIT,
+    NO_PROTECTION_TRIGGER,
+    KernelWorkspace,
+    LIFStepConfig,
+    OperationMasks,
+    apply_bounding_correction,
+    autotune_batch_size,
+    bounding_correction_terms,
+    clear_autotune_cache,
+    exact_gemm_dtype,
+    exact_scale,
+    lif_advance,
+    lif_learning_step,
+    numba_available,
+    plan_bounding_correction,
+    register_gemm,
+    set_backend,
+)
+from repro.snn.neuron import LIFParameters, NeuronOperationStatus
+from repro.snn.quantization import WeightQuantizer
+from repro.snn.synapse import BoundedWeightRule, SynapseMatrix
+
+#: Backends exercised by the parity matrix; numba joins when importable.
+BACKENDS = ["numpy"] + (["numba"] if numba_available() else [])
+
+CONFIG = LIFStepConfig(
+    v_rest=0.0,
+    v_reset=0.0,
+    v_min=-2.0,
+    membrane_decay=0.9,
+    refractory_period=3,
+    inhibition_strength=1.0,
+)
+
+
+@pytest.fixture(autouse=True)
+def _reset_kernel_state():
+    """Isolate backend and autotune caches between tests."""
+    yield
+    set_backend(None)
+    clear_autotune_cache()
+
+
+# ---------------------------------------------------------------------- #
+# exact-GEMM dtype boundary
+# ---------------------------------------------------------------------- #
+class TestExactGemmDtype:
+    """Pin the float32 capability probe exactly at the 2**24 boundary."""
+
+    def test_limit_is_float32_mantissa(self):
+        # 2**24 + 1 is the first integer float32 cannot represent: the
+        # predicate must be `<=` so the boundary itself stays on float32.
+        assert FLOAT32_EXACT_SUM_LIMIT == 2**24
+        assert int(np.float32(2**24)) == 2**24
+        assert int(np.float32(2**24 + 1)) == 2**24  # rounds down: inexact
+
+    def test_boundary_exactly_at_limit_picks_float32(self):
+        # 4096 * 4096 == 2**24: the bound itself is representable.
+        assert exact_gemm_dtype(4096, 4096) == np.float32
+
+    def test_boundary_one_below_limit_picks_float32(self):
+        # 4095 * 4097 == 2**24 - 1.
+        assert 4095 * 4097 == 2**24 - 1
+        assert exact_gemm_dtype(4095, 4097) == np.float32
+
+    def test_boundary_one_above_limit_picks_float64(self):
+        # 24929 * 673 == 16_777_217 == 2**24 + 1 (= 97 * 257 * 673).
+        assert 24929 * 673 == 2**24 + 1
+        assert exact_gemm_dtype(24929, 673) == np.float64
+
+    def test_paper_geometry_is_float32(self):
+        # 784 inputs x 8-bit codes: comfortably within the mantissa.
+        assert exact_gemm_dtype(784, 255) == np.float32
+
+    def test_boundary_sum_is_exact_in_chosen_dtype(self):
+        # Worst-case column sum exactly at the limit: all 4096 inputs spike
+        # into a column of max codes.  The float32 GEMM must return the
+        # exact integer.
+        dtype = exact_gemm_dtype(4096, 4096)
+        codes = np.full((4096, 1), 4096, dtype=dtype)
+        spikes = np.ones((1, 4096), dtype=bool)
+        total = register_gemm(spikes, codes)
+        assert int(total[0, 0]) == 2**24
+
+    def test_above_boundary_sum_exact_via_float64(self):
+        # One past the limit the probe must fall back to float64, where the
+        # sum is still exact (and float32 would have rounded it).
+        dtype = exact_gemm_dtype(24929, 673)
+        assert dtype == np.float64
+        codes = np.full((24929, 1), 673, dtype=dtype)
+        spikes = np.ones((1, 24929), dtype=bool)
+        total = register_gemm(spikes, codes)
+        assert int(total[0, 0]) == 2**24 + 1
+
+
+# ---------------------------------------------------------------------- #
+# register GEMM + exact scaling
+# ---------------------------------------------------------------------- #
+class TestRegisterGemm:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("code_dtype", [np.float32, np.float64, np.int64])
+    def test_matches_integer_matmul(self, backend, code_dtype):
+        rng = np.random.default_rng(5)
+        codes = rng.integers(0, 256, size=(50, 12)).astype(code_dtype)
+        spikes = rng.random((7, 50)) < 0.3
+        result = register_gemm(spikes, codes, backend=backend)
+        expected = spikes.astype(np.int64) @ codes.astype(np.int64)
+        assert result.dtype == codes.dtype
+        assert np.array_equal(result.astype(np.int64), expected)
+
+    @pytest.mark.skipif(not numba_available(), reason="numba not installed")
+    def test_numba_bitwise_matches_numpy(self):
+        rng = np.random.default_rng(6)
+        codes = rng.integers(0, 256, size=(100, 30)).astype(np.float32)
+        spikes = rng.random((16, 100)) < 0.2
+        a = register_gemm(spikes, codes, backend="numpy")
+        b = register_gemm(spikes, codes, backend="numba")
+        assert a.dtype == b.dtype
+        assert np.array_equal(a, b)
+
+    def test_exact_scale_is_float64_widening(self):
+        accumulated = np.array([[3.0, 150.0]], dtype=np.float32)
+        scale = 2.0 / 255.0
+        result = exact_scale(accumulated, scale)
+        assert result.dtype == np.float64
+        expected = accumulated.astype(np.float64) * np.float64(scale)
+        assert np.array_equal(result, expected)
+
+    def test_exact_scale_out_parameter(self):
+        accumulated = np.arange(6, dtype=np.float32).reshape(2, 3)
+        out = np.empty((2, 3), dtype=np.float64)
+        returned = exact_scale(accumulated, 0.5, out=out)
+        assert returned is out
+        assert np.array_equal(out, accumulated.astype(np.float64) * 0.5)
+
+
+# ---------------------------------------------------------------------- #
+# Bound-and-Protect bounding correction
+# ---------------------------------------------------------------------- #
+class TestBoundingCorrection:
+    def _setup(self, threshold, n_inputs=60, n_neurons=9, seed=8):
+        rng = np.random.default_rng(seed)
+        weights = rng.random((n_inputs, n_neurons)) * 2.0
+        synapses = SynapseMatrix(weights)
+        rule = BoundedWeightRule(threshold=threshold, substitute=0.25)
+        flat = rng.random((11, n_inputs)) < 0.3
+        return synapses, rule, flat
+
+    @pytest.mark.parametrize("threshold", [1.9, 1.0, 0.05])
+    def test_decomposition_matches_bounded_operator(self, threshold):
+        # threshold 1.9 bounds a few synapses (column-restricted path),
+        # 1.0 about half, 0.05 nearly all (dense path).
+        synapses, rule, flat = self._setup(threshold)
+        quantizer = synapses.quantizer
+        dtype = exact_gemm_dtype(synapses.n_inputs, quantizer.max_code)
+        codes = synapses.registers.astype(dtype)
+        spikes = flat.astype(dtype)
+
+        expected = synapses.current_operator(rule).compute(flat)
+
+        correction = plan_bounding_correction(
+            synapses.registers, rule.threshold, quantizer
+        )
+        assert not correction.is_empty
+        base = register_gemm(spikes, codes)
+        masked, hits = bounding_correction_terms(spikes, correction)
+        out = np.empty_like(expected)
+        apply_bounding_correction(
+            base, masked, hits, quantizer.scale, rule.substitute, out
+        )
+        assert np.array_equal(out, expected)
+
+    def test_sparse_threshold_restricts_columns(self):
+        synapses, rule, _ = self._setup(1.99)
+        correction = plan_bounding_correction(
+            synapses.registers, rule.threshold, synapses.quantizer
+        )
+        if correction.is_empty:
+            pytest.skip("no weight reached the threshold for this seed")
+        assert correction.columns is not None
+        assert correction.masked_codes.shape[0] == correction.columns.size
+
+    def test_unreachable_threshold_is_empty(self):
+        synapses, _, _ = self._setup(1.0)
+        correction = plan_bounding_correction(
+            synapses.registers, 3.0, synapses.quantizer
+        )
+        assert correction.is_empty
+        assert correction.columns is None
+
+
+# ---------------------------------------------------------------------- #
+# LIF timestep advance
+# ---------------------------------------------------------------------- #
+def _reference_advance(
+    currents, v, refractory, counter, disabled, latched, masks, threshold,
+    config, triggers=None,
+):
+    """Straight-line ``np.where`` transcription of the engine timestep.
+
+    This is the pre-kernel formulation the batched engine used, lifted to
+    ``(rows, batch, neurons)``; :func:`lif_advance` must reproduce it bit
+    for bit on every backend.
+    """
+    leak_ok = masks.leak_ok[:, np.newaxis, :]
+    increase_ok = masks.increase_ok[:, np.newaxis, :]
+    reset_ok = masks.reset_ok[:, np.newaxis, :]
+    spike_ok = masks.spike_ok[:, np.newaxis, :]
+    has_reset_fault = not masks.all_reset
+    output = np.zeros(currents.shape, dtype=bool)
+    for t in range(currents.shape[0]):
+        decayed = config.v_rest + (v - config.v_rest) * config.membrane_decay
+        v = np.where(leak_ok, decayed, v)
+        active = refractory <= 0
+        v = v + np.where(active & increase_ok, currents[t], 0.0)
+        v = np.maximum(v, config.v_min)
+        comparator = active & (v >= threshold)
+        counter = np.where(comparator, counter + 1, 0)
+        spikes = comparator & spike_ok & ~disabled
+        reset_now = comparator & reset_ok
+        v = np.where(reset_now, config.v_reset, v)
+        refractory = np.where(
+            reset_now, config.refractory_period, np.maximum(refractory - 1, 0)
+        )
+        latched = latched | (comparator & ~reset_ok)
+        if config.inhibition_strength > 0 and spikes.any():
+            n_spiking = spikes.sum(axis=-1, keepdims=True)
+            inhibition = config.inhibition_strength * (n_spiking - spikes)
+            v = np.maximum(v - inhibition, config.v_min)
+        if has_reset_fault and latched.any():
+            v = np.where(latched, np.maximum(v, threshold), v)
+        output[t] = spikes
+        if triggers is not None:
+            disabled = disabled | (counter >= triggers.reshape(-1, 1, 1))
+    return output, v, refractory, counter, disabled, latched
+
+
+def _fresh_state(shape, config, rng=None, latched_init=None):
+    """Allocate one ``(rows, batch, neurons)`` kernel state block."""
+    v = np.full(shape, config.v_rest, dtype=np.float64)
+    if rng is not None:
+        v += rng.random(shape)
+    latched = np.zeros(shape, dtype=bool)
+    if latched_init is not None:
+        latched[...] = latched_init
+    return {
+        "v": v,
+        "refractory": np.zeros(shape, dtype=np.int64),
+        "counter": np.zeros(shape, dtype=np.int64),
+        "disabled": np.zeros(shape, dtype=bool),
+        "latched": latched,
+    }
+
+
+def _run_both(currents, masks, threshold, config, backend, triggers=None,
+              state=None, workspace=None):
+    """Run kernel and reference on identical state; assert bit-identity."""
+    shape = currents.shape[1:]
+    rng = np.random.default_rng(17)
+    if state is None:
+        state = _fresh_state(shape, config, rng=rng)
+    kernel_state = {key: value.copy() for key, value in state.items()}
+    output = np.zeros(currents.shape, dtype=bool)
+    lif_advance(
+        currents,
+        output,
+        kernel_state["v"],
+        kernel_state["refractory"],
+        kernel_state["counter"],
+        kernel_state["disabled"],
+        kernel_state["latched"],
+        np.empty(shape, dtype=bool),
+        np.empty(shape, dtype=bool),
+        masks,
+        threshold,
+        config,
+        workspace if workspace is not None else KernelWorkspace(),
+        triggers=triggers,
+        backend=backend,
+    )
+    expected = _reference_advance(
+        currents,
+        state["v"].copy(),
+        state["refractory"].copy(),
+        state["counter"].copy(),
+        state["disabled"].copy(),
+        state["latched"].copy(),
+        masks,
+        threshold,
+        config,
+        triggers=triggers,
+    )
+    names = ("output", "v", "refractory", "counter", "disabled", "latched")
+    actual = (output,) + tuple(
+        kernel_state[key] for key in ("v", "refractory", "counter", "disabled", "latched")
+    )
+    for name, got, want in zip(names, actual, expected):
+        assert np.array_equal(got, want), f"{name} diverged ({backend})"
+    return output, kernel_state
+
+
+def _fault_rows(rng, n_neurons):
+    """Random fault mask with at least one faulty neuron (index 0)."""
+    bad = rng.random(n_neurons) < 0.4
+    bad[0] = True
+    return bad
+
+
+def _masks_variant(variant, n_rows, n_neurons, rng):
+    """Build an :class:`OperationMasks` for one named fault scenario."""
+    statuses = []
+    for _ in range(n_rows):
+        status = NeuronOperationStatus.healthy(n_neurons)
+        if variant in ("leak", "mixed"):
+            status.vmem_leak_ok[_fault_rows(rng, n_neurons)] = False
+        if variant in ("increase", "mixed"):
+            status.vmem_increase_ok[_fault_rows(rng, n_neurons)] = False
+        if variant in ("reset", "mixed"):
+            status.vmem_reset_ok[_fault_rows(rng, n_neurons)] = False
+        if variant in ("spike", "mixed"):
+            status.spike_generation_ok[_fault_rows(rng, n_neurons)] = False
+        statuses.append(status)
+    return OperationMasks.stack(statuses)
+
+
+VARIANTS = ["healthy", "leak", "increase", "reset", "spike", "mixed"]
+
+
+class TestLIFAdvance:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_matches_reference(self, backend, variant):
+        rng = np.random.default_rng(42)
+        timesteps, rows, batch, n = 25, 2, 4, 10
+        masks = _masks_variant(variant, rows, n, rng)
+        currents = rng.random((timesteps, rows, batch, n)) * 2.0 - 0.3
+        threshold = 0.8 + rng.random(n)
+        _run_both(currents, masks, threshold, CONFIG, backend)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_no_inhibition(self, backend):
+        rng = np.random.default_rng(43)
+        config = LIFStepConfig(
+            v_rest=CONFIG.v_rest,
+            v_reset=CONFIG.v_reset,
+            v_min=CONFIG.v_min,
+            membrane_decay=CONFIG.membrane_decay,
+            refractory_period=CONFIG.refractory_period,
+            inhibition_strength=0.0,
+        )
+        masks = _masks_variant("mixed", 1, 8, rng)
+        currents = rng.random((20, 1, 3, 8)) * 2.0
+        _run_both(currents, masks, np.full(8, 1.0), config, backend)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_protection_triggers(self, backend):
+        # Row 0 trips after 2 consecutive comparator assertions; row 1
+        # carries the no-protection sentinel and must stay ungated.
+        rng = np.random.default_rng(44)
+        rows, n = 2, 6
+        masks = _masks_variant("reset", rows, n, rng)
+        currents = np.full((30, rows, 3, n), 2.0)
+        triggers = np.array([2, NO_PROTECTION_TRIGGER], dtype=np.int64)
+        output, state = _run_both(
+            currents, masks, np.full(n, 1.0), CONFIG, backend, triggers=triggers
+        )
+        assert state["disabled"][0].any()
+        assert not state["disabled"][1].any()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_carried_latch_state(self, backend):
+        # A latch carried in from a previous chunk keeps pinning membranes
+        # (the faulty-reset burst coupling across samples).
+        rng = np.random.default_rng(45)
+        n = 7
+        masks = _masks_variant("reset", 1, n, rng)
+        latched_init = rng.random((1, 5, n)) < 0.5
+        state = _fresh_state((1, 5, n), CONFIG, rng=rng, latched_init=latched_init)
+        currents = rng.random((15, 1, 5, n))
+        _run_both(
+            currents, masks, np.full(n, 1.2), CONFIG, backend, state=state
+        )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_zero_size_batch(self, backend):
+        masks = OperationMasks.healthy(5)
+        currents = np.zeros((4, 1, 0, 5))
+        output, _ = _run_both(currents, masks, np.full(5, 1.0), CONFIG, backend)
+        assert output.shape == (4, 1, 0, 5)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_single_neuron(self, backend):
+        rng = np.random.default_rng(46)
+        masks = OperationMasks.healthy(1)
+        currents = rng.random((12, 1, 3, 1)) * 2.0
+        _run_both(currents, masks, np.full(1, 1.0), CONFIG, backend)
+
+    @pytest.mark.skipif(not numba_available(), reason="numba not installed")
+    def test_numba_bitwise_matches_numpy(self):
+        rng = np.random.default_rng(47)
+        masks = _masks_variant("mixed", 3, 9, rng)
+        currents = rng.random((30, 3, 4, 9)) * 2.0 - 0.2
+        threshold = 0.7 + rng.random(9)
+        triggers = np.array([3, NO_PROTECTION_TRIGGER, 5], dtype=np.int64)
+        results = {}
+        for backend in ("numpy", "numba"):
+            results[backend] = _run_both(
+                currents, masks, threshold, CONFIG, backend, triggers=triggers
+            )
+        output_np, state_np = results["numpy"]
+        output_nb, state_nb = results["numba"]
+        assert np.array_equal(output_np, output_nb)
+        for key in state_np:
+            assert np.array_equal(state_np[key], state_nb[key]), key
+
+
+class TestKernelWorkspace:
+    def test_ensure_reuses_buffers_for_same_shape(self):
+        workspace = KernelWorkspace()
+        workspace.ensure((2, 8, 16))
+        buffers = (
+            workspace.vbuf,
+            workspace.fbuf,
+            workspace.active,
+            workspace.boolbuf,
+            workspace.countbuf,
+        )
+        workspace.ensure((2, 8, 16))
+        assert workspace.vbuf is buffers[0]
+        assert workspace.fbuf is buffers[1]
+        assert workspace.active is buffers[2]
+        assert workspace.boolbuf is buffers[3]
+        assert workspace.countbuf is buffers[4]
+
+    def test_ensure_reallocates_on_shape_change(self):
+        workspace = KernelWorkspace()
+        workspace.ensure((1, 8, 16))
+        old = workspace.vbuf
+        workspace.ensure((1, 5, 16))
+        assert workspace.vbuf is not old
+        assert workspace.vbuf.shape == (1, 5, 16)
+        assert workspace.countbuf.shape == (1, 5, 1)
+
+    def test_reuse_across_batch_sizes_is_exact(self):
+        # One workspace shared by consecutive runs of different batch
+        # sizes (the engine's chunk-tail case) must not perturb results.
+        rng = np.random.default_rng(48)
+        masks = _masks_variant("mixed", 1, 6, rng)
+        threshold = np.full(6, 1.0)
+        shared = KernelWorkspace()
+        for batch in (8, 3, 8):
+            currents = np.random.default_rng(batch).random((10, 1, batch, 6)) * 2
+            _run_both(
+                currents, masks, threshold, CONFIG, "numpy", workspace=shared
+            )
+
+    def test_no_per_timestep_allocation(self):
+        # The hot loop must only touch the caller's state arrays and the
+        # workspace buffers: every timestep sees the same buffer objects.
+        n = 6
+        masks = _masks_variant("reset", 1, n, np.random.default_rng(49))
+        workspace = KernelWorkspace().ensure((1, 4, n))
+        frozen = (
+            workspace.vbuf,
+            workspace.fbuf,
+            workspace.active,
+            workspace.boolbuf,
+            workspace.countbuf,
+        )
+        shape = (1, 4, n)
+        state = _fresh_state(shape, CONFIG, rng=np.random.default_rng(50))
+        comparator = np.empty(shape, dtype=bool)
+        spikes = np.empty(shape, dtype=bool)
+        seen = []
+
+        def hook():
+            assert workspace.vbuf is frozen[0]
+            assert workspace.fbuf is frozen[1]
+            assert workspace.active is frozen[2]
+            assert workspace.boolbuf is frozen[3]
+            assert workspace.countbuf is frozen[4]
+            seen.append(True)
+
+        currents = np.random.default_rng(51).random((20,) + shape) * 2
+        lif_advance(
+            currents,
+            np.zeros(currents.shape, dtype=bool),
+            state["v"],
+            state["refractory"],
+            state["counter"],
+            state["disabled"],
+            state["latched"],
+            comparator,
+            spikes,
+            masks,
+            np.full(n, 1.0),
+            CONFIG,
+            workspace,
+            triggers=np.array([4], dtype=np.int64),
+            step_hook=hook,
+        )
+        assert len(seen) == 20
+
+
+class TestLIFLearningStep:
+    def test_matches_inline_reference(self):
+        params = LIFParameters()
+        config = LIFStepConfig.from_params(params)
+        rng = np.random.default_rng(52)
+        n = 12
+        v = rng.random(n)
+        refractory = rng.integers(0, 3, size=n)
+        theta = rng.random(n) * 0.1
+        current = rng.random(n) * 2.0
+
+        # The original trainer's inline step, verbatim.
+        ref_v = params.v_rest + (v - params.v_rest) * params.membrane_decay
+        active = refractory <= 0
+        ref_v = ref_v + np.where(active, current, 0.0)
+        ref_v = np.maximum(ref_v, params.v_min)
+        ref_theta = theta.copy()
+        ref_spikes = active & (ref_v >= params.v_threshold + ref_theta)
+        ref_v = np.where(ref_spikes, params.v_reset, ref_v)
+        ref_refractory = np.where(
+            ref_spikes, params.refractory_period, np.maximum(refractory - 1, 0)
+        )
+        theta_decay = 0.95
+        theta_plus = params.theta_plus
+        ref_theta *= theta_decay
+        ref_theta += theta_plus * ref_spikes.astype(np.float64)
+        if params.inhibition_strength > 0 and ref_spikes.any():
+            inhibition = params.inhibition_strength * (
+                int(ref_spikes.sum()) - ref_spikes.astype(np.float64)
+            )
+            ref_v = np.maximum(ref_v - inhibition, params.v_min)
+
+        got_theta = theta.copy()
+        got_v, got_refractory, got_spikes = lif_learning_step(
+            v.copy(),
+            refractory.copy(),
+            got_theta,
+            current,
+            config,
+            params.v_threshold,
+            theta_plus,
+            theta_decay,
+        )
+        assert np.array_equal(got_v, ref_v)
+        assert np.array_equal(got_refractory, ref_refractory)
+        assert np.array_equal(got_spikes, ref_spikes)
+        assert np.array_equal(got_theta, ref_theta)
+
+
+# ---------------------------------------------------------------------- #
+# backend selection
+# ---------------------------------------------------------------------- #
+class TestBackendSelection:
+    def test_unknown_backend_falls_back_to_numpy(self):
+        assert set_backend("bogus") == "numpy"
+        assert kernels.get_backend() == "numpy"
+
+    def test_numba_request_resolves_by_availability(self):
+        resolved = set_backend("numba")
+        assert resolved == ("numba" if numba_available() else "numpy")
+
+    def test_none_re_resolves_environment(self, monkeypatch):
+        monkeypatch.setenv(kernels.KERNEL_BACKEND_ENV, "numpy")
+        assert set_backend(None) == "numpy"
+        monkeypatch.setenv(kernels.KERNEL_BACKEND_ENV, "NUMPY")
+        assert set_backend(None) == "numpy"  # case-insensitive
+
+    def test_env_garbage_falls_back(self, monkeypatch):
+        monkeypatch.setenv(kernels.KERNEL_BACKEND_ENV, "cuda")
+        assert set_backend(None) == "numpy"
+
+
+# ---------------------------------------------------------------------- #
+# batch-size autotuning + explicit-knob overrides
+# ---------------------------------------------------------------------- #
+class TestAutotune:
+    def test_result_is_a_candidate(self):
+        clear_autotune_cache()
+        size = autotune_batch_size(16, 64, candidates=(4, 8), probe_timesteps=2)
+        assert size in (4, 8)
+
+    def test_cached_per_geometry(self, monkeypatch):
+        clear_autotune_cache()
+        first = autotune_batch_size(16, 64, candidates=(4, 8), probe_timesteps=2)
+
+        def boom(*args, **kwargs):
+            raise AssertionError("probe re-ran despite a cached decision")
+
+        monkeypatch.setattr(kernels, "register_gemm", boom)
+        second = autotune_batch_size(16, 64, candidates=(4, 8), probe_timesteps=2)
+        assert second == first
+
+    def test_kill_switch_pins_default(self, monkeypatch):
+        clear_autotune_cache()
+        monkeypatch.setenv(kernels.AUTOTUNE_ENV, "off")
+
+        def boom(*args, **kwargs):
+            raise AssertionError("probe ran despite SOFTSNN_AUTOTUNE=off")
+
+        monkeypatch.setattr(kernels, "register_gemm", boom)
+        assert autotune_batch_size(16, 64) == DEFAULT_BATCH_SIZE
+
+    def test_invalid_geometry_raises(self):
+        with pytest.raises(ValueError):
+            autotune_batch_size(0, 64)
+        with pytest.raises(ValueError):
+            autotune_batch_size(16, -1)
+
+    def test_empty_candidates_raise(self):
+        clear_autotune_cache()
+        with pytest.raises(ValueError):
+            autotune_batch_size(16, 64, candidates=(0, -4))
+
+
+class TestExplicitKnobWins:
+    """Explicit batch-size knobs must bypass the autotuner everywhere."""
+
+    def _engine(self):
+        from repro.snn.inference import InferenceEngine
+        from repro.snn.network import DiehlCookNetwork, NetworkConfig
+
+        network = DiehlCookNetwork(
+            NetworkConfig(n_inputs=784, n_neurons=8, timesteps=15), rng=0
+        )
+        labels = np.arange(8, dtype=np.int64) % 2
+        return InferenceEngine(network, labels)
+
+    def _dataset(self):
+        from repro.data.synthetic_mnist import SyntheticMNIST
+
+        return SyntheticMNIST().generate(n_samples=3, rng=13)
+
+    def test_evaluate_explicit_batch_size_skips_autotuner(self, monkeypatch):
+        import repro.snn.inference as inference_module
+
+        def boom(*args, **kwargs):
+            raise AssertionError("autotuner consulted despite explicit knob")
+
+        monkeypatch.setattr(inference_module, "autotune_batch_size", boom)
+        result = self._engine().evaluate(
+            self._dataset(), rng=np.random.default_rng(1), batch_size=2
+        )
+        assert len(result.predictions) == 3
+
+    def test_evaluate_default_consults_autotuner(self, monkeypatch):
+        import repro.snn.inference as inference_module
+
+        calls = []
+
+        def fake(n_neurons, n_inputs):
+            calls.append((n_neurons, n_inputs))
+            return 2
+
+        monkeypatch.setattr(inference_module, "autotune_batch_size", fake)
+        result = self._engine().evaluate(
+            self._dataset(), rng=np.random.default_rng(1)
+        )
+        assert calls == [(8, 784)]
+        assert len(result.predictions) == 3
+
+    def test_evaluate_autotuned_chunking_is_bit_identical(self):
+        engine = self._engine()
+        dataset = self._dataset()
+        autotuned = engine.evaluate(dataset, rng=np.random.default_rng(2))
+        explicit = self._engine().evaluate(
+            dataset, rng=np.random.default_rng(2), batch_size=1
+        )
+        assert np.array_equal(autotuned.predictions, explicit.predictions)
+        assert np.array_equal(autotuned.spike_counts, explicit.spike_counts)
+
+    def test_scheduler_none_falls_back_to_default(self):
+        from repro.serve.scheduler import MicroBatchScheduler
+
+        scheduler = MicroBatchScheduler(lambda payloads: payloads)
+        try:
+            assert scheduler.max_batch_size == DEFAULT_BATCH_SIZE
+        finally:
+            scheduler.close()
+
+    def test_scheduler_explicit_wins(self):
+        from repro.serve.scheduler import MicroBatchScheduler
+
+        scheduler = MicroBatchScheduler(
+            lambda payloads: payloads, max_batch_size=5
+        )
+        try:
+            assert scheduler.max_batch_size == 5
+        finally:
+            scheduler.close()
+
+    def test_service_explicit_max_batch_size_wins(self, monkeypatch):
+        import repro.serve.service as service_module
+
+        def boom(*args, **kwargs):
+            raise AssertionError("autotuner consulted despite explicit knob")
+
+        monkeypatch.setattr(service_module, "autotune_batch_size", boom)
+        stub = types.SimpleNamespace(
+            config=types.SimpleNamespace(max_batch_size=7)
+        )
+        session = types.SimpleNamespace(
+            network=types.SimpleNamespace(n_neurons=8, n_inputs=784)
+        )
+        resolved = service_module.SoftSNNService._resolve_max_batch_size(
+            stub, session
+        )
+        assert resolved == 7
+
+    def test_service_default_autotunes_per_model_geometry(self, monkeypatch):
+        import repro.serve.service as service_module
+
+        calls = []
+
+        def fake(n_neurons, n_inputs):
+            calls.append((n_neurons, n_inputs))
+            return 11
+
+        monkeypatch.setattr(service_module, "autotune_batch_size", fake)
+        stub = types.SimpleNamespace(
+            config=types.SimpleNamespace(max_batch_size=None)
+        )
+        session = types.SimpleNamespace(
+            network=types.SimpleNamespace(n_neurons=20, n_inputs=784)
+        )
+        resolved = service_module.SoftSNNService._resolve_max_batch_size(
+            stub, session
+        )
+        assert resolved == 11
+        assert calls == [(20, 784)]
