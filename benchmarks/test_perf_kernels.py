@@ -203,3 +203,55 @@ def test_kernel_throughput():
                 f"numba advance at {size} is {speedup}x the numpy kernel — "
                 "the compiled backend must not lose to the ufunc pipeline"
             )
+
+
+def test_telemetry_overhead_guard():
+    """Kernel instrumentation must cost ≤2% of the cheapest kernel call.
+
+    A wall-clock A/B comparison of full benches with telemetry on and off
+    is hopelessly noisy on shared CI workers, so the guard is analytic
+    instead: each instrumented kernel call pays exactly one
+    ``_record_kernel`` event (two counter increments through cached
+    children), so the overhead fraction is the per-event record cost over
+    the duration of the cheapest real kernel call the layer instruments —
+    the smoke-geometry GEMM.  Runs in smoke mode too; the record path is
+    microseconds of work.
+    """
+    from repro.obs import metrics as _obs
+    from repro.snn import kernels as kernel_module
+
+    assert _obs.enabled(), "guard must measure the enabled record path"
+
+    n_events = 20_000
+
+    def record_many():
+        for _ in range(n_events):
+            kernel_module._record_kernel("register_gemm", "numpy", 1000)
+
+    record_many()  # warm the per-callsite child cache off the clock
+    record_seconds = _best_of(3, record_many) / n_events
+
+    # The cheapest instrumented call: a smoke-geometry register GEMM.
+    rng = np.random.default_rng(0)
+    n_neurons = 400
+    gemm_dtype = exact_gemm_dtype(N_INPUTS, 255)
+    codes = np.ascontiguousarray(
+        rng.integers(0, 256, size=(N_INPUTS, n_neurons)), dtype=gemm_dtype
+    )
+    raster = rng.random((32 * 30, N_INPUTS)) < 0.05
+
+    def run_gemm():
+        register_gemm(raster, codes, backend="numpy")
+
+    run_gemm()
+    gemm_seconds = _best_of(N_REPS, run_gemm)
+
+    overhead = record_seconds / gemm_seconds
+    print(
+        f"\nBENCH perf_kernels: telemetry record {1e9 * record_seconds:.0f} ns"
+        f"/event = {100.0 * overhead:.3f}% of a smoke GEMM"
+    )
+    assert overhead <= 0.02, (
+        f"telemetry records cost {100.0 * overhead:.2f}% of the cheapest "
+        "instrumented kernel call — the observability layer must stay ≤2%"
+    )

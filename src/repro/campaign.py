@@ -232,6 +232,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quiet", action="store_true", help="suppress per-cell progress logging"
     )
+    parser.add_argument(
+        "--run-report",
+        type=Path,
+        metavar="PATH",
+        help=(
+            "write an end-of-run observability report (per-cell timings, "
+            "worker utilization, metrics snapshot) as JSON to PATH"
+        ),
+    )
     return parser
 
 
@@ -310,6 +319,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         save_json(result.summary(), summary_path)
         print(f"store:   {store_path}")
         print(f"summary: {summary_path}")
+    if args.run_report is not None:
+        save_json(result.run_report(), args.run_report)
+        print(f"report:  {args.run_report}")
     return 0
 
 

@@ -39,6 +39,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import sys
 import tempfile
 import time
 from dataclasses import dataclass, field, replace
@@ -62,6 +63,8 @@ from repro.eval.sweep import SweepResult, TechniqueAccuracy
 from repro.faults.fault_map import FaultMap, FaultMapGenerator
 from repro.faults.models import ComputeEngineFaultConfig
 from repro.hardware.enhancements import MitigationKind
+from repro.obs import metrics as _obs
+from repro.obs.trace import span
 from repro.snn.training import TrainedModel
 from repro.utils.logging import get_logger
 from repro.utils.rng import derive_cell_seed, derive_clean_seed
@@ -88,6 +91,14 @@ _LOGGER = get_logger("eval.campaign")
 
 #: Key under which a fault-free reference cell stores its accuracy.
 CLEAN_KEY = "clean"
+
+# Campaign telemetry (docs/observability.md).  The cells counter ticks in
+# the orchestrator's result callback, so serially recovered cells count
+# exactly once; unit wall times and worker gauges live in the pool module.
+_CAMPAIGN_CELLS = _obs.get_registry().counter(
+    "softsnn_campaign_cells_total",
+    "Campaign cells completed (streamed into the result callback).",
+)
 
 
 # ---------------------------------------------------------------------- #
@@ -445,16 +456,22 @@ def execute_cell_group(
     config = _unit_fault_config(cells[0])
     fault_maps = inputs.fault_maps
 
-    outcomes = evaluate_techniques_mapped(
-        model,
-        dataset,
-        techniques,
-        fault_config=config,
-        fault_maps=fault_maps,
-        generators=inputs.generators,
-        rasters=inputs.rasters,
-        batch_size=cells[0].batch_size,
-    )
+    with span(
+        "campaign.unit",
+        experiment=cells[0].experiment_key,
+        fault_rate=cells[0].fault_rate,
+        n_cells=len(cells),
+    ):
+        outcomes = evaluate_techniques_mapped(
+            model,
+            dataset,
+            techniques,
+            fault_config=config,
+            fault_maps=fault_maps,
+            generators=inputs.generators,
+            rasters=inputs.rasters,
+            batch_size=cells[0].batch_size,
+        )
 
     duration = (time.perf_counter() - started) / len(cells)
     results: List[CellResult] = []
@@ -777,6 +794,46 @@ class CampaignResult:
     n_skipped: int
     duration_seconds: float
     store_path: Optional[Path] = None
+    #: Every cell record of the run (stored + freshly executed), by id.
+    records: Dict[str, "CellResult"] = field(default_factory=dict)
+    #: Pool statistics from :func:`repro.eval.pool.execute_units_pooled`
+    #: (``None`` for serial runs).
+    pool_stats: Optional[Dict[str, object]] = None
+
+    def run_report(self) -> Dict[str, object]:
+        """Self-contained end-of-run observability artifact.
+
+        The JSON the CLI's ``--run-report`` flag writes (schema in
+        ``docs/observability.md``): campaign identity and counts, one
+        timing entry per cell, the pool's per-worker utilization, and a
+        full metrics-registry snapshot — enough to diagnose a slow or
+        skewed run without re-executing anything.
+        """
+        return {
+            "campaign": self.spec.name,
+            "n_cells": self.n_cells,
+            "n_executed": self.n_executed,
+            "n_skipped": self.n_skipped,
+            "duration_seconds": self.duration_seconds,
+            "store_path": (
+                str(self.store_path) if self.store_path is not None else None
+            ),
+            "cells": [
+                {
+                    "cell_id": record.cell_id,
+                    "experiment": record.experiment_key,
+                    "fault_rate": record.fault_rate,
+                    "trial": record.trial_index,
+                    "duration_seconds": record.duration_seconds,
+                    "n_faults": record.n_faults,
+                }
+                for record in sorted(
+                    self.records.values(), key=lambda r: r.cell_id
+                )
+            ],
+            "pool": self.pool_stats,
+            "metrics": _obs.get_registry().snapshot(),
+        }
 
     def summary(self) -> Dict[str, object]:
         """JSON-friendly summary (full per-trial data retained)."""
@@ -809,6 +866,83 @@ class CampaignResult:
                 )
             )
         return "\n\n".join(blocks)
+
+
+class _CampaignProgress:
+    """Live campaign progress: completed/total cells, ETA, workers busy.
+
+    On a TTY the line is rewritten in place on stderr (stdout stays clean
+    for the CLI's tables); without one it degrades to an INFO log line at
+    every ~10 % of the grid, so CI logs show progress without a scrollback
+    flood.  ETA extrapolates from the cells completed *this* run — resumed
+    cells are excluded from the rate.  Workers-busy is read back from the
+    pool's live gauge, so the line needs no extra plumbing.
+    """
+
+    _MIN_REDRAW_SECONDS = 0.1
+
+    def __init__(self, name: str, total: int, already_done: int) -> None:
+        self._name = name
+        self._total = total
+        self._initial = already_done
+        self._done = already_done
+        self._started = time.perf_counter()
+        self._tty = sys.stderr.isatty()
+        self._last_redraw = 0.0
+        self._next_log_fraction = 0.1
+        self._line_open = False
+
+    def advance(self) -> None:
+        """Account one completed cell and redraw/log when due."""
+        self._done += 1
+        now = time.perf_counter()
+        remaining = self._total - self._done
+        if self._tty:
+            if remaining and now - self._last_redraw < self._MIN_REDRAW_SECONDS:
+                return
+            self._last_redraw = now
+            busy = int(
+                _obs.get_registry().value("softsnn_campaign_workers_busy")
+            )
+            line = (
+                f"{self._name}: {self._done}/{self._total} cells"
+                f" | ETA {self._eta_text(now)}"
+                f" | {busy} worker(s) busy"
+            )
+            sys.stderr.write("\r" + line.ljust(79))
+            sys.stderr.flush()
+            self._line_open = True
+        elif self._total and (
+            self._done / self._total >= self._next_log_fraction
+            or not remaining
+        ):
+            self._next_log_fraction = self._done / self._total + 0.1
+            _LOGGER.info(
+                "campaign %s: %d/%d cells done, ETA %s",
+                self._name,
+                self._done,
+                self._total,
+                self._eta_text(now),
+            )
+
+    def close(self) -> None:
+        """Terminate the rewritten line so later output starts clean."""
+        if self._line_open:
+            sys.stderr.write("\n")
+            sys.stderr.flush()
+            self._line_open = False
+
+    def _eta_text(self, now: float) -> str:
+        executed = self._done - self._initial
+        elapsed = now - self._started
+        if executed <= 0 or elapsed <= 0:
+            return "?"
+        remaining = (self._total - self._done) * (elapsed / executed)
+        if remaining >= 3600:
+            return f"{remaining / 3600:.1f}h"
+        if remaining >= 60:
+            return f"{remaining / 60:.1f}m"
+        return f"{remaining:.0f}s"
 
 
 def resolve_worker_count(n_workers: Optional[int]) -> int:
@@ -854,18 +988,19 @@ def _execute_pool(
     n_workers: int,
     on_result: Callable[[CellResult], None],
     map_parallel: bool = True,
-) -> None:
+) -> Optional[Dict[str, object]]:
     """Distribute units over the warm persistent worker pool.
 
     The orchestrator keeps the prepared assets (it draws the fault maps and
     encodes the presentations itself, see
     :func:`repro.eval.pool.execute_units_pooled`); workers receive the
     model snapshot path once per experiment and the encoded rasters through
-    shared memory per unit.
+    shared memory per unit.  Returns the pool-statistics dict for the run
+    report.
     """
     from repro.eval.pool import execute_units_pooled
 
-    execute_units_pooled(
+    return execute_units_pooled(
         units=_schedule_units(cells, map_parallel),
         assets=assets,
         model_paths=model_paths,
@@ -969,10 +1104,15 @@ def run_campaign(
             [tspec.build() for tspec in spec.techniques],
         )
 
+    progress = _CampaignProgress(
+        spec.name, total=len(cells), already_done=n_skipped
+    )
+
     def record(result: CellResult) -> None:
         completed[result.cell_id] = result
         if store is not None:
             store.append_cell(result)
+        _CAMPAIGN_CELLS.inc()
         _LOGGER.info(
             "campaign %s: cell %s done in %.2fs (%s)",
             spec.name,
@@ -980,7 +1120,9 @@ def run_campaign(
             result.duration_seconds,
             ", ".join(f"{k}={v:.1f}%" for k, v in result.accuracies.items()),
         )
+        progress.advance()
 
+    pool_stats: Optional[Dict[str, object]] = None
     if pending:
         if n_workers == 1:
             _execute_serial(pending, assets, record, map_parallel=map_parallel)
@@ -1005,7 +1147,7 @@ def run_campaign(
                     safe = key.replace("/", "_").replace(" ", "_")
                     model_paths[key] = str(assets[key][0].save(models_dir / safe))
                 try:
-                    _execute_pool(
+                    pool_stats = _execute_pool(
                         pending,
                         assets,
                         model_paths,
@@ -1032,6 +1174,7 @@ def run_campaign(
             finally:
                 if temp_dir is not None:
                     temp_dir.cleanup()
+    progress.close()
 
     # `completed` already holds every store record plus everything executed
     # this run, so aggregation needs no second pass over the store file.
@@ -1056,4 +1199,6 @@ def run_campaign(
         n_skipped=n_skipped,
         duration_seconds=time.perf_counter() - started,
         store_path=store.path if store else None,
+        records=records,
+        pool_stats=pool_stats,
     )

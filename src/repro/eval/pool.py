@@ -42,10 +42,12 @@ redistributed to the surviving workers.
 
 from __future__ import annotations
 
+import logging
 import os
 import pickle
 import queue as queue_module
 import signal
+import time
 import traceback
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -61,8 +63,9 @@ from repro.eval.campaign import (
     execute_cell_group,
     prepare_unit_inputs,
 )
+from repro.obs import metrics as _obs
 from repro.snn.training import TrainedModel
-from repro.utils.logging import get_logger
+from repro.utils.logging import env_log_level, get_logger
 from repro.utils.serialization import (
     SharedArrayHandle,
     SharedArrayPublisher,
@@ -77,6 +80,44 @@ __all__ = [
 ]
 
 _LOGGER = get_logger("eval.pool")
+
+# Pool telemetry (docs/observability.md): orchestrator-observed unit wall
+# times, live busy/queue gauges for the progress line, shared-memory byte
+# accounting, and the crash/retry/scheduling counters that used to be
+# invisible log lines at best.
+_POOL_UNIT_SECONDS = _obs.get_registry().histogram(
+    "softsnn_campaign_unit_seconds",
+    "Per-unit wall time, start-to-done as observed by the orchestrator.",
+)
+_POOL_WORKERS_BUSY = _obs.get_registry().gauge(
+    "softsnn_campaign_workers_busy",
+    "Pool workers currently executing a unit.",
+)
+_POOL_QUEUE_DEPTH = _obs.get_registry().gauge(
+    "softsnn_campaign_queue_depth",
+    "Units queued or in flight across pool workers.",
+)
+_POOL_CRASHES = _obs.get_registry().counter(
+    "softsnn_campaign_worker_crashes_total",
+    "Pool worker processes that died mid-campaign.",
+)
+_POOL_RETRIES = _obs.get_registry().counter(
+    "softsnn_campaign_unit_retries_total",
+    "Units re-executed serially in the orchestrator after a worker crash.",
+)
+_POOL_SCHED = _obs.get_registry().counter(
+    "softsnn_campaign_sched_decisions_total",
+    "LPT unit-routing decisions by policy.",
+    labels=("policy",),
+)
+_POOL_SHM_PUBLISHED = _obs.get_registry().counter(
+    "softsnn_campaign_shm_bytes_published_total",
+    "Bytes published as shared-memory segments by the orchestrator.",
+)
+_POOL_SHM_UNLINKED = _obs.get_registry().counter(
+    "softsnn_campaign_shm_bytes_unlinked_total",
+    "Bytes of shared-memory segments unlinked by the orchestrator.",
+)
 
 # Units a worker may have queued or running at once.  Two keeps a worker
 # busy while the orchestrator encodes its next unit without letting
@@ -135,6 +176,63 @@ class _WorkerState:
     sent_contexts: set = field(default_factory=set)
     load: int = 0
     alive: bool = True
+    #: ``perf_counter`` when the current unit's "start" ack arrived;
+    #: workers execute units strictly serially, so start/done pair up.
+    started_at: Optional[float] = None
+    busy_seconds: float = 0.0
+    units_done: int = 0
+
+
+class _QueueLogHandler(logging.Handler):
+    """Forwards worker-side log records over the pool's result queue.
+
+    A ``QueueHandler``-style relay: the worker serialises only what the
+    orchestrator needs (logger name, level, rendered message) so records
+    survive pickling regardless of their args, and a failing queue must
+    never take down the worker — logging is diagnostic, units are the
+    product.
+    """
+
+    def __init__(self, worker_id: int, result_queue: "mp.queues.Queue") -> None:
+        super().__init__()
+        self._worker_id = worker_id
+        self._result_queue = result_queue
+
+    def emit(self, record: logging.LogRecord) -> None:
+        """Ship one record to the orchestrator (best-effort)."""
+        try:
+            self._result_queue.put(
+                (
+                    "log",
+                    self._worker_id,
+                    record.name,
+                    record.levelno,
+                    record.getMessage(),
+                )
+            )
+        except Exception:  # noqa: BLE001 - logging must never kill a worker
+            pass
+
+
+def _install_log_relay(
+    worker_id: int, result_queue: "mp.queues.Queue"
+) -> None:
+    """Route this worker's ``repro.*`` logging through the result queue.
+
+    Fork-inherited console handlers are removed first — without this,
+    worker records would print directly to the orchestrator's inherited
+    stderr *and* arrive over the queue, duplicating every line.
+    ``SOFTSNN_LOG_LEVEL`` is honored worker-side so debug records are
+    produced at all before the relay forwards them.
+    """
+    root = get_logger()
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    root.addHandler(_QueueLogHandler(worker_id, result_queue))
+    level = env_log_level()
+    if level is not None:
+        root.setLevel(level)
+    root.propagate = False
 
 
 def _worker_assets(
@@ -174,6 +272,7 @@ def _worker_main(
     and shuts the pool down through sentinels/terminate.
     """
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    _install_log_relay(worker_id, result_queue)
     contexts: Dict[str, ExperimentContext] = {}
     cache: Dict[str, Tuple[TrainedModel, Dataset, List[object]]] = {}
     views: List[SharedArrayView] = []
@@ -196,6 +295,12 @@ def _worker_main(
                 result_queue.join_thread()
                 os._exit(3)
             raster_views: List[SharedArrayView] = []
+            _LOGGER.debug(
+                "executing unit %d (%d cells, experiment %s)",
+                task.unit_id,
+                len(task.cells),
+                task.experiment_key,
+            )
             try:
                 model, dataset, techniques = _worker_assets(
                     contexts[task.experiment_key], cache, views
@@ -244,7 +349,9 @@ def _describe_unit(unit: Sequence[SweepCell]) -> str:
 
 
 def _assign_units(
-    units: Sequence[Sequence[SweepCell]], n_workers: int
+    units: Sequence[Sequence[SweepCell]],
+    n_workers: int,
+    decisions: Optional[Dict[str, int]] = None,
 ) -> List[List[int]]:
     """Largest-first (LPT) assignment with experiment affinity.
 
@@ -252,7 +359,9 @@ def _assign_units(
     least-loaded worker, except that a worker already holding the unit's
     experiment assets is preferred as long as its load stays within one
     unit-cost of the minimum — re-using a loaded model beats perfect
-    balance for anything but large imbalances.
+    balance for anything but large imbalances.  When *decisions* is given,
+    per-policy routing counts are accumulated into it (the same tallies
+    feed the ``softsnn_campaign_sched_decisions_total`` counter).
     """
     order = sorted(range(len(units)), key=lambda i: -len(units[i]))
     loads = [0] * n_workers
@@ -263,10 +372,15 @@ def _assign_units(
         cost = len(unit)
         best = min(range(n_workers), key=lambda w: loads[w])
         with_key = [w for w in range(n_workers) if unit[0].experiment_key in keys[w]]
+        policy = "least_loaded"
         if with_key:
             preferred = min(with_key, key=lambda w: loads[w])
             if loads[preferred] <= loads[best] + cost:
                 best = preferred
+                policy = "affinity"
+        _POOL_SCHED.labels(policy=policy).inc()
+        if decisions is not None:
+            decisions[policy] = decisions.get(policy, 0) + 1
         backlog[best].append(index)
         loads[best] += cost
         keys[best].add(unit[0].experiment_key)
@@ -280,8 +394,14 @@ def execute_units_pooled(
     technique_specs: Sequence[TechniqueSpec],
     n_workers: int,
     on_result: Callable[[CellResult], None],
-) -> None:
+) -> Optional[Dict[str, object]]:
     """Execute units on warm persistent workers, streaming results back.
+
+    Returns a pool-statistics dict (``None`` for an empty unit list):
+    worker count, wall seconds, per-worker busy time / utilization / unit
+    counts, crash and serial-retry totals, shared-memory bytes published
+    and unlinked, and per-policy scheduling decisions.  The campaign
+    embeds it in :meth:`repro.eval.campaign.CampaignResult.run_report`.
 
     Parameters
     ----------
@@ -313,8 +433,17 @@ def execute_units_pooled(
     """
     units = [list(unit) for unit in units]
     if not units:
-        return
+        return None
     n_workers = max(1, min(n_workers, len(units)))
+    began = time.perf_counter()
+    stats: Dict[str, object] = {
+        "n_workers": n_workers,
+        "crashes": 0,
+        "serial_retries": 0,
+        "shm_bytes_published": 0,
+        "shm_bytes_unlinked": 0,
+        "sched_decisions": {"affinity": 0, "least_loaded": 0},
+    }
 
     stale = reap_stale_segments("softsnn-pool")
     if stale:
@@ -332,22 +461,30 @@ def execute_units_pooled(
     done: set = set()
 
     needed_keys = {unit[0].experiment_key for unit in units}
+    context_shm_bytes = 0
     try:
         for key in sorted(needed_keys):
             dataset = assets[key][1]
+            images = publisher.publish(dataset.images)
+            labels = publisher.publish(dataset.labels)
+            context_shm_bytes += images.nbytes + labels.nbytes
             contexts[key] = ExperimentContext(
                 experiment_key=key,
                 model_path=model_paths[key],
-                images=publisher.publish(dataset.images),
-                labels=publisher.publish(dataset.labels),
+                images=images,
+                labels=labels,
                 dataset_name=dataset.name,
                 dataset_metadata=dict(dataset.metadata),
                 technique_specs=tuple(
                     spec.to_dict() for spec in technique_specs
                 ),
             )
+        stats["shm_bytes_published"] = context_shm_bytes
+        _POOL_SHM_PUBLISHED.inc(context_shm_bytes)
 
-        for backlog in _assign_units(units, n_workers):
+        for backlog in _assign_units(
+            units, n_workers, stats["sched_decisions"]
+        ):
             task_queue = ctx.Queue()
             process = ctx.Process(
                 target=_worker_main,
@@ -358,6 +495,23 @@ def execute_units_pooled(
             workers.append(
                 _WorkerState(
                     process=process, task_queue=task_queue, backlog=backlog
+                )
+            )
+
+        def update_gauges() -> None:
+            """Refresh the live busy/queue gauges (progress line reads them)."""
+            _POOL_QUEUE_DEPTH.set(
+                sum(
+                    len(w.backlog) + len(w.in_flight)
+                    for w in workers
+                    if w.alive
+                )
+            )
+            _POOL_WORKERS_BUSY.set(
+                sum(
+                    1
+                    for w in workers
+                    if w.alive and w.started_unit is not None
                 )
             )
 
@@ -376,6 +530,9 @@ def execute_units_pooled(
                     publisher.publish(raster) for raster in inputs.rasters
                 )
                 unit_rasters[index] = handles
+                nbytes = sum(handle.nbytes for handle in handles)
+                stats["shm_bytes_published"] += nbytes
+                _POOL_SHM_PUBLISHED.inc(nbytes)
                 task = _UnitTask(
                     unit_id=index,
                     experiment_key=key,
@@ -392,12 +549,19 @@ def execute_units_pooled(
                 worker.in_flight.append(index)
 
         def release_rasters(index: int) -> None:
+            nbytes = 0
             for handle in unit_rasters.pop(index, ()):
+                nbytes += handle.nbytes
                 publisher.unlink(handle)
+            if nbytes:
+                stats["shm_bytes_unlinked"] += nbytes
+                _POOL_SHM_UNLINKED.inc(nbytes)
 
         def run_serially(index: int, reason: str) -> None:
             """Serial (orchestrator-side) execution of one unit."""
             unit = units[index]
+            stats["serial_retries"] += 1
+            _POOL_RETRIES.inc()
             _LOGGER.warning(
                 "campaign pool: executing %s serially (%s)",
                 _describe_unit(unit),
@@ -418,6 +582,8 @@ def execute_units_pooled(
         def handle_dead_worker(worker: _WorkerState) -> None:
             """Recover a crashed worker's in-flight and queued units."""
             worker.alive = False
+            stats["crashes"] += 1
+            _POOL_CRASHES.inc()
             crashed = worker.started_unit
             survivors = [w for w in workers if w.alive]
             for index in worker.in_flight:
@@ -450,6 +616,7 @@ def execute_units_pooled(
 
         for worker in workers:
             dispatch(worker)
+        update_gauges()
 
         while len(done) < len(units):
             try:
@@ -458,11 +625,24 @@ def execute_units_pooled(
                 for worker in workers:
                     if worker.alive and not worker.process.is_alive():
                         handle_dead_worker(worker)
+                        update_gauges()
+                continue
+            if message[0] == "log":
+                # A relayed worker-side log record: re-emit it on the
+                # orchestrator's logger of the same name, tagged with the
+                # worker id.  Handled before the positional unpack below —
+                # log messages carry no unit index.
+                _, log_worker_id, logger_name, levelno, text = message
+                logging.getLogger(logger_name).log(
+                    levelno, "[worker %d] %s", log_worker_id, text
+                )
                 continue
             kind, worker_id, index = message[0], message[1], message[2]
             worker = workers[worker_id]
             if kind == "start":
                 worker.started_unit = index
+                worker.started_at = time.perf_counter()
+                update_gauges()
                 continue
             if index in done:
                 # A late message for a unit already recovered serially.
@@ -480,7 +660,14 @@ def execute_units_pooled(
                 worker.in_flight.remove(index)
             if worker.started_unit == index:
                 worker.started_unit = None
+                if worker.started_at is not None:
+                    elapsed = time.perf_counter() - worker.started_at
+                    worker.started_at = None
+                    worker.busy_seconds += elapsed
+                    _POOL_UNIT_SECONDS.observe(elapsed)
+            worker.units_done += 1
             dispatch(worker)
+            update_gauges()
     finally:
         for worker in workers:
             if worker.alive and worker.process.is_alive():
@@ -498,4 +685,30 @@ def execute_units_pooled(
             worker.task_queue.close()
         result_queue.cancel_join_thread()
         result_queue.close()
+        # publisher.close() unlinks every remaining segment: the shared
+        # test sets plus any rasters not yet released (crash/error paths).
+        leftover = context_shm_bytes + sum(
+            handle.nbytes
+            for handles in unit_rasters.values()
+            for handle in handles
+        )
+        if leftover:
+            stats["shm_bytes_unlinked"] += leftover
+            _POOL_SHM_UNLINKED.inc(leftover)
         publisher.close()
+        _POOL_WORKERS_BUSY.set(0)
+        _POOL_QUEUE_DEPTH.set(0)
+
+    wall = time.perf_counter() - began
+    stats["wall_seconds"] = round(wall, 6)
+    stats["workers"] = [
+        {
+            "units": worker.units_done,
+            "busy_seconds": round(worker.busy_seconds, 6),
+            "utilization": (
+                round(worker.busy_seconds / wall, 4) if wall > 0 else 0.0
+            ),
+        }
+        for worker in workers
+    ]
+    return stats

@@ -1,0 +1,37 @@
+"""Dependency-free observability layer: metrics registry + tracing spans.
+
+Every subsystem records into the process-wide
+:class:`~repro.obs.metrics.MetricsRegistry` (counters, gauges,
+log-bucketed histograms) and may wrap phases in
+:func:`~repro.obs.trace.span` blocks.  Two surfaces expose the data: the
+serving tier's ``GET /metrics`` (JSON, or Prometheus text format 0.0.4
+with ``?format=prometheus``) and the campaign CLI's ``--run-report``
+artifact.  See ``docs/observability.md`` for the metric catalog, span
+naming convention, and run-report schema.
+
+Telemetry never touches an RNG stream and budgets ≤ 2 % overhead on the
+kernel perf benches; ``SOFTSNN_TELEMETRY=off`` disables recording
+entirely and ``SOFTSNN_TRACE=<path>`` enables the span JSONL sink.
+"""
+
+from repro.obs.metrics import (
+    PROMETHEUS_CONTENT_TYPE,
+    MetricsRegistry,
+    enabled,
+    get_registry,
+    log_buckets,
+    set_enabled,
+)
+from repro.obs.trace import Tracer, configure as configure_trace, span
+
+__all__ = [
+    "PROMETHEUS_CONTENT_TYPE",
+    "MetricsRegistry",
+    "Tracer",
+    "configure_trace",
+    "enabled",
+    "get_registry",
+    "log_buckets",
+    "set_enabled",
+    "span",
+]

@@ -1,0 +1,643 @@
+"""Thread-safe metrics registry: counters, gauges, log-bucketed histograms.
+
+This module is the substrate of the repo's observability layer (see
+``docs/observability.md`` for the metric catalog): every subsystem —
+kernels, engines, the campaign orchestrator and its warm worker pool,
+training, serving — records into one process-wide
+:class:`MetricsRegistry` (:func:`get_registry`), and two renderers expose
+it: :meth:`MetricsRegistry.snapshot` for JSON consumers (the campaign run
+report, tests) and :meth:`MetricsRegistry.render_prometheus` for the
+Prometheus text exposition format 0.0.4 served by
+``GET /metrics?format=prometheus``.
+
+Design constraints, in order:
+
+* **Never perturb results.**  Recording reads clocks and mutates plain
+  Python numbers under a lock; it never touches an RNG stream, so every
+  parity suite stays bit-identical with telemetry enabled.  The
+  ``SOFTSNN_TELEMETRY=off`` kill switch (:func:`set_enabled` /
+  :func:`enabled`) exists for overhead A/B measurements, not correctness.
+* **Cheap on the hot path.**  A labeled child is resolved once and cached
+  by the call site; ``inc``/``observe`` is then one lock acquisition and a
+  few arithmetic operations (~1 µs).  The kernel perf bench enforces a
+  ≤ 2 % overhead budget on the instrumented primitives
+  (``benchmarks/test_perf_kernels.py``).
+* **Dependency-free.**  Standard library only — the registry must be
+  importable from kernels, pool workers and the serving tier alike.
+
+Histograms use fixed log-scaled buckets (:func:`log_buckets`) so one
+family covers microseconds to minutes with bounded memory, and estimate
+p50/p95/p99 by linear interpolation inside the bucket containing the
+target rank — accurate to one bucket width by construction
+(``tests/test_obs.py`` pins this against ``np.percentile``).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "PROMETHEUS_CONTENT_TYPE",
+    "TELEMETRY_ENV",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "enabled",
+    "get_registry",
+    "log_buckets",
+    "set_enabled",
+]
+
+#: Environment variable disabling all metric recording (``off`` / ``0``).
+TELEMETRY_ENV = "SOFTSNN_TELEMETRY"
+
+#: Content type of the Prometheus text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_METRIC_NAME_OK = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:"
+)
+
+
+def _env_enabled() -> bool:
+    """Resolve the kill switch from :data:`TELEMETRY_ENV` (default on)."""
+    value = os.environ.get(TELEMETRY_ENV, "").strip().lower()
+    return value not in ("off", "0", "false", "no", "disable", "disabled")
+
+
+_ENABLED = _env_enabled()
+
+
+def enabled() -> bool:
+    """Whether metric recording is currently active."""
+    return _ENABLED
+
+
+def set_enabled(value: Optional[bool]) -> bool:
+    """Enable/disable all recording; ``None`` re-resolves the environment.
+
+    Returns the state actually activated.  Disabling turns every
+    ``inc``/``set``/``observe`` into an immediate no-op — used by the
+    perf-bench overhead guard to measure the instrumented-vs-raw delta.
+    """
+    global _ENABLED
+    _ENABLED = _env_enabled() if value is None else bool(value)
+    return _ENABLED
+
+
+def log_buckets(
+    start: float, stop: float, per_decade: int = 4
+) -> Tuple[float, ...]:
+    """Geometric bucket bounds from *start* to at least *stop* (inclusive).
+
+    ``per_decade`` bounds per factor of ten; the classic shape for latency
+    and duration histograms, where relative (not absolute) resolution is
+    what matters.  Bounds are finite and strictly increasing; the implicit
+    ``+Inf`` overflow bucket is added by :class:`Histogram` itself.
+    """
+    if start <= 0 or stop <= start:
+        raise ValueError("need 0 < start < stop")
+    if per_decade < 1:
+        raise ValueError("per_decade must be at least 1")
+    bounds: List[float] = []
+    exponent = math.log10(start)
+    step = 1.0 / per_decade
+    while True:
+        bound = 10.0 ** exponent
+        bounds.append(bound)
+        if bound >= stop:
+            break
+        exponent += step
+    return tuple(bounds)
+
+
+#: Default histogram bounds: 10 µs … 100 s, four buckets per decade.
+DEFAULT_SECONDS_BUCKETS = log_buckets(1e-5, 100.0, per_decade=4)
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value the way Prometheus text format expects."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the text-format rules (``\\``, ``\"``, LF)."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _validate_name(name: str) -> str:
+    if not name or name[0].isdigit() or not set(name) <= _METRIC_NAME_OK:
+        raise ValueError(f"invalid metric name: {name!r}")
+    return name
+
+
+class _Child:
+    """One labeled time series of a family; holds the actual numbers."""
+
+    __slots__ = ("_family", "_label_values")
+
+    def __init__(self, family: "_Family", label_values: Tuple[str, ...]) -> None:
+        self._family = family
+        self._label_values = label_values
+
+
+class _CounterChild(_Child):
+    """Monotonically increasing value (one label combination)."""
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add *amount* (must be non-negative) to the counter."""
+        if not _ENABLED:
+            return
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        family = self._family
+        with family._lock:
+            family._values[self._label_values] = (
+                family._values.get(self._label_values, 0.0) + amount
+            )
+
+    def set_to(self, value: float) -> None:
+        """Raise the counter to *value* if it is ahead of the current total.
+
+        For syncing pre-aggregated cumulative totals maintained elsewhere
+        (e.g. scheduler flush counts) into the registry at scrape time:
+        the counter stays monotonic even if the source resets.
+        """
+        if not _ENABLED:
+            return
+        family = self._family
+        with family._lock:
+            current = family._values.get(self._label_values, 0.0)
+            if value > current:
+                family._values[self._label_values] = float(value)
+
+    @property
+    def value(self) -> float:
+        """Current counter value."""
+        family = self._family
+        with family._lock:
+            return family._values.get(self._label_values, 0.0)
+
+
+class _GaugeChild(_Child):
+    """Freely settable value (one label combination)."""
+
+    def set(self, value: float) -> None:
+        """Set the gauge to *value*."""
+        if not _ENABLED:
+            return
+        family = self._family
+        with family._lock:
+            family._values[self._label_values] = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add *amount* (may be negative) to the gauge."""
+        if not _ENABLED:
+            return
+        family = self._family
+        with family._lock:
+            family._values[self._label_values] = (
+                family._values.get(self._label_values, 0.0) + amount
+            )
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract *amount* from the gauge."""
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        """Current gauge value."""
+        family = self._family
+        with family._lock:
+            return family._values.get(self._label_values, 0.0)
+
+
+class _HistogramState:
+    """Bucket counts, sum, count and observed range of one histogram child."""
+
+    __slots__ = ("bucket_counts", "total", "count", "minimum", "maximum")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.bucket_counts = [0] * (n_buckets + 1)  # finite bounds + overflow
+        self.total = 0.0
+        self.count = 0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+
+class _HistogramChild(_Child):
+    """Log-bucketed distribution (one label combination)."""
+
+    def observe(self, value: float) -> None:
+        """Record one sample into its bucket."""
+        if not _ENABLED:
+            return
+        family = self._family
+        value = float(value)
+        with family._lock:
+            state = family._values.get(self._label_values)
+            if state is None:
+                state = _HistogramState(len(family.buckets))
+                family._values[self._label_values] = state
+            index = bisect_left(family.buckets, value)
+            state.bucket_counts[index] += 1
+            state.total += value
+            state.count += 1
+            if value < state.minimum:
+                state.minimum = value
+            if value > state.maximum:
+                state.maximum = value
+
+    def percentile(self, q: float) -> float:
+        """Estimate the *q*-th percentile from the bucket counts.
+
+        Uses the continuous rank ``r = q/100 * (count - 1)`` (matching
+        ``np.percentile``'s linear interpolation) located in cumulative
+        bucket counts, then interpolates linearly inside the bucket.  The
+        estimate and the true percentile always land in the same bucket,
+        so the error is bounded by one bucket width.
+        """
+        family = self._family
+        with family._lock:
+            state = family._values.get(self._label_values)
+            if state is None or state.count == 0:
+                return 0.0
+            counts = list(state.bucket_counts)
+            count = state.count
+            minimum = state.minimum
+            maximum = state.maximum
+        rank = max(0.0, min(100.0, q)) / 100.0 * (count - 1)
+        bounds = family.buckets
+        cumulative = 0
+        for index, bucket_count in enumerate(counts):
+            if bucket_count == 0:
+                cumulative += bucket_count
+                continue
+            # The samples of this bucket occupy ranks
+            # [cumulative, cumulative + bucket_count - 1].
+            if rank <= cumulative + bucket_count - 1 or index == len(counts) - 1:
+                lower = bounds[index - 1] if index > 0 else min(minimum, bounds[0])
+                upper = bounds[index] if index < len(bounds) else maximum
+                lower = max(lower, minimum) if index == 0 else lower
+                upper = min(upper, maximum)
+                lower = min(lower, upper)
+                if bucket_count == 1:
+                    return lower + (upper - lower) * 0.5
+                position = (rank - cumulative) / (bucket_count - 1)
+                position = max(0.0, min(1.0, position))
+                return lower + (upper - lower) * position
+            cumulative += bucket_count
+        return maximum  # pragma: no cover - unreachable (count > 0)
+
+    @property
+    def count(self) -> int:
+        """Number of recorded samples."""
+        family = self._family
+        with family._lock:
+            state = family._values.get(self._label_values)
+            return 0 if state is None else state.count
+
+    @property
+    def sum(self) -> float:
+        """Sum of recorded samples."""
+        family = self._family
+        with family._lock:
+            state = family._values.get(self._label_values)
+            return 0.0 if state is None else state.total
+
+
+class _Family:
+    """One named metric family: kind, help text, label names, children."""
+
+    kind = "untyped"
+    _child_class = _Child
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        label_names: Tuple[str, ...],
+        lock: threading.Lock,
+    ) -> None:
+        self.name = _validate_name(name)
+        self.help_text = help_text
+        self.label_names = label_names
+        self._lock = lock
+        self._values: Dict[Tuple[str, ...], object] = {}
+        self._children: Dict[Tuple[str, ...], _Child] = {}
+        self._default: Optional[_Child] = None
+
+    def labels(self, **labels: object) -> _Child:
+        """Child for one label-value combination (cached; order-insensitive).
+
+        Hot call sites should resolve their child once and keep it — the
+        lookup validates label names and takes the family lock.
+        """
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"metric {self.name!r} expects labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        values = tuple(str(labels[name]) for name in self.label_names)
+        with self._lock:
+            child = self._children.get(values)
+            if child is None:
+                child = self._child_class(self, values)
+                self._children[values] = child
+            return child
+
+    def _unlabeled(self) -> _Child:
+        if self.label_names:
+            raise ValueError(
+                f"metric {self.name!r} is labeled ({self.label_names}); "
+                "use .labels(...)"
+            )
+        if self._default is None:
+            self._default = self.labels()
+        return self._default
+
+
+class Counter(_Family):
+    """Monotonically increasing counter family."""
+
+    kind = "counter"
+    _child_class = _CounterChild
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increment the label-less series (see :class:`_CounterChild`)."""
+        self._unlabeled().inc(amount)
+
+    @property
+    def value(self) -> float:
+        """Value of the label-less series."""
+        return self._unlabeled().value
+
+
+class Gauge(_Family):
+    """Set-to-current-value gauge family."""
+
+    kind = "gauge"
+    _child_class = _GaugeChild
+
+    def set(self, value: float) -> None:
+        """Set the label-less series."""
+        self._unlabeled().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increment the label-less series."""
+        self._unlabeled().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Decrement the label-less series."""
+        self._unlabeled().dec(amount)
+
+    @property
+    def value(self) -> float:
+        """Value of the label-less series."""
+        return self._unlabeled().value
+
+
+class Histogram(_Family):
+    """Fixed log-bucketed histogram family with percentile estimation."""
+
+    kind = "histogram"
+    _child_class = _HistogramChild
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        label_names: Tuple[str, ...],
+        lock: threading.Lock,
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        super().__init__(name, help_text, label_names, lock)
+        bounds = tuple(
+            float(b) for b in (buckets if buckets is not None else DEFAULT_SECONDS_BUCKETS)
+        )
+        if not bounds or any(b <= a for a, b in zip(bounds, bounds[1:])):
+            raise ValueError("histogram buckets must be strictly increasing")
+        self.buckets = bounds
+
+    def observe(self, value: float) -> None:
+        """Record a sample into the label-less series."""
+        self._unlabeled().observe(value)
+
+    def percentile(self, q: float) -> float:
+        """Percentile estimate of the label-less series."""
+        return self._unlabeled().percentile(q)
+
+
+class MetricsRegistry:
+    """Process-wide collection of metric families with two renderers.
+
+    Families are created idempotently: asking for an existing name with
+    the same kind and labels returns the existing family (so modules can
+    declare their metrics at import time without coordination); a kind or
+    label mismatch raises.  One lock guards both the family table and all
+    child values — contention is negligible at the recording rates this
+    repo produces, and a single lock keeps snapshots consistent.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: "Dict[str, _Family]" = {}
+
+    # ------------------------------------------------------------------ #
+    # family creation
+    # ------------------------------------------------------------------ #
+    def _family(
+        self,
+        cls,
+        name: str,
+        help_text: str,
+        labels: Iterable[str],
+        **kwargs: object,
+    ) -> _Family:
+        label_names = tuple(str(label) for label in labels)
+        with self._lock:
+            existing = self._families.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls) or existing.label_names != label_names:
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind} with labels {existing.label_names}"
+                    )
+                return existing
+            family = cls(name, help_text, label_names, self._lock, **kwargs)
+            self._families[name] = family
+            return family
+
+    def counter(
+        self, name: str, help_text: str, labels: Iterable[str] = ()
+    ) -> Counter:
+        """Get or create a counter family."""
+        return self._family(Counter, name, help_text, labels)
+
+    def gauge(
+        self, name: str, help_text: str, labels: Iterable[str] = ()
+    ) -> Gauge:
+        """Get or create a gauge family."""
+        return self._family(Gauge, name, help_text, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        labels: Iterable[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> Histogram:
+        """Get or create a histogram family (default: seconds log buckets)."""
+        return self._family(Histogram, name, help_text, labels, buckets=buckets)
+
+    # ------------------------------------------------------------------ #
+    # reading
+    # ------------------------------------------------------------------ #
+    def get(self, name: str) -> Optional[_Family]:
+        """The family registered under *name*, or ``None``."""
+        with self._lock:
+            return self._families.get(name)
+
+    def value(self, name: str, **labels: object) -> float:
+        """Current value of one counter/gauge series (0.0 when absent)."""
+        family = self.get(name)
+        if family is None:
+            return 0.0
+        values = tuple(str(labels[n]) for n in family.label_names)
+        with self._lock:
+            value = family._values.get(values, 0.0)
+        return float(value) if isinstance(value, (int, float)) else 0.0
+
+    def reset(self) -> None:
+        """Drop every family (tests; never called on the serving path)."""
+        with self._lock:
+            self._families.clear()
+
+    # ------------------------------------------------------------------ #
+    # renderers
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-friendly dump of every family, deterministic ordering.
+
+        Histograms include count/sum/min/max and estimated p50/p95/p99
+        next to the raw cumulative bucket counts, so a run report is
+        self-contained without a Prometheus server.
+        """
+        with self._lock:
+            families = sorted(self._families.items())
+        out: Dict[str, object] = {}
+        for name, family in families:
+            series: Dict[str, object] = {}
+            with self._lock:
+                items = sorted(family._values.items())
+            for values, value in items:
+                key = ",".join(
+                    f"{n}={v}" for n, v in zip(family.label_names, values)
+                ) or ""
+                if isinstance(value, _HistogramState):
+                    child = family.labels(
+                        **dict(zip(family.label_names, values))
+                    )
+                    cumulative = 0
+                    buckets: Dict[str, int] = {}
+                    for bound, count in zip(
+                        tuple(family.buckets) + (math.inf,), value.bucket_counts
+                    ):
+                        cumulative += count
+                        buckets[_format_value(bound)] = cumulative
+                    series[key] = {
+                        "count": value.count,
+                        "sum": value.total,
+                        "min": None if value.count == 0 else value.minimum,
+                        "max": None if value.count == 0 else value.maximum,
+                        "p50": child.percentile(50),
+                        "p95": child.percentile(95),
+                        "p99": child.percentile(99),
+                        "buckets": buckets,
+                    }
+                else:
+                    series[key] = value
+            out[name] = {
+                "kind": family.kind,
+                "help": family.help_text,
+                "series": series,
+            }
+        return out
+
+    def render_prometheus(self) -> str:
+        """Render every family in the Prometheus text format (0.0.4).
+
+        Counters and gauges render one sample per labeled series;
+        histograms render the cumulative ``_bucket{le=...}`` series
+        (monotone by construction, closed by ``le="+Inf"``) plus ``_sum``
+        and ``_count``.  Serve with :data:`PROMETHEUS_CONTENT_TYPE`.
+        """
+        with self._lock:
+            families = sorted(self._families.items())
+        lines: List[str] = []
+        for name, family in families:
+            with self._lock:
+                items = sorted(family._values.items())
+            if not items:
+                continue
+            lines.append(f"# HELP {name} {self._escape_help(family.help_text)}")
+            lines.append(f"# TYPE {name} {family.kind}")
+            for values, value in items:
+                label_str = self._render_labels(family.label_names, values)
+                if isinstance(value, _HistogramState):
+                    cumulative = 0
+                    for bound, count in zip(
+                        tuple(family.buckets) + (math.inf,), value.bucket_counts
+                    ):
+                        cumulative += count
+                        bucket_labels = self._render_labels(
+                            family.label_names + ("le",),
+                            values + (_format_value(bound),),
+                        )
+                        lines.append(f"{name}_bucket{bucket_labels} {cumulative}")
+                    lines.append(
+                        f"{name}_sum{label_str} {_format_value(value.total)}"
+                    )
+                    lines.append(f"{name}_count{label_str} {value.count}")
+                else:
+                    lines.append(f"{name}{label_str} {_format_value(value)}")
+        return "\n".join(lines) + "\n"
+
+    @staticmethod
+    def _escape_help(text: str) -> str:
+        return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+    @staticmethod
+    def _render_labels(
+        names: Tuple[str, ...], values: Tuple[str, ...]
+    ) -> str:
+        if not names:
+            return ""
+        pairs = ",".join(
+            f'{n}="{_escape_label_value(v)}"' for n, v in zip(names, values)
+        )
+        return "{" + pairs + "}"
+
+
+_DEFAULT_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry every subsystem records into."""
+    return _DEFAULT_REGISTRY

@@ -1,0 +1,134 @@
+"""Low-overhead hierarchical span timing with an optional JSONL sink.
+
+Spans are the narrative complement to the aggregates in
+:mod:`repro.obs.metrics`: ``with span("campaign.unit", experiment=key):``
+times the enclosed block with :func:`time.perf_counter_ns`, remembers its
+parent via a thread-local stack (so nested spans form a tree without any
+explicit plumbing), and — when a sink is configured — appends one JSON
+event per completed span to an append-only JSONL file via
+:func:`repro.utils.serialization.append_jsonl`.
+
+Span names follow a ``subsystem.operation`` convention (catalog in
+``docs/observability.md``); every span also feeds the
+``softsnn_span_seconds{name=...}`` histogram so duration percentiles are
+available even with no sink configured.
+
+Determinism: span ids come from a plain :class:`itertools.count` and
+timing reads clocks only — no RNG stream is ever touched, which is what
+keeps the parity suites bit-identical with tracing enabled.  When neither
+a sink nor telemetry is active a span costs two clock reads and a few
+attribute operations.
+
+Configure the sink with :func:`configure` or the ``SOFTSNN_TRACE``
+environment variable (a path; empty/unset disables the sink).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+from repro.obs import metrics as _metrics
+
+__all__ = ["TRACE_ENV", "Tracer", "configure", "span"]
+
+#: Environment variable naming the JSONL sink path (unset = no sink).
+TRACE_ENV = "SOFTSNN_TRACE"
+
+
+class Tracer:
+    """Produces timed, parented spans; optionally persists them as JSONL."""
+
+    def __init__(
+        self,
+        sink_path: Optional[str] = None,
+        registry: Optional[_metrics.MetricsRegistry] = None,
+    ) -> None:
+        self._sink_path = sink_path
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+        self._registry = registry if registry is not None else _metrics.get_registry()
+        self._span_seconds = self._registry.histogram(
+            "softsnn_span_seconds",
+            "Duration of traced spans by span name.",
+            labels=("name",),
+        )
+
+    def configure(self, sink_path: Optional[str]) -> None:
+        """Set (or clear, with ``None``/empty) the JSONL sink path."""
+        self._sink_path = sink_path or None
+
+    @property
+    def sink_path(self) -> Optional[str]:
+        """Current JSONL sink path, or ``None`` when no sink is active."""
+        return self._sink_path
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    @contextmanager
+    def span(self, name: str, **attributes: object) -> Iterator[Dict[str, object]]:
+        """Time a block as a span named *name* with free-form attributes.
+
+        Yields the (mutable) event dict so callers can attach results
+        discovered inside the block — e.g. ``event["n_faults"] = k`` —
+        before it is emitted.  ``duration_ns`` is filled in on exit.
+        """
+        stack = self._stack()
+        span_id = next(self._ids)
+        parent_id = stack[-1] if stack else None
+        event: Dict[str, object] = {
+            "name": name,
+            "span_id": span_id,
+            "parent_id": parent_id,
+        }
+        if attributes:
+            event["attributes"] = dict(attributes)
+        stack.append(span_id)
+        start_ns = time.perf_counter_ns()
+        try:
+            yield event
+        finally:
+            duration_ns = time.perf_counter_ns() - start_ns
+            stack.pop()
+            event["duration_ns"] = duration_ns
+            if _metrics.enabled():
+                self._span_seconds.labels(name=name).observe(duration_ns / 1e9)
+            if self._sink_path is not None:
+                self._emit(event)
+
+    def _emit(self, event: Dict[str, object]) -> None:
+        # Imported lazily: serialization pulls in numpy, which spans must
+        # not require when no sink is configured (e.g. in pool workers
+        # before the context message arrives).
+        from repro.utils.serialization import append_jsonl
+
+        record = dict(event)
+        record["ts"] = time.time()
+        try:
+            append_jsonl(record, self._sink_path)
+        except OSError:
+            # A full disk or revoked path must never take down the run —
+            # tracing is diagnostic, the computation is the product.
+            pass
+
+
+_DEFAULT_TRACER = Tracer(sink_path=os.environ.get(TRACE_ENV) or None)
+
+
+def configure(sink_path: Optional[str]) -> None:
+    """Point the default tracer's JSONL sink at *sink_path* (None clears)."""
+    _DEFAULT_TRACER.configure(sink_path)
+
+
+def span(name: str, **attributes: object):
+    """Span context manager on the process-wide default tracer."""
+    return _DEFAULT_TRACER.span(name, **attributes)

@@ -37,9 +37,12 @@ from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from urllib.parse import parse_qs, urlsplit
 
 import numpy as np
 
+from repro.obs import metrics as _obs
+from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE
 from repro.serve.modes import ServingMode, ServingSession
 from repro.serve.registry import ModelNotFoundError, ModelRegistry, RegistryError
 from repro.serve.scheduler import MicroBatchScheduler
@@ -117,15 +120,39 @@ class ClassifyResult:
 
 
 class _ServiceMetrics:
-    """Thread-safe request counters and a bounded latency reservoir."""
+    """Thread-safe request counters and a bounded latency reservoir.
 
-    def __init__(self, window: int) -> None:
+    Counters are mirrored into the shared observability registry
+    (:mod:`repro.obs.metrics`) so ``GET /metrics?format=prometheus`` can
+    expose them alongside the rest of the system's telemetry; the JSON
+    ``/metrics`` body keeps reading the authoritative in-object state, so
+    its keys and values are unchanged from earlier releases.
+    """
+
+    def __init__(
+        self, window: int, registry: Optional[_obs.MetricsRegistry] = None
+    ) -> None:
         self._lock = threading.Lock()
         self._window = int(window)
         self._latencies: List[float] = []
         self.requests_total = 0
         self.errors_total = 0
         self.requests_by_mode: Dict[str, int] = {}
+        obs_registry = registry if registry is not None else _obs.get_registry()
+        self.obs_registry = obs_registry
+        self._obs_requests = obs_registry.counter(
+            "softsnn_serve_requests_total",
+            "Classified samples, by serving mode.",
+            labels=("mode",),
+        )
+        self._obs_errors = obs_registry.counter(
+            "softsnn_serve_errors_total", "Failed classify requests."
+        )
+        self._obs_latency = obs_registry.histogram(
+            "softsnn_serve_latency_ms",
+            "Per-sample classify latency in milliseconds.",
+            buckets=_obs.log_buckets(0.01, 10000.0, 4),
+        )
 
     def record(self, mode_kind: str, latencies_ms: Sequence[float]) -> None:
         with self._lock:
@@ -136,10 +163,17 @@ class _ServiceMetrics:
             self._latencies.extend(latencies_ms)
             if len(self._latencies) > self._window:
                 del self._latencies[: len(self._latencies) - self._window]
+        if _obs.enabled():
+            self._obs_requests.labels(mode=mode_kind).inc(len(latencies_ms))
+            child = self._obs_latency.labels()
+            for value in latencies_ms:
+                child.observe(value)
 
     def record_error(self) -> None:
         with self._lock:
             self.errors_total += 1
+        if _obs.enabled():
+            self._obs_errors.inc()
 
     def latency_summary(self) -> Dict[str, float]:
         with self._lock:
@@ -152,6 +186,8 @@ class _ServiceMetrics:
                 "p90_ms": 0.0,
                 "p99_ms": 0.0,
                 "max_ms": 0.0,
+                "window_size": self._window,
+                "samples": 0,
             }
         # np.percentile matches the load generator's report, so /metrics
         # and perf_serving.json percentiles are directly comparable.
@@ -163,6 +199,8 @@ class _ServiceMetrics:
             "p90_ms": round(float(np.percentile(values, 90)), 3),
             "p99_ms": round(float(np.percentile(values, 99)), 3),
             "max_ms": round(float(values.max()), 3),
+            "window_size": self._window,
+            "samples": len(window),
         }
 
 
@@ -457,6 +495,55 @@ class SoftSNNService:
             },
         }
 
+    def metrics_prometheus(self) -> str:
+        """Prometheus text exposition (``GET /metrics?format=prometheus``).
+
+        Request counters and the latency histogram stream into the shared
+        observability registry as requests are served; scheduler, registry,
+        and uptime figures are synchronised into it at scrape time (their
+        authoritative state lives in the scheduler objects), then the whole
+        registry — including kernel and campaign metrics recorded by this
+        process — is rendered in text format 0.0.4.
+        """
+        registry = self.metrics.obs_registry
+        batches = registry.counter(
+            "softsnn_serve_batches_total",
+            "Micro-batches flushed, by scheduler and flush reason.",
+            labels=("scheduler", "flush"),
+        )
+        queue_depth = registry.gauge(
+            "softsnn_serve_queue_depth",
+            "Requests currently queued, per scheduler.",
+            labels=("scheduler",),
+        )
+        registry_gauge = registry.gauge(
+            "softsnn_serve_registry_entries",
+            "Model registry occupancy, by cache tier.",
+            labels=("tier",),
+        )
+        uptime = registry.gauge(
+            "softsnn_serve_uptime_seconds", "Seconds since service start."
+        )
+        with self._pipeline_lock:
+            schedulers = [scheduler for _, scheduler in self._pipelines.values()]
+        for scheduler in schedulers:
+            stats = scheduler.stats_snapshot()
+            for reason, count in (
+                ("full", stats.flush_full),
+                ("deadline", stats.flush_deadline),
+                ("idle", stats.flush_idle),
+                ("close", stats.flush_close),
+            ):
+                batches.labels(scheduler=scheduler.name, flush=reason).set_to(count)
+            queue_depth.labels(scheduler=scheduler.name).set(scheduler.queue_depth)
+        registry_gauge.labels(tier="models").set(len(self.registry))
+        registry_gauge.labels(tier="warm_models").set(self.registry.warm_model_count)
+        registry_gauge.labels(tier="warm_sessions").set(
+            self.registry.warm_session_count
+        )
+        uptime.set(round(time.monotonic() - self._started_at, 3))
+        return registry.render_prometheus()
+
     def close(self) -> None:
         """Drain and stop every scheduler; further classifies are refused."""
         with self._pipeline_lock:
@@ -485,14 +572,26 @@ class _RequestHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------ #
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         service = self.server.service
-        if self.path == "/healthz":
+        parts = urlsplit(self.path)
+        query = parse_qs(parts.query)
+        if parts.path == "/healthz":
             self._send_json(200, service.health())
-        elif self.path == "/models":
+        elif parts.path == "/models":
             self._send_json(200, {"models": service.models()})
-        elif self.path == "/metrics":
-            self._send_json(200, service.metrics_snapshot())
+        elif parts.path == "/metrics":
+            formats = query.get("format", ["json"])
+            if formats[-1] == "prometheus":
+                self._send_text(
+                    200, service.metrics_prometheus(), PROMETHEUS_CONTENT_TYPE
+                )
+            elif formats[-1] == "json":
+                self._send_json(200, service.metrics_snapshot())
+            else:
+                self._send_json(
+                    400, {"error": f"unknown metrics format: {formats[-1]}"}
+                )
         else:
-            self._send_json(404, {"error": f"no such endpoint: {self.path}"})
+            self._send_json(404, {"error": f"no such endpoint: {parts.path}"})
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         if self.path != "/classify":
@@ -533,6 +632,14 @@ class _RequestHandler(BaseHTTPRequestHandler):
         encoded = json.dumps(body).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(encoded)))
+        self.end_headers()
+        self.wfile.write(encoded)
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        encoded = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(encoded)))
         self.end_headers()
         self.wfile.write(encoded)
@@ -665,6 +772,13 @@ class ServiceClient:
         """``GET /metrics``."""
         return self._request("/metrics")
 
+    def metrics_text(self) -> str:
+        """``GET /metrics?format=prometheus`` — the raw exposition text."""
+        url = self.base_url + "/metrics?format=prometheus"
+        request = urllib.request.Request(url, headers={"Accept": "text/plain"})
+        with urllib.request.urlopen(request, timeout=self.timeout) as response:
+            return response.read().decode("utf-8")
+
     def classify(
         self,
         images: Any,
@@ -710,6 +824,10 @@ class InProcessClient:
     def metrics(self) -> Dict[str, Any]:
         """See :meth:`ServiceClient.metrics`."""
         return self.service.metrics_snapshot()
+
+    def metrics_text(self) -> str:
+        """See :meth:`ServiceClient.metrics_text`."""
+        return self.service.metrics_prometheus()
 
     def classify(
         self,

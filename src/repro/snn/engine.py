@@ -73,6 +73,7 @@ from repro.snn.kernels import (
     plan_bounding_correction,
     register_gemm,
 )
+from repro.obs import metrics as _obs
 from repro.snn.neuron import LIFParameters, NeuronOperationStatus
 from repro.snn.quantization import WeightQuantizer
 from repro.snn.synapse import BoundedWeightRule
@@ -98,6 +99,26 @@ __all__ = [
 #: spike generation from the next timestep on, exactly like the sequential
 #: ``step_monitor`` hook.
 BatchStepMonitor = Callable[["BatchedLIFState"], None]
+
+# Engine telemetry (docs/observability.md): realized batch sizes per engine
+# and latch-driven extra simulation passes — the cost of the faulty-reset
+# fix-up loop, invisible before this counter existed.
+_ENGINE_BATCHES = _obs.get_registry().counter(
+    "softsnn_engine_batches_total",
+    "Encoded batches executed, by engine.",
+    labels=("engine",),
+)
+_ENGINE_BATCH_SIZE = _obs.get_registry().histogram(
+    "softsnn_engine_batch_size",
+    "Realized sample-batch sizes per run_encoded call, by engine.",
+    labels=("engine",),
+    buckets=_obs.log_buckets(1.0, 10000.0, per_decade=4),
+)
+_ENGINE_RESIM = _obs.get_registry().counter(
+    "softsnn_engine_latch_resimulations_total",
+    "Extra simulation passes forced by the faulty-reset latch fix-up.",
+    labels=("engine",),
+)
 
 
 @dataclass
@@ -448,6 +469,11 @@ class BatchedInferenceEngine:
                 )
             start += accepted.stop
 
+        if _obs.enabled():
+            _ENGINE_BATCHES.labels(engine="batched").inc()
+            _ENGINE_BATCH_SIZE.labels(engine="batched").observe(batch)
+            if passes > 1:
+                _ENGINE_RESIM.labels(engine="batched").inc(passes - 1)
         output_spikes = np.ascontiguousarray(output.transpose(1, 0, 2))
         return BatchResult(
             output_spikes=output_spikes,
@@ -936,6 +962,11 @@ class MapParallelEngine:
                     int(m), latch, state.reset_fault_latched[m], currents, output
                 )
 
+        if _obs.enabled():
+            _ENGINE_BATCHES.labels(engine="map_parallel").inc()
+            _ENGINE_BATCH_SIZE.labels(engine="map_parallel").observe(batch)
+            if passes > 1:
+                _ENGINE_RESIM.labels(engine="map_parallel").inc(passes - 1)
         return MapParallelResult(
             spike_counts=output.sum(axis=0, dtype=np.int64)[mapping],
             input_spike_counts=np.stack(

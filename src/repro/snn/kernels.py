@@ -101,6 +101,7 @@ from typing import (
 
 import numpy as np
 
+from repro.obs import metrics as _obs
 from repro.utils.logging import get_logger
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -133,6 +134,46 @@ __all__ = [
 ]
 
 _LOGGER = get_logger("snn.kernels")
+
+# Kernel telemetry (docs/observability.md): per-primitive call counts and
+# cumulative nanoseconds, labeled by the backend that actually executed
+# (numpy when the numba dispatch falls back), plus autotuner outcomes.
+# Children are cached in a plain dict so the hot path pays one dict lookup
+# and two counter adds — the perf bench bounds this at ≤ 2 % of kernel time.
+_KERNEL_CALLS = _obs.get_registry().counter(
+    "softsnn_kernel_calls_total",
+    "Kernel invocations by primitive and executed backend.",
+    labels=("kernel", "backend"),
+)
+_KERNEL_NS = _obs.get_registry().counter(
+    "softsnn_kernel_ns_total",
+    "Cumulative wall time inside kernel invocations, nanoseconds.",
+    labels=("kernel", "backend"),
+)
+_AUTOTUNE_EVENTS = _obs.get_registry().counter(
+    "softsnn_autotune_events_total",
+    "Batch-size autotuner outcomes: probe, cache_hit, pinned.",
+    labels=("event",),
+)
+_AUTOTUNE_BATCH = _obs.get_registry().gauge(
+    "softsnn_autotune_batch_size",
+    "Most recently autotuned engine chunk size per backend.",
+    labels=("backend",),
+)
+_KERNEL_CHILDREN: Dict[Tuple[str, str], Tuple[object, object]] = {}
+
+
+def _record_kernel(kernel: str, backend: str, elapsed_ns: int) -> None:
+    """Account one kernel invocation to the call/time counters."""
+    pair = _KERNEL_CHILDREN.get((kernel, backend))
+    if pair is None:
+        pair = (
+            _KERNEL_CALLS.labels(kernel=kernel, backend=backend),
+            _KERNEL_NS.labels(kernel=kernel, backend=backend),
+        )
+        _KERNEL_CHILDREN[(kernel, backend)] = pair
+    pair[0].inc()
+    pair[1].inc(elapsed_ns)
 
 #: Environment variable selecting the kernel backend (``numpy`` | ``numba``).
 KERNEL_BACKEND_ENV = "SOFTSNN_KERNEL_BACKEND"
@@ -400,14 +441,22 @@ def register_gemm(
     spikes = np.asarray(spikes)
     if backend is None:
         backend = get_backend()
-    if backend == "numba":
-        impls = _numba_impls()
-        if impls is not None:
-            return impls["gemm"](
-                np.ascontiguousarray(spikes, dtype=codes.dtype),
-                np.ascontiguousarray(codes),
-            )
-    return spikes.astype(codes.dtype, copy=False) @ codes
+    impls = _numba_impls() if backend == "numba" else None
+    start_ns = time.perf_counter_ns()
+    if impls is not None:
+        result = impls["gemm"](
+            np.ascontiguousarray(spikes, dtype=codes.dtype),
+            np.ascontiguousarray(codes),
+        )
+    else:
+        result = spikes.astype(codes.dtype, copy=False) @ codes
+    if _obs.enabled():
+        _record_kernel(
+            "register_gemm",
+            "numba" if impls is not None else "numpy",
+            time.perf_counter_ns() - start_ns,
+        )
+    return result
 
 
 def exact_scale(
@@ -727,56 +776,64 @@ def lif_advance(
     """
     if backend is None:
         backend = get_backend()
-    if backend == "numba" and step_hook is None:
-        impls = _numba_impls()
-        if impls is not None:
-            trig = (
-                np.full(v.shape[0], NO_PROTECTION_TRIGGER, dtype=np.int64)
-                if triggers is None
-                else np.ascontiguousarray(triggers, dtype=np.int64)
-            )
-            impls["advance"](
-                currents,
-                output,
-                v,
-                refractory,
-                counter,
-                disabled,
-                latched,
-                comparator,
-                spikes,
-                np.ascontiguousarray(masks.leak_ok),
-                np.ascontiguousarray(masks.increase_ok),
-                np.ascontiguousarray(masks.reset_ok),
-                np.ascontiguousarray(masks.spike_ok),
-                trig,
-                triggers is not None,
-                config.v_rest,
-                config.v_reset,
-                config.v_min,
-                config.membrane_decay,
-                np.int64(config.refractory_period),
-                config.inhibition_strength,
-                np.ascontiguousarray(threshold, dtype=np.float64),
-            )
-            return
-    _lif_advance_numpy(
-        currents,
-        output,
-        v,
-        refractory,
-        counter,
-        disabled,
-        latched,
-        comparator,
-        spikes,
-        masks,
-        threshold,
-        config,
-        workspace,
-        triggers,
-        step_hook,
+    impls = (
+        _numba_impls() if backend == "numba" and step_hook is None else None
     )
+    start_ns = time.perf_counter_ns()
+    if impls is not None:
+        trig = (
+            np.full(v.shape[0], NO_PROTECTION_TRIGGER, dtype=np.int64)
+            if triggers is None
+            else np.ascontiguousarray(triggers, dtype=np.int64)
+        )
+        impls["advance"](
+            currents,
+            output,
+            v,
+            refractory,
+            counter,
+            disabled,
+            latched,
+            comparator,
+            spikes,
+            np.ascontiguousarray(masks.leak_ok),
+            np.ascontiguousarray(masks.increase_ok),
+            np.ascontiguousarray(masks.reset_ok),
+            np.ascontiguousarray(masks.spike_ok),
+            trig,
+            triggers is not None,
+            config.v_rest,
+            config.v_reset,
+            config.v_min,
+            config.membrane_decay,
+            np.int64(config.refractory_period),
+            config.inhibition_strength,
+            np.ascontiguousarray(threshold, dtype=np.float64),
+        )
+    else:
+        _lif_advance_numpy(
+            currents,
+            output,
+            v,
+            refractory,
+            counter,
+            disabled,
+            latched,
+            comparator,
+            spikes,
+            masks,
+            threshold,
+            config,
+            workspace,
+            triggers,
+            step_hook,
+        )
+    if _obs.enabled():
+        _record_kernel(
+            "lif_advance",
+            "numba" if impls is not None else "numpy",
+            time.perf_counter_ns() - start_ns,
+        )
 
 
 def _lif_advance_numpy(
@@ -998,12 +1055,15 @@ def autotune_batch_size(
     if n_neurons <= 0 or n_inputs <= 0:
         raise ValueError("n_neurons and n_inputs must be positive")
     if _autotune_disabled():
+        _AUTOTUNE_EVENTS.labels(event="pinned").inc()
         return DEFAULT_BATCH_SIZE
     backend = get_backend()
     key = (n_neurons, n_inputs, backend)
     cached = _autotune_cache.get(key)
     if cached is not None:
+        _AUTOTUNE_EVENTS.labels(event="cache_hit").inc()
         return cached
+    _AUTOTUNE_EVENTS.labels(event="probe").inc()
 
     sizes = tuple(
         sorted({int(c) for c in (candidates or _AUTOTUNE_CANDIDATES) if c > 0})
@@ -1072,6 +1132,7 @@ def autotune_batch_size(
             best_size = size
 
     _autotune_cache[key] = best_size
+    _AUTOTUNE_BATCH.labels(backend=backend).set(best_size)
     _LOGGER.debug(
         "autotuned batch size for (n_neurons=%d, n_inputs=%d, backend=%s): %d",
         n_neurons,

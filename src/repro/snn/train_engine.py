@@ -73,10 +73,12 @@ learning modes, seeds, dataset sizes and odd label-assignment batch tails.
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs import metrics as _obs
 from repro.snn.engine import BatchedInferenceEngine
 from repro.snn.kernels import (
     KernelWorkspace,
@@ -98,10 +100,31 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 __all__ = [
     "LABEL_ASSIGNMENT_BATCH",
     "VectorizedTrainingEngine",
+    "record_training_epoch",
     "wta_sample_update",
 ]
 
 _LOGGER = get_logger("snn.train_engine")
+
+# Training telemetry (docs/observability.md), shared with the sequential
+# trainer in :mod:`repro.snn.training`: epoch throughput per learning mode.
+_TRAINING_EPOCHS = _obs.get_registry().counter(
+    "softsnn_training_epochs_total",
+    "Completed training epochs, by learning mode.",
+    labels=("mode",),
+)
+_TRAINING_EPOCH_SECONDS = _obs.get_registry().histogram(
+    "softsnn_training_epoch_seconds",
+    "Wall time per training epoch, by learning mode.",
+    labels=("mode",),
+)
+
+
+def record_training_epoch(mode: str, seconds: float) -> None:
+    """Account one completed training epoch to the epoch counters."""
+    if _obs.enabled():
+        _TRAINING_EPOCHS.labels(mode=mode).inc()
+        _TRAINING_EPOCH_SECONDS.labels(mode=mode).observe(seconds)
 
 #: Samples per :class:`~repro.snn.engine.BatchedInferenceEngine` chunk during
 #: spiking label assignment.  Any value yields bit-identical labels (the
@@ -306,6 +329,7 @@ class VectorizedTrainingEngine:
 
         history: Dict[str, list] = {"epoch_mean_spikes": []}
         for epoch in range(config.epochs):
+            epoch_began = time.perf_counter()
             order = self._epoch_order(len(dataset), generator)
             epoch_spikes: List[int] = []
             for index in order:
@@ -390,6 +414,9 @@ class VectorizedTrainingEngine:
 
             mean_spikes = float(np.mean(epoch_spikes))
             history["epoch_mean_spikes"].append(mean_spikes)
+            record_training_epoch(
+                "pairwise_stdp", time.perf_counter() - epoch_began
+            )
             _LOGGER.info(
                 "pairwise_stdp (vectorized) epoch %d/%d: "
                 "mean output spikes per sample %.2f",
@@ -441,6 +468,7 @@ class VectorizedTrainingEngine:
 
         history: Dict[str, list] = {"epoch_neurons_used": [], "epoch_mean_spikes": []}
         for epoch in range(config.epochs):
+            epoch_began = time.perf_counter()
             order = self._epoch_order(len(dataset), generator)
             epoch_spikes: List[int] = []
             for index in order:
@@ -467,6 +495,10 @@ class VectorizedTrainingEngine:
             history["epoch_neurons_used"].append(neurons_used)
             history["epoch_mean_spikes"].append(
                 float(np.mean(epoch_spikes)) if epoch_spikes else 0.0
+            )
+            record_training_epoch(
+                "spiking_wta" if spiking else "fast_wta",
+                time.perf_counter() - epoch_began,
             )
             _LOGGER.info(
                 "%s (vectorized) epoch %d/%d: %d of %d neurons selected as winners",

@@ -44,6 +44,7 @@ the fault models — it only determines the quality of the clean weights.
 
 from __future__ import annotations
 
+import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, Optional, Union
@@ -54,7 +55,11 @@ from repro.data.datasets import Dataset
 from repro.snn.network import DiehlCookNetwork, NetworkConfig
 from repro.snn.neuron import LIFParameters
 from repro.snn.stdp import STDPConfig
-from repro.snn.train_engine import VectorizedTrainingEngine, wta_sample_update
+from repro.snn.train_engine import (
+    VectorizedTrainingEngine,
+    record_training_epoch,
+    wta_sample_update,
+)
 from repro.utils.logging import get_logger
 from repro.utils.rng import RNGLike, resolve_rng
 from repro.utils.serialization import load_json, load_npz, save_json, save_npz
@@ -533,6 +538,7 @@ class TrainingRunner:
 
         history: Dict[str, list] = {"epoch_mean_spikes": []}
         for epoch in range(self.training_config.epochs):
+            epoch_began = time.perf_counter()
             order = self._epoch_order(len(dataset), generator)
             epoch_spikes = []
             for index in order:
@@ -542,6 +548,9 @@ class TrainingRunner:
                 epoch_spikes.append(result.total_output_spikes)
             mean_spikes = float(np.mean(epoch_spikes))
             history["epoch_mean_spikes"].append(mean_spikes)
+            record_training_epoch(
+                "pairwise_stdp", time.perf_counter() - epoch_began
+            )
             _LOGGER.info(
                 "pairwise_stdp epoch %d/%d: mean output spikes per sample %.2f",
                 epoch + 1,
@@ -579,6 +588,7 @@ class TrainingRunner:
 
         history: Dict[str, list] = {"epoch_neurons_used": [], "epoch_mean_spikes": []}
         for epoch in range(self.training_config.epochs):
+            epoch_began = time.perf_counter()
             order = self._epoch_order(len(dataset), generator)
             epoch_spikes = []
             for index in order:
@@ -605,6 +615,10 @@ class TrainingRunner:
             history["epoch_neurons_used"].append(neurons_used)
             history["epoch_mean_spikes"].append(
                 float(np.mean(epoch_spikes)) if epoch_spikes else 0.0
+            )
+            record_training_epoch(
+                "spiking_wta" if spiking else "fast_wta",
+                time.perf_counter() - epoch_began,
             )
             _LOGGER.info(
                 "%s epoch %d/%d: %d of %d neurons selected as winners",

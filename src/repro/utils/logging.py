@@ -4,14 +4,25 @@ The library itself never configures the root logger (a library should not
 hijack the host application's logging); it only creates namespaced loggers
 under ``repro.*``.  The examples and benches call :func:`configure_logging`
 once at start-up to get readable console output.
+
+The ``SOFTSNN_LOG_LEVEL`` environment variable (a level name like
+``DEBUG`` or a numeric value) overrides the level passed to
+:func:`configure_logging` — the knob that turns on worker-side debug
+logging in a campaign run without touching the CLI, because pool workers
+resolve it independently when installing their log relay
+(:mod:`repro.eval.pool`).
 """
 
 from __future__ import annotations
 
 import logging
+import os
 from typing import Optional
 
-__all__ = ["configure_logging", "get_logger"]
+__all__ = ["LOG_LEVEL_ENV", "configure_logging", "env_log_level", "get_logger"]
+
+#: Environment variable overriding the console log level.
+LOG_LEVEL_ENV = "SOFTSNN_LOG_LEVEL"
 
 _LIBRARY_ROOT = "repro"
 _DEFAULT_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
@@ -30,15 +41,37 @@ def get_logger(name: Optional[str] = None) -> logging.Logger:
     return logging.getLogger(f"{_LIBRARY_ROOT}.{name}")
 
 
+def env_log_level(default: Optional[int] = None) -> Optional[int]:
+    """Resolve :data:`LOG_LEVEL_ENV` to a logging level, or *default*.
+
+    Accepts standard level names (case-insensitive) and bare integers;
+    unknown values are ignored with a one-line warning rather than raised —
+    a typo in an environment variable must not kill a campaign.
+    """
+    raw = os.environ.get(LOG_LEVEL_ENV, "").strip()
+    if not raw:
+        return default
+    if raw.isdigit():
+        return int(raw)
+    level = logging.getLevelName(raw.upper())
+    if isinstance(level, int):
+        return level
+    logging.getLogger(_LIBRARY_ROOT).warning(
+        "ignoring unrecognised %s=%r", LOG_LEVEL_ENV, raw
+    )
+    return default
+
+
 def configure_logging(level: int = logging.INFO, fmt: str = _DEFAULT_FORMAT) -> None:
     """Attach a console handler to the library root logger.
 
     Safe to call multiple times: existing handlers installed by this function
     are replaced rather than duplicated, so repeated example runs inside one
-    interpreter do not multiply log lines.
+    interpreter do not multiply log lines.  ``SOFTSNN_LOG_LEVEL`` in the
+    environment wins over the *level* argument.
     """
     root = logging.getLogger(_LIBRARY_ROOT)
-    root.setLevel(level)
+    root.setLevel(env_log_level(level))
     for handler in list(root.handlers):
         if getattr(handler, "_repro_handler", False):
             root.removeHandler(handler)

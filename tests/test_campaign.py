@@ -382,8 +382,18 @@ class TestCampaignCLI:
         from repro.campaign import main
 
         store = tmp_path / "smoke.jsonl"
+        report_path = tmp_path / "smoke-report.json"
         code = main(
-            ["smoke", "--store", str(store), "--workers", "1", "--quiet"]
+            [
+                "smoke",
+                "--store",
+                str(store),
+                "--workers",
+                "1",
+                "--quiet",
+                "--run-report",
+                str(report_path),
+            ]
         )
         assert code == 0
         out = capsys.readouterr().out
@@ -392,6 +402,13 @@ class TestCampaignCLI:
         assert store.with_suffix(".summary.json").exists()
         summary = json.loads(store.with_suffix(".summary.json").read_text())
         assert summary["campaign"] == "smoke"
+
+        report = json.loads(report_path.read_text())
+        assert report["campaign"] == "smoke"
+        assert report["n_executed"] == report["n_cells"] == len(report["cells"])
+        assert all(cell["duration_seconds"] >= 0 for cell in report["cells"])
+        assert "softsnn_campaign_cells_total" in report["metrics"]
+        assert "softsnn_span_seconds" in report["metrics"]
 
         # Re-running resumes entirely from the store.
         code = main(["smoke", "--store", str(store), "--quiet"])

@@ -318,3 +318,60 @@ class TestSharedMemoryHygiene:
             )
         assert received  # the interrupt fired mid-stream, not before work
         assert pool_segments() == []
+
+
+class TestPoolObservability:
+    def test_worker_logs_relayed_with_worker_tag(self, monkeypatch):
+        """Worker-side debug records reach the orchestrator's logger.
+
+        ``SOFTSNN_LOG_LEVEL=DEBUG`` turns on worker-side debug logging;
+        the queue relay must re-emit those records in the parent tagged
+        with the worker id.  A handler is attached directly to the
+        library root logger because ``configure_logging`` (run by any
+        earlier CLI test) sets ``propagate = False``, which hides the
+        records from pytest's root-logger capture.
+        """
+        from repro.utils.logging import get_logger
+
+        monkeypatch.setenv("SOFTSNN_LOG_LEVEL", "DEBUG")
+        records = []
+
+        class _Capture(logging.Handler):
+            def emit(self, record: logging.LogRecord) -> None:
+                records.append(record.getMessage())
+
+        root = get_logger()
+        handler = _Capture(level=logging.DEBUG)
+        old_level = root.level
+        root.addHandler(handler)
+        root.setLevel(logging.DEBUG)
+        try:
+            run_campaign(tiny_spec(), store_path=None, n_workers=2)
+        finally:
+            root.removeHandler(handler)
+            root.setLevel(old_level)
+        relayed = [text for text in records if text.startswith("[worker ")]
+        assert relayed, "no worker-tagged records reached the orchestrator"
+        assert any("executing unit" in text for text in relayed)
+
+    def test_pool_stats_cover_workers_and_shm(self, tmp_path):
+        """The returned run stats account workers, time, and shm bytes."""
+        result = run_campaign(tiny_spec(), store_path=None, n_workers=2)
+        stats = result.pool_stats
+        assert stats is not None
+        assert stats["n_workers"] == 2
+        assert stats["crashes"] == 0 and stats["serial_retries"] == 0
+        assert stats["wall_seconds"] > 0
+        assert stats["shm_bytes_published"] > 0
+        # Everything published is unlinked by the end of the run.
+        assert stats["shm_bytes_unlinked"] == stats["shm_bytes_published"]
+        assert len(stats["workers"]) == 2
+        for worker in stats["workers"]:
+            assert 0.0 <= worker["utilization"] <= 1.0
+        assert sum(worker["units"] for worker in stats["workers"]) == len(
+            group_cells(tiny_spec().expand())
+        )
+        assert stats["sched_decisions"]
+        # Serial execution reports no pool stats.
+        serial = run_campaign(tiny_spec(), store_path=None, n_workers=1)
+        assert serial.pool_stats is None

@@ -655,6 +655,72 @@ class TestServiceHTTP:
         )
         assert replay.predictions == response.predictions
 
+    def test_metrics_json_keys_are_pinned(self, service, small_split):
+        """The JSON /metrics contract: dashboards parse these exact keys."""
+        images = _test_images(small_split, 2)
+        service.classify(images, model="tiny-mnist", seeds=[1, 2])
+        snapshot = service.metrics_snapshot()
+        assert set(snapshot) == {
+            "requests_total",
+            "requests_by_mode",
+            "errors_total",
+            "latency",
+            "batch_size_histogram",
+            "mean_batch_size",
+            "queue_depth",
+            "schedulers",
+            "registry",
+        }
+        assert set(snapshot["latency"]) == {
+            "count",
+            "mean_ms",
+            "p50_ms",
+            "p90_ms",
+            "p99_ms",
+            "max_ms",
+            "window_size",
+            "samples",
+        }
+        assert snapshot["latency"]["window_size"] == service.config.latency_window
+        assert snapshot["latency"]["samples"] == snapshot["latency"]["count"] == 2
+        # The empty-reservoir branch carries the same keys.
+        empty = dataclasses.replace(service.config)
+        idle = SoftSNNService(empty, registry=service.registry)
+        assert set(idle.metrics.latency_summary()) == set(snapshot["latency"])
+        assert idle.metrics.latency_summary()["samples"] == 0
+
+    @staticmethod
+    def _prom_value(text: str, series: str) -> float:
+        for line in text.splitlines():
+            if line.startswith(series + " "):
+                return float(line.rsplit(" ", 1)[1])
+        return 0.0
+
+    def test_prometheus_metrics_over_http(self, service, small_split):
+        images = _test_images(small_split, 2)
+        with ServiceServer(service, port=0) as server:
+            client = ServiceClient(server.url)
+            before = client.metrics_text()
+            client.classify(
+                [image.tolist() for image in images],
+                model="tiny-mnist",
+                seeds=[5, 6],
+            )
+            text = client.metrics_text()
+        # Serving, scheduler, and registry metrics all appear.  The obs
+        # registry is process-wide, so counters are compared as deltas.
+        requests = 'softsnn_serve_requests_total{mode="clean"}'
+        assert self._prom_value(text, requests) - self._prom_value(
+            before, requests
+        ) == 2
+        count = "softsnn_serve_latency_ms_count"
+        assert self._prom_value(text, count) - self._prom_value(
+            before, count
+        ) == 2
+        assert "softsnn_serve_batches_total{" in text
+        assert 'softsnn_serve_registry_entries{tier="models"} 1' in text
+        assert "softsnn_serve_latency_ms_bucket{" in text
+
 
 # --------------------------------------------------------------------- #
 # load generator
