@@ -2,7 +2,7 @@
 
 Times the classification of a fixed test set on a paper-scale N400
 population through three code paths, then sweeps the batched engine up the
-paper's network sizes (N400 → N1600) to record the scaling curve past the
+paper's network sizes (N400 → N6400) to record the scaling curve past the
 single size the harness historically measured:
 
 ``legacy``
@@ -23,10 +23,10 @@ single size the harness historically measured:
 The batched engine must beat the inference path it replaced by at least
 5x; against the (already accelerated) sequential parity reference a
 smaller factor remains.  Results (including the per-size scaling entries
-under ``scaling``) are written to ``benchmarks/results/perf_inference.json``
-so successive PRs can track the hot path.  Set ``PERF_INFERENCE_SMOKE=1``
-(the CI artifact step does) to shrink the sample count and timestep depth
-of the scaling sweep.
+under ``scaling``, each carrying its own geometry) are written to
+``benchmarks/results/perf_inference.json`` so successive PRs can track the
+hot path.  Set ``PERF_INFERENCE_SMOKE=1`` (the CI artifact step does) to
+shrink the scaling sweep to its smallest point.
 """
 
 from __future__ import annotations
@@ -50,11 +50,16 @@ TIMESTEPS = 150
 N_SAMPLES = 64
 BATCH_SIZE = 64
 
-#: Network sizes of the batched scaling sweep (paper sizes, unscaled).
-SCALING_SIZES = [400, 1600]
-SCALING_TIMESTEPS = 50 if SMOKE else 150
-SCALING_SAMPLES = 16 if SMOKE else 64
-SCALING_REPS = 1 if SMOKE else 2
+#: Scaling sweep points: ``(n_neurons, timesteps, n_samples, n_reps)``.
+#: Paper sizes, unscaled; the N6400 point runs a shallower geometry — the
+#: recorded ns/neuron-timestep normalizes the cost, so fewer samples and
+#: timesteps keep the tier-1 wall time bounded while still exercising the
+#: big-GEMM regime past the N1600 the curve historically stopped at.
+SCALING_POINTS = (
+    [(400, 50, 16, 1)]
+    if SMOKE
+    else [(400, 150, 64, 2), (1600, 150, 64, 2), (6400, 100, 32, 1)]
+)
 
 RESULTS_PATH = Path(__file__).parent / "results" / "perf_inference.json"
 
@@ -168,36 +173,46 @@ def test_batched_engine_speedup():
 
 
 def test_batched_scaling_curve():
-    """Batched throughput from N400 up to N1600 (paper sizes, unscaled).
+    """Batched throughput from N400 up to N6400 (paper sizes, unscaled).
 
     The sweep records absolute ms/sample and the per-neuron-timestep cost
     at each size; the latter should stay roughly flat (the engine is
     GEMM-bound, and the GEMM grows linearly in ``n_neurons``), which is the
     signal that the batched path scales past the single N400 point the
-    harness historically pinned.  No speed floor is asserted across sizes —
-    the curve is a tracking artifact, not a gate.
+    harness historically pinned.  Each point carries its own geometry
+    (``SCALING_POINTS``) so the N6400 entry stays affordable; the
+    normalized ns/neuron-timestep column is what makes the points
+    comparable.  No speed floor is asserted across sizes — the curve is a
+    tracking artifact, not a gate.
     """
-    dataset = SyntheticMNIST().generate(n_samples=SCALING_SAMPLES, rng=5)
+    datasets = {}
     curve = {}
     print()
-    for n_neurons in SCALING_SIZES:
+    for n_neurons, timesteps, n_samples, n_reps in SCALING_POINTS:
+        if n_samples not in datasets:
+            datasets[n_samples] = SyntheticMNIST().generate(
+                n_samples=n_samples, rng=5
+            )
+        dataset = datasets[n_samples]
         config = NetworkConfig(
-            n_inputs=784, n_neurons=n_neurons, timesteps=SCALING_TIMESTEPS
+            n_inputs=784, n_neurons=n_neurons, timesteps=timesteps
         )
         network = DiehlCookNetwork(config, rng=1)
         labels = np.arange(n_neurons, dtype=np.int64) % 10
         engine = InferenceEngine(network, labels)
         seconds, _ = _best_of(
-            SCALING_REPS,
-            lambda engine=engine: engine.evaluate(
+            n_reps,
+            lambda engine=engine, dataset=dataset: engine.evaluate(
                 dataset, rng=np.random.default_rng(7), batch_size=BATCH_SIZE
             ),
         )
-        ms_per_sample = 1000.0 * seconds / SCALING_SAMPLES
+        ms_per_sample = 1000.0 * seconds / n_samples
         ns_per_neuron_step = (
-            1e9 * seconds / (SCALING_SAMPLES * SCALING_TIMESTEPS * n_neurons)
+            1e9 * seconds / (n_samples * timesteps * n_neurons)
         )
         curve[f"N{n_neurons}"] = {
+            "timesteps": timesteps,
+            "n_samples": n_samples,
             "ms_per_sample": round(ms_per_sample, 3),
             "ns_per_neuron_timestep": round(ns_per_neuron_step, 2),
         }
@@ -211,8 +226,6 @@ def test_batched_scaling_curve():
         "scaling",
         {
             "smoke": SMOKE,
-            "timesteps": SCALING_TIMESTEPS,
-            "n_samples": SCALING_SAMPLES,
             "batch_size": BATCH_SIZE,
             "sizes": curve,
         },

@@ -13,8 +13,11 @@ can track each primitive separately from the end-to-end engine benches:
 ``<size>.<backend>.gemm_gops`` is GEMM throughput in effective
 billion MACs/s, ``<size>.<backend>.advance_ns_per_neuron_step`` the advance
 cost per neuron-timestep, and ``numba_speedup`` the compiled-over-numpy
-ratio per kernel (absent without numba).  Set ``PERF_KERNELS_SMOKE=1`` (the
-CI artifact step does) to shrink the geometry sweep and drop the speedup
+ratio per kernel (absent without numba).  A second sweep times every
+shipped neuron model's advance at N400 and records the per-model
+ns/neuron-timestep under a ``models`` key, so the zoo's dynamics are
+tracked alongside the default LIF.  Set ``PERF_KERNELS_SMOKE=1`` (the CI
+artifact step does) to shrink the geometry sweep and drop the speedup
 floor on loaded workers.
 """
 
@@ -44,6 +47,10 @@ SMOKE = os.environ.get("PERF_KERNELS_SMOKE") == "1"
 N_INPUTS = 784
 #: Paper network sizes measured (Fig. 13 sweeps N400…N3600).
 SIZES = [400] if SMOKE else [400, 1600]
+#: Shipped neuron models measured by the per-model sweep.  Explicit rather
+#: than :func:`repro.snn.models.available_models` so probe registrations
+#: leaked by earlier test files never reach the bench.
+MODEL_NAMES = ("lif", "cuba_lif", "fixed_point_lif")
 TIMESTEPS = 30 if SMOKE else 100
 BATCH = 32 if SMOKE else 64
 N_REPS = 3 if SMOKE else 5
@@ -203,6 +210,110 @@ def test_kernel_throughput():
                 f"numba advance at {size} is {speedup}x the numpy kernel — "
                 "the compiled backend must not lose to the ufunc pipeline"
             )
+
+
+def test_model_advance_costs():
+    """Per-neuron-timestep advance cost of every shipped neuron model.
+
+    Runs each registered model's :meth:`~repro.snn.models.NeuronModel.
+    advance` — the exact dispatch path the engines take — over the same
+    N400 geometry the kernel sweep uses, on the numpy backend (the only
+    one all three models implement), and records the normalized
+    ns/neuron-timestep per model.  Results merge into the ``models`` key
+    of ``perf_kernels.json`` by read-modify-write: ``test_kernel_throughput``
+    rewrites the file whole, so this test runs after it in file order and
+    must preserve its payload.  No floor is asserted — the zoo's extra
+    state (CUBA current, fixed-point quantization) legitimately costs more
+    than the plain LIF pipeline; the column is a tracking artifact.
+    """
+    from repro.snn.models import get_model
+
+    n_neurons = 400
+    rng = np.random.default_rng(n_neurons)
+    gemm_dtype = exact_gemm_dtype(N_INPUTS, 255)
+    codes = np.ascontiguousarray(
+        rng.integers(0, 256, size=(N_INPUTS, n_neurons)), dtype=gemm_dtype
+    )
+    raster = rng.random((BATCH * TIMESTEPS, N_INPUTS)) < 0.05
+
+    shape = (1, BATCH, n_neurons)
+    currents = exact_scale(register_gemm(raster, codes), 2.0 / 255.0).reshape(
+        (TIMESTEPS,) + shape
+    )
+    output = np.zeros((TIMESTEPS,) + shape, dtype=bool)
+    threshold = np.full(n_neurons, 20.0)
+    config = LIFStepConfig(
+        v_rest=-65.0,
+        v_reset=-60.0,
+        v_min=-80.0,
+        membrane_decay=0.95,
+        refractory_period=5,
+        inhibition_strength=1.0,
+    )
+    masks = OperationMasks.healthy(n_neurons)
+    workspace = KernelWorkspace()
+    state = {}
+
+    def reset_state():
+        state["arrays"] = (
+            np.full(shape, config.v_rest, dtype=np.float64),
+            np.zeros(shape, dtype=np.int64),
+            np.zeros(shape, dtype=np.int64),
+            np.zeros(shape, dtype=bool),
+            np.zeros(shape, dtype=bool),
+            np.empty(shape, dtype=bool),
+            np.empty(shape, dtype=bool),
+        )
+
+    neuron_steps = TIMESTEPS * BATCH * n_neurons
+    per_model = {}
+    print()
+    for name in MODEL_NAMES:
+        model = get_model(name)
+
+        def run_advance(model=model):
+            reset_state()
+            model.advance(
+                currents,
+                output,
+                *state["arrays"],
+                masks,
+                threshold,
+                config,
+                workspace,
+                backend="numpy",
+            )
+
+        run_advance()  # warm caches off the clock
+        seconds = _best_of(N_REPS, run_advance)
+        per_model[name] = {
+            "advance_ms": round(1000.0 * seconds, 3),
+            "advance_ns_per_neuron_step": round(
+                1e9 * seconds / neuron_steps, 2
+            ),
+        }
+        print(
+            f"BENCH perf_kernels: models [{name}] advance "
+            f"{per_model[name]['advance_ns_per_neuron_step']} ns/neuron-step"
+        )
+
+    summary = {}
+    if RESULTS_PATH.exists():
+        summary = json.loads(RESULTS_PATH.read_text())
+    summary["models"] = {
+        "smoke": SMOKE,
+        "n_neurons": n_neurons,
+        "timesteps": TIMESTEPS,
+        "batch": BATCH,
+        "backend": "numpy",
+        "per_model": per_model,
+    }
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(summary, indent=2) + "\n")
+
+    assert set(per_model) == set(MODEL_NAMES)
+    for results in per_model.values():
+        assert results["advance_ns_per_neuron_step"] > 0.0
 
 
 def test_telemetry_overhead_guard():

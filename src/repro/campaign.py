@@ -36,6 +36,8 @@ from repro.eval.campaign import (
 )
 from repro.eval.experiment import ExperimentConfig
 from repro.eval.sweep import PAPER_FAULT_RATES
+from repro.snn.encoding import available_encodings
+from repro.snn.models import available_models
 from repro.hardware.enhancements import MitigationKind
 from repro.utils.logging import configure_logging
 from repro.utils.serialization import save_json
@@ -173,6 +175,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the compared mitigation techniques",
     )
     parser.add_argument(
+        "--models",
+        nargs="+",
+        choices=available_models(),
+        help=(
+            "neuron models to sweep (grid axis; default: the registry's "
+            "default LIF model)"
+        ),
+    )
+    parser.add_argument(
+        "--encodings",
+        nargs="+",
+        choices=available_encodings(),
+        help=(
+            "input encodings to sweep (grid axis; default: Poisson rate "
+            "encoding)"
+        ),
+    )
+    parser.add_argument(
         "--workers",
         type=_parse_workers,
         default=1,
@@ -273,6 +293,8 @@ def build_spec(args: argparse.Namespace) -> CampaignSpec:
         ],
         base=base,
         paper_sizes=_PAPER_SIZE_BY_PROXY,
+        models=args.models,
+        encodings=args.encodings,
         n_trials=int(pick(args.trials, "trials")),
         inject_synapses=bool(preset["inject_synapses"]),
         inject_neurons=bool(preset["inject_neurons"]),

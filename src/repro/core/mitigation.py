@@ -277,6 +277,7 @@ def evaluate_techniques_mapped(
             params=model.network_config.neuron_params,
             theta=model.theta,
             batch_size=batch_size,
+            model=getattr(model.network_config, "neuron_model", None),
         )
         offset = 0
         for technique, plan in zip(planned, plans):

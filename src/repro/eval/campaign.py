@@ -680,28 +680,42 @@ class CampaignSpec:
         technique_kinds: Sequence[MitigationKind],
         base: Optional[ExperimentConfig] = None,
         paper_sizes: Optional[Dict[int, int]] = None,
+        models: Optional[Sequence[str]] = None,
+        encodings: Optional[Sequence[str]] = None,
         **campaign_kwargs: object,
     ) -> "CampaignSpec":
-        """Build a spec from a workload × network-size grid.
+        """Build a spec from a workload × size × model × encoding grid.
 
         *base* supplies the shared experiment settings (sample counts,
         timesteps, epochs…); *paper_sizes* optionally maps a scaled size to
-        the paper network size it stands in for.
+        the paper network size it stands in for.  *models* / *encodings*
+        (registered neuron-model and input-encoding names) extend the grid
+        across the model zoo; omitted, the grid keeps the template's single
+        model and encoding and every pre-existing spec — and its
+        fingerprint — is unchanged.
         """
         template = base if base is not None else ExperimentConfig()
+        model_axis = list(models) if models else [template.model]
+        encoding_axis = list(encodings) if encodings else [template.encoding]
         experiments = []
         for workload in workloads:
             for n_neurons in network_sizes:
-                experiments.append(
-                    replace(
-                        template,
-                        workload=workload,
-                        n_neurons=int(n_neurons),
-                        paper_network_size=(
-                            paper_sizes.get(int(n_neurons)) if paper_sizes else None
-                        ),
-                    )
-                )
+                for model in model_axis:
+                    for encoding in encoding_axis:
+                        experiments.append(
+                            replace(
+                                template,
+                                workload=workload,
+                                n_neurons=int(n_neurons),
+                                paper_network_size=(
+                                    paper_sizes.get(int(n_neurons))
+                                    if paper_sizes
+                                    else None
+                                ),
+                                model=model,
+                                encoding=encoding,
+                            )
+                        )
         return cls(
             name=name,
             experiments=experiments,
@@ -805,10 +819,28 @@ class CampaignResult:
 
         The JSON the CLI's ``--run-report`` flag writes (schema in
         ``docs/observability.md``): campaign identity and counts, one
-        timing entry per cell, the pool's per-worker utilization, and a
-        full metrics-registry snapshot — enough to diagnose a slow or
-        skewed run without re-executing anything.
+        timing entry per cell, per-experiment accuracy-vs-fault-rate
+        curves labelled with their neuron model and input encoding, the
+        pool's per-worker utilization, and a full metrics-registry
+        snapshot — enough to diagnose a slow or skewed run without
+        re-executing anything.
         """
+        curves = []
+        for key, sweep in self.sweeps.items():
+            config = self.spec.experiment_by_key(key)
+            curves.append(
+                {
+                    "experiment": key,
+                    "model": config.model,
+                    "encoding": config.encoding,
+                    "clean_accuracy": sweep.clean_accuracy,
+                    "fault_rates": [float(rate) for rate in sweep.fault_rates],
+                    "techniques": {
+                        kind.value: [float(a) for a in series.accuracies]
+                        for kind, series in sweep.techniques.items()
+                    },
+                }
+            )
         return {
             "campaign": self.spec.name,
             "n_cells": self.n_cells,
@@ -831,6 +863,7 @@ class CampaignResult:
                     self.records.values(), key=lambda r: r.cell_id
                 )
             ],
+            "accuracy_curves": curves,
             "pool": self.pool_stats,
             "metrics": _obs.get_registry().snapshot(),
         }

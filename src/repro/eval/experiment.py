@@ -18,6 +18,8 @@ from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, Optional, Tuple
 
 from repro.data.datasets import Dataset, load_workload, train_test_split
+from repro.snn.encoding import DEFAULT_ENCODING, get_encoder
+from repro.snn.models import DEFAULT_NEURON_MODEL, get_model
 from repro.snn.network import NetworkConfig
 from repro.snn.neuron import LIFParameters
 from repro.snn.training import TrainedModel, TrainingConfig, TrainingRunner
@@ -63,6 +65,13 @@ class ExperimentConfig:
         together; forward it to :class:`~repro.eval.sweep.FaultRateSweep`
         or :meth:`MitigationTechnique.evaluate` calls built from this
         configuration.
+    model:
+        Registered neuron-model name (:mod:`repro.snn.models`) the network
+        simulates; the default LIF keeps every pre-existing label, seed
+        stream and serialised form byte-identical.
+    encoding:
+        Registered input-encoding name (:mod:`repro.snn.encoding`); same
+        byte-stability contract as ``model``.
     """
 
     workload: str = "mnist"
@@ -77,6 +86,8 @@ class ExperimentConfig:
     paper_network_size: Optional[int] = None
     neuron_params: LIFParameters = field(default_factory=LIFParameters)
     eval_batch_size: int = 64
+    model: str = DEFAULT_NEURON_MODEL
+    encoding: str = DEFAULT_ENCODING
 
     def __post_init__(self) -> None:
         if self.n_neurons <= 0:
@@ -93,6 +104,10 @@ class ExperimentConfig:
             raise ValueError(
                 f"eval_batch_size must be positive, got {self.eval_batch_size}"
             )
+        # Fail at configuration time on unknown registry names, exactly as
+        # NetworkConfig does.
+        get_model(self.model)
+        get_encoder(self.encoding)
 
     # ------------------------------------------------------------------ #
     def network_config(self) -> NetworkConfig:
@@ -102,6 +117,8 @@ class ExperimentConfig:
             n_neurons=self.n_neurons,
             timesteps=self.timesteps,
             neuron_params=self.neuron_params,
+            neuron_model=self.model,
+            encoding=self.encoding,
         )
 
     def training_config(self) -> TrainingConfig:
@@ -121,18 +138,45 @@ class ExperimentConfig:
         )
 
     def label(self) -> str:
-        """Compact identifier used in reports (e.g. ``mnist/N100``)."""
+        """Compact identifier used in reports (e.g. ``mnist/N100``).
+
+        Non-default neuron models and encodings are appended (e.g.
+        ``mnist/N100/cuba_lif+ttfs``); the default LIF/Poisson combination
+        keeps the historical two-part label, so pre-existing seed streams,
+        campaign fingerprints and store records are byte-identical.
+        """
         size = (
             f"N{self.paper_network_size}(scaled to {self.n_neurons})"
             if self.paper_network_size
             else f"N{self.n_neurons}"
         )
-        return f"{self.workload}/{size}"
+        base = f"{self.workload}/{size}"
+        variant = [
+            part
+            for part, default in (
+                (self.model, DEFAULT_NEURON_MODEL),
+                (self.encoding, DEFAULT_ENCODING),
+            )
+            if part != default
+        ]
+        if variant:
+            return f"{base}/{'+'.join(variant)}"
+        return base
 
     # ------------------------------------------------------------------ #
     def to_dict(self) -> Dict[str, object]:
-        """JSON-friendly representation (nested parameter dataclasses included)."""
-        return asdict(self)
+        """JSON-friendly representation (nested parameter dataclasses included).
+
+        The ``model`` and ``encoding`` keys are omitted at their defaults,
+        so serialised configurations predating the neuron-model zoo —
+        and their fingerprints — are reproduced byte for byte.
+        """
+        data = asdict(self)
+        if self.model == DEFAULT_NEURON_MODEL:
+            del data["model"]
+        if self.encoding == DEFAULT_ENCODING:
+            del data["encoding"]
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ExperimentConfig":

@@ -34,6 +34,8 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.serve.modes import ServingMode, ServingSession, build_session
+from repro.snn.encoding import DEFAULT_ENCODING
+from repro.snn.models import DEFAULT_NEURON_MODEL
 from repro.snn.training import TrainedModel, TrainingConfig, TrainingRunner
 from repro.utils.logging import get_logger
 from repro.utils.serialization import load_json, save_json
@@ -88,6 +90,8 @@ class SnapshotEntry:
     timesteps: int
     workload: Optional[str] = None
     checksums: Dict[str, str] = field(default_factory=dict)
+    neuron_model: str = DEFAULT_NEURON_MODEL
+    encoding: str = DEFAULT_ENCODING
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-friendly entry description for ``GET /models``."""
@@ -97,6 +101,8 @@ class SnapshotEntry:
             "n_inputs": self.n_inputs,
             "n_neurons": self.n_neurons,
             "timesteps": self.timesteps,
+            "neuron_model": self.neuron_model,
+            "encoding": self.encoding,
             "checksums": dict(self.checksums),
         }
 
@@ -240,6 +246,10 @@ class ModelRegistry:
             timesteps=int(config["timesteps"]),
             workload=workload,
             checksums=checksums,
+            # Snapshots predating the neuron-model zoo carry no model or
+            # encoding fields and serve as the default LIF/Poisson pair.
+            neuron_model=str(config.get("neuron_model", DEFAULT_NEURON_MODEL)),
+            encoding=str(config.get("encoding", DEFAULT_ENCODING)),
         )
 
     def register(

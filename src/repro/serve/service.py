@@ -43,6 +43,7 @@ import numpy as np
 
 from repro.obs import metrics as _obs
 from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE
+from repro.obs.trace import span
 from repro.serve.modes import ServingMode, ServingSession
 from repro.serve.registry import ModelNotFoundError, ModelRegistry, RegistryError
 from repro.serve.scheduler import MicroBatchScheduler
@@ -394,15 +395,21 @@ class SoftSNNService:
 
         submitted = time.monotonic()
         try:
-            futures = [
-                scheduler.submit((flat, seed))
-                for flat, seed in zip(flats, request_seeds)
-            ]
-            predictions: List[int] = []
-            latencies: List[float] = []
-            for future in futures:
-                predictions.append(int(future.result(timeout=timeout)))
-                latencies.append(1000.0 * (time.monotonic() - submitted))
+            with span(
+                "serve.classify",
+                model=entry.name,
+                mode=serving_mode.kind,
+                n_images=len(flats),
+            ):
+                futures = [
+                    scheduler.submit((flat, seed))
+                    for flat, seed in zip(flats, request_seeds)
+                ]
+                predictions: List[int] = []
+                latencies: List[float] = []
+                for future in futures:
+                    predictions.append(int(future.result(timeout=timeout)))
+                    latencies.append(1000.0 * (time.monotonic() - submitted))
         except Exception:
             self.metrics.record_error()
             raise

@@ -1,4 +1,4 @@
-"""Rate (Poisson) encoding of images into spike trains.
+"""Spike encoders: rate (Poisson) and time-to-first-spike, name-registered.
 
 The paper's SNN (like the Diehl & Cook network it follows) receives each
 input image as a set of Poisson spike trains whose rates are proportional to
@@ -6,16 +6,37 @@ pixel intensity.  The encoder here works in discrete timesteps: a pixel of
 intensity ``p`` emits a spike in each timestep independently with probability
 ``max_rate * p``, where ``max_rate`` is the per-step firing probability of a
 fully bright pixel.
+
+Beside the Poisson encoder sits a deterministic time-to-first-spike
+(TTFS) encoder — brighter pixels spike earlier, each active pixel exactly
+once — and a small registry (:func:`register_encoder`) so network
+configurations, campaigns and CLIs select the encoding by name
+(``NetworkConfig.encoding``).  All encoders share one interface:
+``encode`` (one image → ``(timesteps, n_pixels)``), ``encode_batch``
+(``(n, …)`` images → ``(n, timesteps, n_pixels)``, with batch/sequential
+stream equality), ``spike_probabilities`` and ``expected_spike_counts``.
 """
 
 from __future__ import annotations
+
+from typing import Callable, Dict, List
 
 import numpy as np
 
 from repro.utils.rng import RNGLike, resolve_rng
 from repro.utils.validation import check_fraction, check_positive
 
-__all__ = ["PoissonEncoder"]
+__all__ = [
+    "DEFAULT_ENCODING",
+    "PoissonEncoder",
+    "TTFSEncoder",
+    "available_encodings",
+    "get_encoder",
+    "register_encoder",
+]
+
+#: Name of the encoding every pre-existing configuration resolves to.
+DEFAULT_ENCODING = "poisson"
 
 
 class PoissonEncoder:
@@ -138,3 +159,151 @@ class PoissonEncoder:
             f"PoissonEncoder(timesteps={self.timesteps}, max_rate={self.max_rate}, "
             f"intensity_scale={self.intensity_scale})"
         )
+
+
+class TTFSEncoder:
+    """Deterministic time-to-first-spike (latency) encoding.
+
+    Each pixel with a nonzero per-step probability ``p`` (computed exactly
+    like the Poisson encoder's, so both encodings share the same intensity
+    normalisation) emits exactly one spike, at timestep
+    ``min(timesteps - 1, floor((1 - p / max_rate) * timesteps))`` — the
+    brighter the pixel, the earlier the spike; dark pixels stay silent.
+
+    The encoder is deterministic: it accepts the ``rng`` argument of the
+    shared interface but consumes no random values — identically in
+    :meth:`encode` and :meth:`encode_batch`, so batched and sequential
+    presentations of the same samples leave any shared generator in the
+    same state and see bitwise identical rasters.
+
+    Parameters are those of :class:`PoissonEncoder` (``intensity_scale``
+    and ``target_total_intensity`` feed the shared probability pipeline;
+    ``max_rate`` normalises the latency ramp).
+    """
+
+    def __init__(
+        self,
+        timesteps: int = 150,
+        max_rate: float = 0.25,
+        intensity_scale: float = 1.0,
+        target_total_intensity: float = None,
+    ) -> None:
+        if timesteps <= 0:
+            raise ValueError(f"timesteps must be positive, got {timesteps}")
+        self.timesteps = int(timesteps)
+        self.max_rate = check_fraction(max_rate, "max_rate")
+        self.intensity_scale = check_positive(intensity_scale, "intensity_scale")
+        if target_total_intensity is not None:
+            target_total_intensity = check_positive(
+                target_total_intensity, "target_total_intensity"
+            )
+        self.target_total_intensity = target_total_intensity
+        # The probability pipeline is shared with the Poisson encoder so
+        # both encodings see identical per-pixel intensity normalisation.
+        self._rate = PoissonEncoder(
+            timesteps=self.timesteps,
+            max_rate=self.max_rate,
+            intensity_scale=self.intensity_scale,
+            target_total_intensity=self.target_total_intensity,
+        )
+
+    # ------------------------------------------------------------------ #
+    def spike_probabilities(self, image: np.ndarray) -> np.ndarray:
+        """Per-pixel intensity proxy (the Poisson per-step probability)."""
+        return self._rate.spike_probabilities(image)
+
+    def spike_times(self, image: np.ndarray) -> np.ndarray:
+        """First-spike timestep per pixel (``-1`` for silent pixels)."""
+        probabilities = self.spike_probabilities(image)
+        ramp = 1.0 - probabilities / self.max_rate
+        times = np.clip(
+            np.floor(ramp * self.timesteps), 0, self.timesteps - 1
+        ).astype(np.int64)
+        times[probabilities <= 0.0] = -1
+        return times
+
+    def encode(self, image: np.ndarray, rng: RNGLike = None) -> np.ndarray:
+        """Encode *image* into a boolean ``(timesteps, n_pixels)`` raster.
+
+        ``rng`` is accepted for interface parity and never consumed.
+        """
+        del rng  # deterministic encoding consumes no randomness
+        times = self.spike_times(image)
+        raster = np.zeros((self.timesteps, times.size), dtype=bool)
+        firing = np.flatnonzero(times >= 0)
+        raster[times[firing], firing] = True
+        return raster
+
+    def encode_batch(self, images: np.ndarray, rng: RNGLike = None) -> np.ndarray:
+        """Encode a batch into ``(n, timesteps, n_pixels)``.
+
+        Deterministic, so it is trivially stream-identical to ``n``
+        successive :meth:`encode` calls (neither consumes the generator).
+        """
+        del rng  # deterministic encoding consumes no randomness
+        images = np.asarray(images, dtype=np.float64)
+        if images.ndim == 2:
+            images = images[np.newaxis, ...]
+        if images.ndim != 3:
+            raise ValueError(
+                f"images must have shape (n, height, width), got {images.shape}"
+            )
+        rasters = [self.encode(image) for image in images]
+        return np.stack(rasters)
+
+    def expected_spike_counts(self, image: np.ndarray) -> np.ndarray:
+        """Expected spikes per pixel: exactly one for each active pixel."""
+        return (self.spike_probabilities(image) > 0.0).astype(np.float64)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TTFSEncoder(timesteps={self.timesteps}, max_rate={self.max_rate}, "
+            f"intensity_scale={self.intensity_scale})"
+        )
+
+
+# ---------------------------------------------------------------------- #
+# registry
+# ---------------------------------------------------------------------- #
+_ENCODERS: Dict[str, Callable[..., object]] = {}
+
+
+def register_encoder(
+    name: str, factory: Callable[..., object], replace: bool = False
+) -> None:
+    """Register an encoder *factory* under *name*.
+
+    The factory is called with the keyword arguments
+    ``timesteps`` / ``max_rate`` / ``target_total_intensity`` (the subset
+    of :class:`~repro.snn.network.NetworkConfig` an encoder derives from)
+    and must return an object implementing the shared encoder interface.
+    Re-registering an existing name requires ``replace=True``.
+    """
+    if not name:
+        raise ValueError("encoder name must be non-empty")
+    if name in _ENCODERS and not replace:
+        raise ValueError(
+            f"encoding {name!r} is already registered "
+            "(pass replace=True to override)"
+        )
+    _ENCODERS[name] = factory
+
+
+def get_encoder(name: str) -> Callable[..., object]:
+    """Return the factory registered for *name*; raise with known names."""
+    try:
+        return _ENCODERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown encoding {name!r}; available: "
+            f"{', '.join(available_encodings())}"
+        ) from None
+
+
+def available_encodings() -> List[str]:
+    """Sorted names of every registered encoding."""
+    return sorted(_ENCODERS)
+
+
+register_encoder("poisson", PoissonEncoder)
+register_encoder("ttfs", TTFSEncoder)

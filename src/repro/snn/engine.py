@@ -63,16 +63,15 @@ from repro.snn.kernels import (
     NO_PROTECTION_TRIGGER,
     BoundingCorrection,
     KernelWorkspace,
-    LIFStepConfig,
     OperationMasks,
     apply_bounding_correction,
     bounding_correction_terms,
     exact_gemm_dtype,
     exact_scale,
-    lif_advance,
     plan_bounding_correction,
     register_gemm,
 )
+from repro.snn.models import NeuronModel, resolve_model
 from repro.obs import metrics as _obs
 from repro.snn.neuron import LIFParameters, NeuronOperationStatus
 from repro.snn.quantization import WeightQuantizer
@@ -293,10 +292,21 @@ class BatchedInferenceEngine:
         The (possibly fault-injected) network to run.  Only inference is
         supported — training keeps the sequential per-timestep loop because
         STDP updates the weights between timesteps.
+    model:
+        Neuron model to simulate — a registered name, a
+        :class:`~repro.snn.models.NeuronModel` instance, or ``None``
+        (default) to use the network configuration's ``neuron_model``.
     """
 
-    def __init__(self, network: "DiehlCookNetwork") -> None:
+    def __init__(
+        self,
+        network: "DiehlCookNetwork",
+        model: Optional[object] = None,
+    ) -> None:
         self.network = network
+        if model is None:
+            model = getattr(network.config, "neuron_model", None)
+        self.model: NeuronModel = resolve_model(model)
         # Scratch buffers of the timestep kernel, reused across batches.
         self._workspace = KernelWorkspace()
 
@@ -515,18 +525,19 @@ class BatchedInferenceEngine:
     ) -> None:
         """One parallel pass over all timesteps for the rows in *state*.
 
-        A thin adapter over :func:`repro.snn.kernels.lif_advance`: the
-        batched ``(batch, n)`` state arrays enter the ``(rows, batch, n)``
-        kernel as single-row views (broadcasting never changes elementwise
-        IEEE results), and the kernel advances them strictly in place, so
-        the ``step_monitor`` observes — and mutates, via
+        A thin adapter over the model's advance kernel (for the default
+        LIF, :func:`repro.snn.kernels.lif_advance`): the batched
+        ``(batch, n)`` state arrays enter the ``(rows, batch, n)`` kernel
+        as single-row views (broadcasting never changes elementwise IEEE
+        results), and the kernel advances them strictly in place, so the
+        ``step_monitor`` observes — and mutates, via
         :meth:`BatchedLIFState.disable_spiking` — the live state after
         every timestep, exactly like the sequential hook.
         """
         hook = None
         if step_monitor is not None:
             hook = lambda: step_monitor(state)  # noqa: E731 - local adapter
-        lif_advance(
+        self.model.advance(
             currents[:, np.newaxis, :, :],
             output[:, np.newaxis, :, :],
             state.v[np.newaxis],
@@ -538,7 +549,7 @@ class BatchedInferenceEngine:
             state.last_spikes[np.newaxis],
             OperationMasks.from_status(state.operation_status),
             state.effective_threshold,
-            LIFStepConfig.from_params(state.params),
+            self.model.step_config(state.params),
             self._workspace,
             step_hook=hook,
         )
@@ -745,6 +756,10 @@ class MapParallelEngine:
     theta:
         Adaptive-threshold component ``(n_neurons,)`` shared by all rows
         (inference keeps it frozen).
+    model:
+        Neuron model every row simulates — a registered name, a
+        :class:`~repro.snn.models.NeuronModel` instance, or ``None``
+        (default) for the default LIF.
     """
 
     def __init__(
@@ -753,6 +768,7 @@ class MapParallelEngine:
         quantizer: WeightQuantizer,
         params: LIFParameters,
         theta: np.ndarray,
+        model: Optional[object] = None,
     ) -> None:
         rows = list(rows)
         if not rows:
@@ -840,7 +856,8 @@ class MapParallelEngine:
             [row.operation_status for row in unique_rows]
         )
         self._row_has_reset_fault = ~self._masks.reset_ok.all(axis=1)
-        self._step_config = LIFStepConfig.from_params(params)
+        self._model: NeuronModel = resolve_model(model)
+        self._step_config = self._model.step_config(params)
         self._threshold = params.v_threshold + self.theta
         # Separate scratch workspaces for the full-chunk pass and the
         # single-row latch fix-ups, so their different block shapes do not
@@ -1108,14 +1125,15 @@ class MapParallelEngine:
     ) -> None:
         """One parallel pass over all timesteps for the rows in *row_slice*.
 
-        A thin adapter over :func:`repro.snn.kernels.lif_advance` with the
-        engine's per-row operation masks and protection triggers sliced to
-        the simulated rows.  The kernel advances the state arrays strictly
-        in place over its preallocated workspace, and applies neuron
+        A thin adapter over the model's advance kernel (for the default
+        LIF, :func:`repro.snn.kernels.lif_advance`) with the engine's
+        per-row operation masks and protection triggers sliced to the
+        simulated rows.  The kernel advances the state arrays strictly in
+        place over its preallocated workspace, and applies neuron
         protection after each timestep's spikes are recorded, exactly like
         the batched engine's post-step monitor hook.
         """
-        lif_advance(
+        self._model.advance(
             currents,
             output,
             state.v,

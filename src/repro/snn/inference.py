@@ -358,6 +358,7 @@ def evaluate_rows(
     params: LIFParameters,
     theta: np.ndarray,
     batch_size: Optional[int] = None,
+    model: Optional[object] = None,
 ) -> List[InferenceResult]:
     """Classify pre-encoded rasters through many compute engines at once.
 
@@ -391,6 +392,10 @@ def evaluate_rows(
         engine default.  The effective chunk is additionally capped at
         :data:`MAP_PARALLEL_CHUNK_SIZE` — a pure performance choice, the
         results are bit-identical for any chunking.
+    model:
+        Neuron model every row simulates (registered name,
+        :class:`~repro.snn.models.NeuronModel` instance, or ``None`` for
+        the default LIF), forwarded to the map-parallel engine.
     """
     if not rows:
         raise ValueError("at least one row is required")
@@ -414,7 +419,9 @@ def evaluate_rows(
             f"labels must have shape ({n_samples},), got {labels.shape}"
         )
 
-    engine = MapParallelEngine(rows, quantizer=quantizer, params=params, theta=theta)
+    engine = MapParallelEngine(
+        rows, quantizer=quantizer, params=params, theta=theta, model=model
+    )
     n_rows = engine.n_rows
     n_neurons = engine.n_neurons
     indicator = class_indicator(neuron_labels)

@@ -122,8 +122,10 @@ __all__ = [
     "autotune_batch_size",
     "bounding_correction_terms",
     "clear_autotune_cache",
+    "cuba_advance",
     "exact_gemm_dtype",
     "exact_scale",
+    "fixed_point_advance",
     "get_backend",
     "lif_advance",
     "lif_learning_step",
@@ -1008,6 +1010,317 @@ def lif_learning_step(
         )
         v = np.maximum(v - inhibition, config.v_min)
     return v, refractory, spikes
+
+
+# ---------------------------------------------------------------------- #
+# model-dispatched advance kernels (neuron-model zoo)
+# ---------------------------------------------------------------------- #
+def cuba_advance(
+    currents: np.ndarray,
+    output: np.ndarray,
+    v: np.ndarray,
+    refractory: np.ndarray,
+    counter: np.ndarray,
+    disabled: np.ndarray,
+    latched: np.ndarray,
+    comparator: np.ndarray,
+    spikes: np.ndarray,
+    masks: OperationMasks,
+    threshold: np.ndarray,
+    config: LIFStepConfig,
+    workspace: KernelWorkspace,
+    current_decay: float = 0.5,
+    triggers: Optional[np.ndarray] = None,
+    step_hook: Optional[Callable[[], None]] = None,
+    backend: Optional[str] = None,
+) -> None:
+    """Current-based (CUBA) leaky LIF advance over ``(rows, batch, n)`` state.
+
+    The lava-style ``du/dv`` variant: a synaptic-current state ``u`` decays
+    by ``current_decay`` and accumulates each timestep's input, and the
+    membrane integrates ``u`` instead of the raw input current.  ``u``
+    starts at zero for every presentation (it is per-sample dynamics, like
+    the membrane), so it lives inside the call rather than in the engines'
+    state structs — one allocation per pass, none per timestep.
+
+    The paper's four faultable operations map onto the same gates as the
+    LIF kernel: ``leak_ok`` gates the membrane leak, ``increase_ok`` gates
+    ``v += u`` (the synaptic accumulation itself is crossbar arithmetic,
+    not a Vmem operation, so it always runs), and spike generation / reset
+    keep the LIF semantics, including the faulty-reset latch and neuron
+    protection.  Only a numpy implementation exists; ``backend`` is
+    accepted for interface parity and the kernel silently runs numpy —
+    the same fallback contract as an unavailable numba.
+    """
+    del backend  # numpy only; accepted for signature parity with lif_advance
+    start_ns = time.perf_counter_ns()
+    ws = workspace.ensure(v.shape)
+    vbuf = ws.vbuf
+    fbuf = ws.fbuf
+    active = ws.active
+    boolbuf = ws.boolbuf
+    countbuf = ws.countbuf
+    u = np.zeros(v.shape, dtype=np.float64)
+
+    v_rest = config.v_rest
+    v_reset = config.v_reset
+    v_min = config.v_min
+    decay = config.membrane_decay
+    period = config.refractory_period
+    strength = config.inhibition_strength
+    current_decay = float(current_decay)
+
+    leak_ok = masks.leak_ok[:, np.newaxis, :]
+    increase_ok = masks.increase_ok[:, np.newaxis, :]
+    reset_ok = masks.reset_ok[:, np.newaxis, :]
+    spike_ok = masks.spike_ok[:, np.newaxis, :]
+    all_leak = masks.all_leak
+    all_increase = masks.all_increase
+    all_reset = masks.all_reset
+    all_spike = masks.all_spike
+    reset_bad = None if all_reset else ~reset_ok
+    trig = (
+        None
+        if triggers is None
+        else np.asarray(triggers, dtype=np.int64).reshape(-1, 1, 1)
+    )
+
+    timesteps = currents.shape[0]
+    for t in range(timesteps):
+        # Synaptic current: decay, then accumulate this step's input.
+        np.multiply(u, current_decay, out=u)
+        np.add(u, currents[t], out=u)
+
+        # (2) Vmem leak: v_rest + (v - v_rest) * decay, gated per neuron.
+        if all_leak:
+            np.subtract(v, v_rest, out=v)
+            np.multiply(v, decay, out=v)
+            np.add(v, v_rest, out=v)
+        else:
+            np.subtract(v, v_rest, out=vbuf)
+            np.multiply(vbuf, decay, out=vbuf)
+            np.add(vbuf, v_rest, out=vbuf)
+            np.copyto(v, vbuf, where=leak_ok)
+
+        # (1) Vmem increase: v += where(integrate, u, 0.0), clamp.
+        np.less_equal(refractory, 0, out=active)
+        if all_increase:
+            integrate = active
+        else:
+            np.logical_and(active, increase_ok, out=boolbuf)
+            integrate = boolbuf
+        np.copyto(fbuf, 0.0)
+        np.copyto(fbuf, u, where=integrate)
+        np.add(v, fbuf, out=v)
+        np.maximum(v, v_min, out=v)
+
+        # (4) Spike generation: comparator and protection counter.
+        np.greater_equal(v, threshold, out=comparator)
+        np.logical_and(comparator, active, out=comparator)
+        np.add(counter, 1, out=counter)
+        np.multiply(counter, comparator, out=counter)
+        np.logical_not(disabled, out=spikes)
+        np.logical_and(spikes, comparator, out=spikes)
+        if not all_spike:
+            np.logical_and(spikes, spike_ok, out=spikes)
+
+        # (3) Vmem reset and refractory entry; faulty resets latch.
+        if all_reset:
+            reset_now = comparator
+        else:
+            np.logical_and(comparator, reset_ok, out=boolbuf)
+            reset_now = boolbuf
+        np.copyto(v, v_reset, where=reset_now)
+        np.subtract(refractory, 1, out=refractory)
+        np.maximum(refractory, 0, out=refractory)
+        np.copyto(refractory, period, where=reset_now)
+        if not all_reset:
+            np.logical_and(comparator, reset_bad, out=boolbuf)
+            np.logical_or(latched, boolbuf, out=latched)
+
+        # Direct lateral inhibition, per (row, sample).
+        if strength > 0 and spikes.any():
+            np.sum(spikes, axis=-1, keepdims=True, out=countbuf)
+            np.subtract(countbuf, spikes, out=fbuf)
+            np.multiply(fbuf, strength, out=fbuf)
+            np.subtract(v, fbuf, out=v)
+            np.maximum(v, v_min, out=v)
+
+        # Keep latched faulty-reset membranes pinned at the threshold.
+        if not all_reset and latched.any():
+            np.maximum(v, threshold, out=fbuf)
+            np.copyto(v, fbuf, where=latched)
+
+        output[t] = spikes
+
+        if trig is not None:
+            np.greater_equal(counter, trig, out=boolbuf)
+            np.logical_or(disabled, boolbuf, out=disabled)
+
+        if step_hook is not None:
+            step_hook()
+
+    if _obs.enabled():
+        _record_kernel("cuba_advance", "numpy", time.perf_counter_ns() - start_ns)
+
+
+def fixed_point_advance(
+    currents: np.ndarray,
+    output: np.ndarray,
+    v: np.ndarray,
+    refractory: np.ndarray,
+    counter: np.ndarray,
+    disabled: np.ndarray,
+    latched: np.ndarray,
+    comparator: np.ndarray,
+    spikes: np.ndarray,
+    masks: OperationMasks,
+    threshold: np.ndarray,
+    config: LIFStepConfig,
+    workspace: KernelWorkspace,
+    weight_exp: int = 6,
+    decay_bits: int = 12,
+    triggers: Optional[np.ndarray] = None,
+    step_hook: Optional[Callable[[], None]] = None,
+    backend: Optional[str] = None,
+) -> None:
+    """Bit-accurate fixed-point LIF advance over ``(rows, batch, n)`` state.
+
+    Loihi-style integer arithmetic (lava's fixed-point LIF): membrane and
+    currents live on a ``2**weight_exp`` grid (mantissa/exponent weight
+    scaling — the stored mantissa is the integer, the shared exponent is
+    the grid), and the leak is a ``decay_bits``-bit fixed-point multiply
+    with a truncating shift, ``v = v_rest + ((v - v_rest) * d) >> decay_bits``
+    where ``d = round(membrane_decay * 2**decay_bits)``.
+
+    Every quantity is an integer held exactly in the engines' float64 state
+    arrays (magnitudes stay far below ``2**53``), so each operation is an
+    exact elementwise computation — bitwise independent of batch shape and
+    chunking, which is what makes the model safe inside the parity-checked
+    engines.  ``v`` enters and leaves in float units: it is floored onto
+    the grid at entry and divided back (exactly, by a power of two) at
+    exit, so the engines' float-domain latch pinning composes correctly.
+    The four faultable operations gate exactly as in :func:`lif_advance`.
+    Only a numpy implementation exists; ``backend`` is accepted for
+    interface parity and the kernel silently runs numpy.
+    """
+    del backend  # numpy only; accepted for signature parity with lif_advance
+    start_ns = time.perf_counter_ns()
+    ws = workspace.ensure(v.shape)
+    vbuf = ws.vbuf
+    fbuf = ws.fbuf
+    active = ws.active
+    boolbuf = ws.boolbuf
+    countbuf = ws.countbuf
+
+    scale = float(1 << int(weight_exp))
+    decay_unit = float(1 << int(decay_bits))
+    decay_q = float(int(round(config.membrane_decay * decay_unit)))
+    v_rest_q = float(np.floor(config.v_rest * scale))
+    v_reset_q = float(np.floor(config.v_reset * scale))
+    v_min_q = float(np.floor(config.v_min * scale))
+    strength_q = float(np.floor(config.inhibition_strength * scale))
+    period = config.refractory_period
+    threshold_q = np.floor(np.asarray(threshold, dtype=np.float64) * scale)
+
+    # Enter the integer domain: v becomes its grid mantissa, in place.
+    np.multiply(v, scale, out=v)
+    np.floor(v, out=v)
+
+    leak_ok = masks.leak_ok[:, np.newaxis, :]
+    increase_ok = masks.increase_ok[:, np.newaxis, :]
+    reset_ok = masks.reset_ok[:, np.newaxis, :]
+    spike_ok = masks.spike_ok[:, np.newaxis, :]
+    all_leak = masks.all_leak
+    all_increase = masks.all_increase
+    all_reset = masks.all_reset
+    all_spike = masks.all_spike
+    reset_bad = None if all_reset else ~reset_ok
+    trig = (
+        None
+        if triggers is None
+        else np.asarray(triggers, dtype=np.int64).reshape(-1, 1, 1)
+    )
+
+    timesteps = currents.shape[0]
+    for t in range(timesteps):
+        # (2) Vmem leak: v_rest + ((v - v_rest) * d) >> decay_bits.
+        np.subtract(v, v_rest_q, out=vbuf)
+        np.multiply(vbuf, decay_q, out=vbuf)
+        np.floor_divide(vbuf, decay_unit, out=vbuf)
+        np.add(vbuf, v_rest_q, out=vbuf)
+        if all_leak:
+            np.copyto(v, vbuf)
+        else:
+            np.copyto(v, vbuf, where=leak_ok)
+
+        # (1) Vmem increase: v += where(integrate, floor(I * 2**exp), 0).
+        np.less_equal(refractory, 0, out=active)
+        if all_increase:
+            integrate = active
+        else:
+            np.logical_and(active, increase_ok, out=boolbuf)
+            integrate = boolbuf
+        np.multiply(currents[t], scale, out=vbuf)
+        np.floor(vbuf, out=vbuf)
+        np.copyto(fbuf, 0.0)
+        np.copyto(fbuf, vbuf, where=integrate)
+        np.add(v, fbuf, out=v)
+        np.maximum(v, v_min_q, out=v)
+
+        # (4) Spike generation: comparator and protection counter.
+        np.greater_equal(v, threshold_q, out=comparator)
+        np.logical_and(comparator, active, out=comparator)
+        np.add(counter, 1, out=counter)
+        np.multiply(counter, comparator, out=counter)
+        np.logical_not(disabled, out=spikes)
+        np.logical_and(spikes, comparator, out=spikes)
+        if not all_spike:
+            np.logical_and(spikes, spike_ok, out=spikes)
+
+        # (3) Vmem reset and refractory entry; faulty resets latch.
+        if all_reset:
+            reset_now = comparator
+        else:
+            np.logical_and(comparator, reset_ok, out=boolbuf)
+            reset_now = boolbuf
+        np.copyto(v, v_reset_q, where=reset_now)
+        np.subtract(refractory, 1, out=refractory)
+        np.maximum(refractory, 0, out=refractory)
+        np.copyto(refractory, period, where=reset_now)
+        if not all_reset:
+            np.logical_and(comparator, reset_bad, out=boolbuf)
+            np.logical_or(latched, boolbuf, out=latched)
+
+        # Direct lateral inhibition on the integer grid.
+        if strength_q > 0 and spikes.any():
+            np.sum(spikes, axis=-1, keepdims=True, out=countbuf)
+            np.subtract(countbuf, spikes, out=fbuf)
+            np.multiply(fbuf, strength_q, out=fbuf)
+            np.subtract(v, fbuf, out=v)
+            np.maximum(v, v_min_q, out=v)
+
+        # Keep latched faulty-reset membranes pinned at the threshold.
+        if not all_reset and latched.any():
+            np.maximum(v, threshold_q, out=fbuf)
+            np.copyto(v, fbuf, where=latched)
+
+        output[t] = spikes
+
+        if trig is not None:
+            np.greater_equal(counter, trig, out=boolbuf)
+            np.logical_or(disabled, boolbuf, out=disabled)
+
+        if step_hook is not None:
+            step_hook()
+
+    # Leave the integer domain: exact division by a power of two.
+    np.divide(v, scale, out=v)
+
+    if _obs.enabled():
+        _record_kernel(
+            "fixed_point_advance", "numpy", time.perf_counter_ns() - start_ns
+        )
 
 
 # ---------------------------------------------------------------------- #

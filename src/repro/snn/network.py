@@ -23,8 +23,9 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from repro.snn.encoding import PoissonEncoder
+from repro.snn.encoding import DEFAULT_ENCODING, PoissonEncoder, get_encoder
 from repro.snn.engine import BatchedInferenceEngine
+from repro.snn.models import DEFAULT_NEURON_MODEL, get_model
 from repro.snn.neuron import LIFNeuronGroup, LIFParameters, NeuronOperationStatus
 from repro.snn.quantization import WeightQuantizer
 from repro.snn.stdp import STDPConfig, STDPRule
@@ -69,6 +70,14 @@ class NetworkConfig:
         full scale of twice its maximum clean weight, which gives the
         register format realistic headroom and reproduces Fig. 9, where bit
         flips push weights to roughly twice the clean maximum.
+    neuron_model:
+        Registered neuron-model name the engines simulate
+        (:mod:`repro.snn.models`); ``"lif"`` is the paper's model and the
+        default every pre-existing configuration (and snapshot sidecar
+        written before the model zoo existed) resolves to.
+    encoding:
+        Registered input-encoding name (:mod:`repro.snn.encoding`);
+        ``"poisson"`` is the paper's rate encoding and the default.
     """
 
     n_inputs: int = 784
@@ -80,6 +89,8 @@ class NetworkConfig:
     stdp: STDPConfig = field(default_factory=STDPConfig)
     weight_bits: int = 8
     weight_full_scale: Optional[float] = None
+    neuron_model: str = DEFAULT_NEURON_MODEL
+    encoding: str = DEFAULT_ENCODING
 
     #: Full-scale-to-clean-maximum ratio used when ``weight_full_scale`` is
     #: left on automatic.  A factor of two reproduces the weight range shown
@@ -103,6 +114,11 @@ class NetworkConfig:
             raise ValueError(
                 f"weight_full_scale must be positive or None, got {self.weight_full_scale}"
             )
+        # Fail at configuration time, not deep inside an engine: both names
+        # must resolve against their registries (raises with the known
+        # names otherwise).
+        get_model(self.neuron_model)
+        get_encoder(self.encoding)
 
     def make_quantizer(self, clean_max_weight: Optional[float] = None) -> WeightQuantizer:
         """Construct the deployed (8-bit) register quantiser.
@@ -137,8 +153,14 @@ class NetworkConfig:
         return WeightQuantizer(bits=16, full_scale=self.stdp.w_max)
 
     def make_encoder(self) -> PoissonEncoder:
-        """Construct the Poisson encoder described by this configuration."""
-        return PoissonEncoder(
+        """Construct the registered encoder named by ``encoding``.
+
+        The factory receives the configuration subset encoders derive
+        from; with the default ``encoding="poisson"`` this builds exactly
+        the :class:`~repro.snn.encoding.PoissonEncoder` it always did.
+        """
+        factory = get_encoder(self.encoding)
+        return factory(
             timesteps=self.timesteps,
             max_rate=self.max_rate,
             target_total_intensity=self.target_total_intensity,

@@ -79,6 +79,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.obs import metrics as _obs
+from repro.obs.trace import span
 from repro.snn.engine import BatchedInferenceEngine
 from repro.snn.kernels import (
     KernelWorkspace,
@@ -86,10 +87,10 @@ from repro.snn.kernels import (
     OperationMasks,
     exact_gemm_dtype,
     exact_scale,
-    lif_advance,
     lif_learning_step,
     register_gemm,
 )
+from repro.snn.models import resolve_model
 from repro.snn.network import DiehlCookNetwork, NetworkConfig
 from repro.utils.logging import get_logger
 
@@ -214,6 +215,9 @@ class VectorizedTrainingEngine:
     ) -> None:
         self.network_config = network_config
         self.training_config = training_config
+        # Neuron model driving the WTA presentation kernel (the pairwise
+        # path is LIF-only and guarded by the runner).
+        self._model = resolve_model(getattr(network_config, "neuron_model", None))
         # Scratch buffers of the WTA presentation kernel, reused across
         # samples and epochs.
         self._workspace = KernelWorkspace()
@@ -330,87 +334,90 @@ class VectorizedTrainingEngine:
         history: Dict[str, list] = {"epoch_mean_spikes": []}
         for epoch in range(config.epochs):
             epoch_began = time.perf_counter()
-            order = self._epoch_order(len(dataset), generator)
-            epoch_spikes: List[int] = []
-            for index in order:
-                image, _ = dataset[int(index)]
-                raster = encoder.encode(image.reshape(-1), rng=generator)
-                float_raster = raster.astype(np.float64)
-                timesteps = raster.shape[0]
+            with span("train.epoch", mode="pairwise_stdp", epoch=epoch + 1):
+                order = self._epoch_order(len(dataset), generator)
+                epoch_spikes: List[int] = []
+                for index in order:
+                    image, _ = dataset[int(index)]
+                    raster = encoder.encode(image.reshape(-1), rng=generator)
+                    float_raster = raster.astype(np.float64)
+                    timesteps = raster.shape[0]
 
-                # Per-presentation state reset (LIFNeuronGroup.reset_state
-                # plus STDPRule.reset_traces).
-                v = np.full(n_neurons, v_rest, dtype=np.float64)
-                refractory = np.zeros(n_neurons, dtype=np.int64)
-                pre_trace.fill(0.0)
-                post_trace.fill(0.0)
-                sample_spikes = 0
+                    # Per-presentation state reset (LIFNeuronGroup.reset_state
+                    # plus STDPRule.reset_traces).
+                    v = np.full(n_neurons, v_rest, dtype=np.float64)
+                    refractory = np.zeros(n_neurons, dtype=np.int64)
+                    pre_trace.fill(0.0)
+                    post_trace.fill(0.0)
+                    sample_spikes = 0
 
-                for t in range(timesteps):
-                    # The learning-mode GEMV multiplies spikes with the
-                    # dense float *training* weights (which change between
-                    # timesteps), not register codes — it has no exact
-                    # integer decomposition, and both paths evaluate the
-                    # identical float64 expression.
-                    current = float_raster[t] @ weights
+                    for t in range(timesteps):
+                        # The learning-mode GEMV multiplies spikes with the
+                        # dense float *training* weights (which change between
+                        # timesteps), not register codes — it has no exact
+                        # integer decomposition, and both paths evaluate the
+                        # identical float64 expression.
+                        current = float_raster[t] @ weights
 
-                    # Healthy learning-mode LIF step (kernel layer): the
-                    # exact operation sequence of LIFNeuronGroup.step with
-                    # every per-operation fault switch collapsed (training
-                    # networks are always healthy) and theta adapting
-                    # in place.
-                    v, refractory, spikes = lif_learning_step(
-                        v,
-                        refractory,
-                        theta,
-                        current,
-                        step_config,
-                        v_threshold,
-                        theta_plus,
-                        theta_decay,
-                    )
-                    any_post = spikes.any()
+                        # Healthy learning-mode LIF step (kernel layer): the
+                        # exact operation sequence of LIFNeuronGroup.step with
+                        # every per-operation fault switch collapsed (training
+                        # networks are always healthy) and theta adapting
+                        # in place.
+                        v, refractory, spikes = lif_learning_step(
+                            v,
+                            refractory,
+                            theta,
+                            current,
+                            step_config,
+                            v_threshold,
+                            theta_plus,
+                            theta_decay,
+                        )
+                        any_post = spikes.any()
 
-                    # Trace recursion — the same decay-then-set the
-                    # sequential STDPRule.step applies.
-                    pre_spikes = raster[t]
-                    pre_trace *= pre_decay
-                    post_trace *= post_decay
-                    pre_trace[pre_spikes] = 1.0
-                    post_trace[spikes] = 1.0
+                        # Trace recursion — the same decay-then-set the
+                        # sequential STDPRule.step applies.
+                        pre_spikes = raster[t]
+                        pre_trace *= pre_decay
+                        post_trace *= post_decay
+                        pre_trace[pre_spikes] = 1.0
+                        post_trace[spikes] = 1.0
 
-                    # Sparse outer-product weight updates: potentiation on
-                    # the spiking columns, then depression on the spiking
-                    # rows, then the clip restricted to the touched slices
-                    # (identity everywhere else — see the module
-                    # docstring's exactness argument).
-                    any_pre = pre_spikes.any()
-                    if any_post:
-                        cols = np.flatnonzero(spikes)
-                        weights[:, cols] += (lr_post * pre_trace)[:, np.newaxis]
-                    if any_pre:
-                        rows = np.flatnonzero(pre_spikes)
-                        weights[rows] -= lr_pre * post_trace
-                    if any_post:
-                        weights[:, cols] = np.clip(weights[:, cols], w_min, w_max)
-                    if any_pre:
-                        weights[rows] = np.clip(weights[rows], w_min, w_max)
+                        # Sparse outer-product weight updates: potentiation on
+                        # the spiking columns, then depression on the spiking
+                        # rows, then the clip restricted to the touched slices
+                        # (identity everywhere else — see the module
+                        # docstring's exactness argument).
+                        any_pre = pre_spikes.any()
+                        if any_post:
+                            cols = np.flatnonzero(spikes)
+                            weights[:, cols] += (lr_post * pre_trace)[:, np.newaxis]
+                        if any_pre:
+                            rows = np.flatnonzero(pre_spikes)
+                            weights[rows] -= lr_pre * post_trace
+                        if any_post:
+                            weights[:, cols] = np.clip(
+                                weights[:, cols], w_min, w_max
+                            )
+                        if any_pre:
+                            weights[rows] = np.clip(weights[rows], w_min, w_max)
 
-                    if any_post:
-                        sample_spikes += int(spikes.sum())
+                        if any_post:
+                            sample_spikes += int(spikes.sum())
 
-                epoch_spikes.append(sample_spikes)
+                    epoch_spikes.append(sample_spikes)
 
-                # End-of-presentation write-back (set_weights quantise
-                # round trip) followed by the trainer's per-sample
-                # Diehl & Cook weight normalisation — both full-matrix,
-                # both once per sample rather than once per timestep.
-                weights = quantizer.dequantize(quantizer.quantize(weights))
-                column_sums = weights.sum(axis=0)
-                column_sums[column_sums == 0] = 1.0
-                weights = weights * (config.weight_norm_total / column_sums)
-                weights = np.clip(weights, 0.0, quantizer.full_scale)
-                weights = quantizer.dequantize(quantizer.quantize(weights))
+                    # End-of-presentation write-back (set_weights quantise
+                    # round trip) followed by the trainer's per-sample
+                    # Diehl & Cook weight normalisation — both full-matrix,
+                    # both once per sample rather than once per timestep.
+                    weights = quantizer.dequantize(quantizer.quantize(weights))
+                    column_sums = weights.sum(axis=0)
+                    column_sums[column_sums == 0] = 1.0
+                    weights = weights * (config.weight_norm_total / column_sums)
+                    weights = np.clip(weights, 0.0, quantizer.full_scale)
+                    weights = quantizer.dequantize(quantizer.quantize(weights))
 
             mean_spikes = float(np.mean(epoch_spikes))
             history["epoch_mean_spikes"].append(mean_spikes)
@@ -466,43 +473,42 @@ class VectorizedTrainingEngine:
         conscience = np.zeros(n_neurons, dtype=np.float64)
         wins = np.zeros(n_neurons, dtype=np.int64)
 
+        mode = "spiking_wta" if spiking else "fast_wta"
         history: Dict[str, list] = {"epoch_neurons_used": [], "epoch_mean_spikes": []}
         for epoch in range(config.epochs):
             epoch_began = time.perf_counter()
-            order = self._epoch_order(len(dataset), generator)
-            epoch_spikes: List[int] = []
-            for index in order:
-                image, _ = dataset[int(index)]
-                flat = image.reshape(-1)
-                if spiking:
-                    spike_counts = self._present_wta(
-                        flat, weights, conscience, quantizer, encoder, generator
-                    )
-                    epoch_spikes.append(int(spike_counts.sum()))
-                    responses = spike_counts.astype(np.float64)
-                    if responses.max() <= 0:
-                        # Silent presentation: fall back to the linear
-                        # response so every sample still contributes.
+            with span("train.epoch", mode=mode, epoch=epoch + 1):
+                order = self._epoch_order(len(dataset), generator)
+                epoch_spikes: List[int] = []
+                for index in order:
+                    image, _ = dataset[int(index)]
+                    flat = image.reshape(-1)
+                    if spiking:
+                        spike_counts = self._present_wta(
+                            flat, weights, conscience, quantizer, encoder, generator
+                        )
+                        epoch_spikes.append(int(spike_counts.sum()))
+                        responses = spike_counts.astype(np.float64)
+                        if responses.max() <= 0:
+                            # Silent presentation: fall back to the linear
+                            # response so every sample still contributes.
+                            responses = flat @ weights - conscience
+                    else:
                         responses = flat @ weights - conscience
-                else:
-                    responses = flat @ weights - conscience
-                    epoch_spikes.append(0)
-                weights = wta_sample_update(
-                    weights, conscience, wins, flat, responses, config
-                )
+                        epoch_spikes.append(0)
+                    weights = wta_sample_update(
+                        weights, conscience, wins, flat, responses, config
+                    )
 
             neurons_used = int((wins > 0).sum())
             history["epoch_neurons_used"].append(neurons_used)
             history["epoch_mean_spikes"].append(
                 float(np.mean(epoch_spikes)) if epoch_spikes else 0.0
             )
-            record_training_epoch(
-                "spiking_wta" if spiking else "fast_wta",
-                time.perf_counter() - epoch_began,
-            )
+            record_training_epoch(mode, time.perf_counter() - epoch_began)
             _LOGGER.info(
                 "%s (vectorized) epoch %d/%d: %d of %d neurons selected as winners",
-                "spiking_wta" if spiking else "fast_wta",
+                mode,
                 epoch + 1,
                 config.epochs,
                 neurons_used,
@@ -557,14 +563,14 @@ class VectorizedTrainingEngine:
         currents = exact_scale(register_gemm(raster, codes), quantizer.scale)
 
         # One healthy (1, 1, n_neurons) block through the shared timestep
-        # kernel — the same advance the inference engines run, with the
-        # fault switches collapsed and the conscience as the threshold
-        # bias.
+        # kernel — the same model-dispatched advance the inference engines
+        # run, with the fault switches collapsed and the conscience as the
+        # threshold bias.
         shape = (1, 1, n_neurons)
-        config = LIFStepConfig.from_params(params)
+        config = self._model.step_config(params)
         threshold = params.v_threshold + conscience
         output = np.zeros((timesteps,) + shape, dtype=bool)
-        lif_advance(
+        self._model.advance(
             np.ascontiguousarray(currents.reshape((timesteps,) + shape)),
             output,
             np.full(shape, params.v_rest, dtype=np.float64),

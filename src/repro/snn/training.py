@@ -52,6 +52,8 @@ from typing import Dict, Optional, Union
 import numpy as np
 
 from repro.data.datasets import Dataset
+from repro.obs.trace import span
+from repro.snn.models import DEFAULT_NEURON_MODEL
 from repro.snn.network import DiehlCookNetwork, NetworkConfig
 from repro.snn.neuron import LIFParameters
 from repro.snn.stdp import STDPConfig
@@ -447,6 +449,18 @@ class TrainingRunner:
             )
         generator = resolve_rng(rng)
         mode = self.training_config.learning_mode
+        neuron_model = getattr(
+            self.network_config, "neuron_model", DEFAULT_NEURON_MODEL
+        )
+        if mode == "pairwise_stdp" and neuron_model != DEFAULT_NEURON_MODEL:
+            # Both pairwise implementations (the vectorized
+            # lif_learning_step fast path and the sequential
+            # LIFNeuronGroup reference) advance LIF dynamics only.
+            raise ValueError(
+                "pairwise_stdp training supports only the "
+                f"{DEFAULT_NEURON_MODEL!r} neuron model, got {neuron_model!r}; "
+                "use spiking_wta or fast_wta for other models"
+            )
 
         engine: Optional[VectorizedTrainingEngine] = None
         if vectorized:
@@ -539,13 +553,16 @@ class TrainingRunner:
         history: Dict[str, list] = {"epoch_mean_spikes": []}
         for epoch in range(self.training_config.epochs):
             epoch_began = time.perf_counter()
-            order = self._epoch_order(len(dataset), generator)
-            epoch_spikes = []
-            for index in order:
-                image, _ = dataset[int(index)]
-                result = network.present(image, learning=True, rng=generator)
-                network.normalize_weights(self.training_config.weight_norm_total)
-                epoch_spikes.append(result.total_output_spikes)
+            with span("train.epoch", mode="pairwise_stdp", epoch=epoch + 1):
+                order = self._epoch_order(len(dataset), generator)
+                epoch_spikes = []
+                for index in order:
+                    image, _ = dataset[int(index)]
+                    result = network.present(image, learning=True, rng=generator)
+                    network.normalize_weights(
+                        self.training_config.weight_norm_total
+                    )
+                    epoch_spikes.append(result.total_output_spikes)
             mean_spikes = float(np.mean(epoch_spikes))
             history["epoch_mean_spikes"].append(mean_spikes)
             record_training_epoch(
@@ -586,43 +603,44 @@ class TrainingRunner:
         conscience = np.zeros(n_neurons, dtype=np.float64)
         wins = np.zeros(n_neurons, dtype=np.int64)
 
+        mode = "spiking_wta" if spiking else "fast_wta"
         history: Dict[str, list] = {"epoch_neurons_used": [], "epoch_mean_spikes": []}
         for epoch in range(self.training_config.epochs):
             epoch_began = time.perf_counter()
-            order = self._epoch_order(len(dataset), generator)
-            epoch_spikes = []
-            for index in order:
-                image, _ = dataset[int(index)]
-                flat = image.reshape(-1)
-                if spiking:
-                    network.synapses.set_weights(weights)
-                    network.neurons.theta = conscience.copy()
-                    result = network.present(image, learning=False, rng=generator)
-                    epoch_spikes.append(result.total_output_spikes)
-                    responses = result.spike_counts.astype(np.float64)
-                    if responses.max() <= 0:
-                        # Silent presentation: fall back to the linear
-                        # response so every sample still contributes.
+            with span("train.epoch", mode=mode, epoch=epoch + 1):
+                order = self._epoch_order(len(dataset), generator)
+                epoch_spikes = []
+                for index in order:
+                    image, _ = dataset[int(index)]
+                    flat = image.reshape(-1)
+                    if spiking:
+                        network.synapses.set_weights(weights)
+                        network.neurons.theta = conscience.copy()
+                        result = network.present(
+                            image, learning=False, rng=generator
+                        )
+                        epoch_spikes.append(result.total_output_spikes)
+                        responses = result.spike_counts.astype(np.float64)
+                        if responses.max() <= 0:
+                            # Silent presentation: fall back to the linear
+                            # response so every sample still contributes.
+                            responses = flat @ weights - conscience
+                    else:
                         responses = flat @ weights - conscience
-                else:
-                    responses = flat @ weights - conscience
-                    epoch_spikes.append(0)
-                weights = wta_sample_update(
-                    weights, conscience, wins, flat, responses, config
-                )
+                        epoch_spikes.append(0)
+                    weights = wta_sample_update(
+                        weights, conscience, wins, flat, responses, config
+                    )
 
             neurons_used = int((wins > 0).sum())
             history["epoch_neurons_used"].append(neurons_used)
             history["epoch_mean_spikes"].append(
                 float(np.mean(epoch_spikes)) if epoch_spikes else 0.0
             )
-            record_training_epoch(
-                "spiking_wta" if spiking else "fast_wta",
-                time.perf_counter() - epoch_began,
-            )
+            record_training_epoch(mode, time.perf_counter() - epoch_began)
             _LOGGER.info(
                 "%s epoch %d/%d: %d of %d neurons selected as winners",
-                "spiking_wta" if spiking else "fast_wta",
+                mode,
                 epoch + 1,
                 self.training_config.epochs,
                 neurons_used,

@@ -19,6 +19,7 @@ import threading
 import numpy as np
 import pytest
 
+from repro.obs import configure_trace
 from repro.obs import metrics as obs_metrics
 from repro.obs.metrics import (
     PROMETHEUS_CONTENT_TYPE,
@@ -341,6 +342,118 @@ class TestTracing:
             assert family.labels(name="quiet").count == 0
         finally:
             set_enabled(None)
+
+
+# --------------------------------------------------------------------- #
+# span instrumentation of the training loop
+# --------------------------------------------------------------------- #
+class TestTrainingSpans:
+    """``train.epoch`` spans fire per epoch and never perturb the result."""
+
+    def _train(self):
+        from repro.data.synthetic_mnist import SyntheticMNIST
+        from repro.snn.network import NetworkConfig
+        from repro.snn.training import TrainingConfig, TrainingRunner
+
+        dataset = SyntheticMNIST().generate(n_samples=8, rng=3, classes=[0, 1])
+        runner = TrainingRunner(
+            NetworkConfig(n_inputs=784, n_neurons=8, timesteps=20),
+            TrainingConfig(
+                epochs=2, learning_mode="fast_wta", label_assignment_mode="fast"
+            ),
+        )
+        return runner.train(dataset, rng=5)
+
+    def test_train_epoch_spans_emitted(self, tmp_path):
+        sink = tmp_path / "trace.jsonl"
+        configure_trace(str(sink))
+        try:
+            self._train()
+        finally:
+            configure_trace(None)
+        events = [json.loads(line) for line in sink.read_text().splitlines()]
+        epochs = [event for event in events if event["name"] == "train.epoch"]
+        assert [event["attributes"]["epoch"] for event in epochs] == [1, 2]
+        assert all(
+            event["attributes"]["mode"] == "fast_wta" for event in epochs
+        )
+        assert all(event["duration_ns"] >= 0 for event in epochs)
+
+    def test_training_bit_identical_with_tracing_on(self, tmp_path):
+        baseline = self._train()
+        sink = tmp_path / "trace.jsonl"
+        configure_trace(str(sink))
+        try:
+            traced = self._train()
+        finally:
+            configure_trace(None)
+        assert sink.read_text()  # the sink really was live during training
+        assert np.array_equal(baseline.weights, traced.weights)
+        assert np.array_equal(baseline.theta, traced.theta)
+        assert np.array_equal(baseline.neuron_labels, traced.neuron_labels)
+
+
+# --------------------------------------------------------------------- #
+# Grafana dashboard stays in sync with the metric catalog
+# --------------------------------------------------------------------- #
+class TestGrafanaDashboard:
+    _DOCS = __import__("pathlib").Path(__file__).resolve().parents[1] / "docs"
+
+    def _catalog_families(self):
+        """Every ``softsnn_`` family documented in observability.md tables."""
+        text = (self._DOCS / "observability.md").read_text()
+        catalog = text.split("## Metric catalog", 1)[1].split(
+            "## Span naming convention", 1
+        )[0]
+        families = set()
+        for line in catalog.splitlines():
+            if not line.startswith("| `softsnn_"):
+                continue
+            families.add(line.split("`")[1])
+        return families
+
+    def test_catalog_is_nonempty_and_complete(self):
+        families = self._catalog_families()
+        # Spot-check one family per subsystem so a doc refactor that drops
+        # a whole table section cannot silently pass.
+        for expected in (
+            "softsnn_kernel_calls_total",
+            "softsnn_engine_batches_total",
+            "softsnn_training_epochs_total",
+            "softsnn_campaign_cells_total",
+            "softsnn_serve_requests_total",
+            "softsnn_span_seconds",
+        ):
+            assert expected in families
+        assert len(families) >= 26
+
+    def test_every_cataloged_family_has_a_panel(self):
+        dashboard = json.loads(
+            (self._DOCS / "grafana-softsnn.json").read_text()
+        )
+        queries = " ".join(
+            target.get("expr", "")
+            for panel in dashboard["panels"]
+            for target in panel.get("targets", [])
+        )
+        missing = [
+            family
+            for family in sorted(self._catalog_families())
+            if family not in queries
+        ]
+        assert not missing, f"dashboard lacks panels for: {missing}"
+
+    def test_dashboard_panels_are_well_formed(self):
+        dashboard = json.loads(
+            (self._DOCS / "grafana-softsnn.json").read_text()
+        )
+        assert dashboard["title"] == "SoftSNN observability"
+        graph_panels = [
+            panel for panel in dashboard["panels"] if panel["type"] != "row"
+        ]
+        assert len(graph_panels) >= 10
+        for panel in graph_panels:
+            assert panel["targets"], f"panel {panel['title']!r} has no query"
 
 
 # --------------------------------------------------------------------- #

@@ -588,6 +588,42 @@ class TestSchedulerParity:
 
 
 # --------------------------------------------------------------------- #
+# serve.classify span instrumentation
+# --------------------------------------------------------------------- #
+class TestServeTracing:
+    def test_classify_span_emitted_and_predictions_identical(
+        self, service, small_split, tmp_path
+    ):
+        """Tracing must observe the request without changing its answer."""
+        import json
+
+        from repro.obs import configure_trace
+
+        images = _test_images(small_split, 4)
+        seeds = [9000 + index for index in range(len(images))]
+        baseline = service.classify(
+            images, model="tiny-mnist", mode="clean", seeds=seeds
+        ).predictions
+        sink = tmp_path / "trace.jsonl"
+        configure_trace(str(sink))
+        try:
+            traced = service.classify(
+                images, model="tiny-mnist", mode="clean", seeds=seeds
+            ).predictions
+        finally:
+            configure_trace(None)
+        assert traced == baseline
+        events = [json.loads(line) for line in sink.read_text().splitlines()]
+        spans = [event for event in events if event["name"] == "serve.classify"]
+        assert len(spans) == 1
+        attributes = spans[0]["attributes"]
+        assert attributes["model"] == "tiny-mnist"
+        assert attributes["mode"] == "clean"
+        assert attributes["n_images"] == len(images)
+        assert spans[0]["duration_ns"] >= 0
+
+
+# --------------------------------------------------------------------- #
 # service + HTTP front end
 # --------------------------------------------------------------------- #
 class TestServiceHTTP:
